@@ -1,0 +1,37 @@
+package elsa
+
+import (
+	"github.com/elsa-hpc/elsa/internal/absence"
+)
+
+// Absence-detection types: the complement to correlation-based prediction
+// for the paper's "node crash = lack of messages" syndrome, where a
+// component's failure produces no log events at all — its heartbeats
+// simply stop.
+type (
+	// HeartbeatWatch registers one periodic event type to monitor per
+	// location.
+	HeartbeatWatch = absence.Watch
+	// AbsenceAlert reports one component gone quiet.
+	AbsenceAlert = absence.Alert
+	// AbsenceMonitor tracks heartbeat freshness per (event, location).
+	AbsenceMonitor = absence.Monitor
+)
+
+// NewAbsenceMonitor returns a monitor for the given heartbeat watches.
+// Feed records with Observe and poll with Check, or replay a batch with
+// Run.
+func NewAbsenceMonitor(watches ...HeartbeatWatch) *AbsenceMonitor {
+	return absence.NewMonitor(watches...)
+}
+
+// FindEvent returns the model's event id whose mined template matches the
+// example message, for wiring watches (and other event-keyed APIs) by
+// message text instead of raw ids.
+func (m *Model) FindEvent(exampleMessage string) (int, bool) {
+	tm, ok := m.organizer.Match(exampleMessage)
+	if !ok {
+		return -1, false
+	}
+	return tm.ID, true
+}

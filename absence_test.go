@@ -1,0 +1,42 @@
+package elsa
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAbsenceFacade(t *testing.T) {
+	log := GenerateBGL(90, apiStart, 4*24*time.Hour)
+	cut := apiStart.Add(2 * 24 * time.Hour)
+	train, test, _ := log.Split(cut)
+	model := Train(train, apiStart, cut, DefaultTrainConfig())
+
+	ev, ok := model.FindEvent("rack watchdog heartbeat ok slot 17")
+	if !ok {
+		t.Fatal("heartbeat template not found")
+	}
+	if _, ok := model.FindEvent("a message shape that was never ever logged anywhere"); ok {
+		t.Error("bogus message matched a template")
+	}
+
+	mon := NewAbsenceMonitor(HeartbeatWatch{Event: ev, Period: 2 * time.Minute})
+	// Stamp the test records through the model's organizer and replay.
+	stamped := append([]Record(nil), test...)
+	for i := range stamped {
+		if stamped[i].EventID < 0 {
+			id, _ := model.FindEvent(stamped[i].Message)
+			stamped[i].EventID = id
+		}
+	}
+	alerts := mon.Run(stamped, cut, log.End, 30*time.Second)
+	// Whether alerts fire depends on whether a rack crash landed in the
+	// window; either way the monitor must be tracking all 64 racks.
+	if mon.Tracked() != 64 {
+		t.Errorf("Tracked = %d, want 64 racks", mon.Tracked())
+	}
+	for _, a := range alerts {
+		if a.Latency() <= 0 {
+			t.Errorf("non-positive alert latency: %+v", a)
+		}
+	}
+}

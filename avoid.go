@@ -1,0 +1,50 @@
+package elsa
+
+import (
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/avoid"
+	"github.com/elsa-hpc/elsa/internal/jobs"
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+// Failure-avoidance types, re-exported for the consumer side of
+// prediction: deciding what to do with a forecast.
+type (
+	// Job is one parallel application run occupying a node set.
+	Job = jobs.Job
+	// AvoidanceAction is the measure recommended for a prediction
+	// (migrate, checkpoint in place, or nothing).
+	AvoidanceAction = avoid.Action
+	// AvoidanceConfig is the cost model of the avoidance measures.
+	AvoidanceConfig = avoid.Config
+	// Recommendation is the advisor's output for one prediction.
+	Recommendation = avoid.Recommendation
+	// WorkloadConfig shapes a synthetic job mix.
+	WorkloadConfig = jobs.WorkloadConfig
+)
+
+// Avoidance actions.
+const (
+	NoAction       = avoid.NoAction
+	CheckpointOnly = avoid.CheckpointOnly
+	Migrate        = avoid.Migrate
+)
+
+// DefaultAvoidanceConfig returns costs consistent with the paper's
+// discussion (about a minute to checkpoint, several to migrate).
+func DefaultAvoidanceConfig() AvoidanceConfig { return avoid.DefaultConfig() }
+
+// Advise decides the avoidance measure for one prediction given the
+// active jobs on the machine.
+func Advise(m topology.Machine, active []Job, pred Prediction, cfg AvoidanceConfig) Recommendation {
+	return avoid.Advise(m, active, pred, cfg)
+}
+
+// DefaultWorkload returns a job mix reminiscent of the paper's systems.
+func DefaultWorkload() WorkloadConfig { return jobs.DefaultWorkload() }
+
+// GenerateWorkload creates a synthetic job mix over [start, end).
+func GenerateWorkload(m topology.Machine, start, end time.Time, cfg WorkloadConfig) []Job {
+	return jobs.GenerateWorkload(m, start, end, cfg)
+}

@@ -1,0 +1,79 @@
+package elsa
+
+import (
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/checkpoint"
+)
+
+// Checkpoint-model types, re-exported from the analytic module
+// (equations 1-7 of the paper).
+type (
+	// CheckpointParams describes a platform: checkpoint cost C, restart
+	// cost R, downtime D and MTTF.
+	CheckpointParams = checkpoint.Params
+	// CheckpointPredictor carries a predictor's recall and precision.
+	CheckpointPredictor = checkpoint.Predictor
+	// CheckpointSimResult is one simulated checkpoint-restart execution.
+	CheckpointSimResult = checkpoint.SimResult
+)
+
+// PaperCheckpointParams returns the paper's platform constants (R = 5 min,
+// D = 1 min) for a given checkpoint cost and MTTF.
+func PaperCheckpointParams(c, mttf time.Duration) CheckpointParams {
+	return checkpoint.PaperParams(c, mttf)
+}
+
+// YoungInterval returns the optimal checkpoint interval sqrt(2 C MTTF).
+func YoungInterval(p CheckpointParams) time.Duration { return checkpoint.YoungInterval(p) }
+
+// DalyInterval returns Daly's higher-order optimal interval, which
+// improves on Young's formula when the checkpoint cost is not negligible
+// against the MTTF.
+func DalyInterval(p CheckpointParams) time.Duration { return checkpoint.DalyInterval(p) }
+
+// Multi-level (FTI/SCR-style) checkpointing model.
+type (
+	// MultiLevelParams describes a two-level checkpoint scheme: cheap
+	// local checkpoints covering most failures, expensive global ones for
+	// the rest.
+	MultiLevelParams = checkpoint.MultiLevelParams
+	// MultiLevelPlan is an optimised two-level schedule.
+	MultiLevelPlan = checkpoint.MultiLevelPlan
+)
+
+// OptimizeMultiLevel searches for the minimum-waste two-level schedule.
+func OptimizeMultiLevel(p MultiLevelParams) MultiLevelPlan {
+	return checkpoint.OptimizeMultiLevel(p)
+}
+
+// MultiLevelGain returns the relative waste reduction a predictor buys on
+// the optimised two-level schedule.
+func MultiLevelGain(p MultiLevelParams, pred CheckpointPredictor) float64 {
+	return checkpoint.MultiLevelGain(p, pred)
+}
+
+// CheckpointWaste evaluates the waste fraction at interval T without
+// prediction (equation 1).
+func CheckpointWaste(p CheckpointParams, T time.Duration) float64 { return checkpoint.Waste(p, T) }
+
+// MinCheckpointWaste is the waste at Young's interval without prediction.
+func MinCheckpointWaste(p CheckpointParams) float64 { return checkpoint.MinWaste(p) }
+
+// MinWasteWithPrediction evaluates equation (7): the minimum waste with a
+// predictor of the given recall and precision.
+func MinWasteWithPrediction(p CheckpointParams, pred CheckpointPredictor) float64 {
+	return checkpoint.MinWasteWithPrediction(p, pred)
+}
+
+// CheckpointWasteGain returns the relative waste reduction prediction
+// buys (the percentages of the paper's Table IV).
+func CheckpointWasteGain(p CheckpointParams, pred CheckpointPredictor) float64 {
+	return checkpoint.WasteGain(p, pred)
+}
+
+// SimulateCheckpointing runs the discrete-event checkpoint-restart
+// simulator for an application needing the given amount of work.
+func SimulateCheckpointing(p CheckpointParams, pred CheckpointPredictor, interval, work time.Duration, seed int64) CheckpointSimResult {
+	return checkpoint.Simulate(p, pred, interval, work, seed)
+}

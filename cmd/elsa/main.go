@@ -1,0 +1,174 @@
+// Command elsa runs the ELSA pipeline over a log file: it splits the log
+// into a training and a test window, trains the correlation model, runs
+// the online predictor over the test window and reports the chains,
+// predictions and (when ground truth is supplied) precision/recall.
+//
+// Usage:
+//
+//	elsa -log system.log -train-days 5 [-mode hybrid] [-truth truth.jsonl] [-chains] [-predictions]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	elsa "github.com/elsa-hpc/elsa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elsa:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		logPath    = flag.String("log", "", "log file in canonical text format (required)")
+		trainDays  = flag.Int("train-days", 5, "days of log used for training")
+		modeS      = flag.String("mode", "hybrid", "correlation method: hybrid, signal or datamining")
+		truthPath  = flag.String("truth", "", "ground-truth JSON lines for evaluation")
+		showChains = flag.Bool("chains", false, "print the extracted correlation chains")
+		showPreds  = flag.Bool("predictions", false, "print every emitted prediction")
+		savePath   = flag.String("save", "", "write the trained model to this path")
+		modelPath  = flag.String("model", "", "load a trained model instead of training")
+		formatS    = flag.String("format", "canonical", "log format: canonical, bgl (CFDR RAS) or syslog")
+		year       = flag.Int("year", 0, "year completing syslog timestamps (0 = current)")
+	)
+	flag.Parse()
+	if *logPath == "" {
+		return fmt.Errorf("-log is required")
+	}
+
+	cfg := elsa.DefaultTrainConfig()
+	switch *modeS {
+	case "hybrid":
+		cfg.Mode = elsa.Hybrid
+	case "signal":
+		cfg.Mode = elsa.SignalOnly
+	case "datamining":
+		cfg.Mode = elsa.DataMiningOnly
+	default:
+		return fmt.Errorf("unknown -mode %q", *modeS)
+	}
+
+	format, err := elsa.ParseLogFormat(*formatS)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*logPath)
+	if err != nil {
+		return err
+	}
+	records, dropped, err := elsa.ReadLogFormat(f, format, *year)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "elsa: skipped %d malformed lines\n", dropped)
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("log %s is empty", *logPath)
+	}
+	elsa.SortRecords(records)
+
+	start := records[0].Time.Truncate(24 * time.Hour)
+	end := records[len(records)-1].Time.Add(time.Second)
+	cut := start.Add(time.Duration(*trainDays) * 24 * time.Hour)
+	if !cut.Before(end) {
+		return fmt.Errorf("training window (%d days) covers the whole log", *trainDays)
+	}
+
+	var train, test []elsa.Record
+	for _, r := range records {
+		if r.Time.Before(cut) {
+			train = append(train, r)
+		} else {
+			test = append(test, r)
+		}
+	}
+	fmt.Printf("training on %d records (%s .. %s), testing on %d records (.. %s), mode %s\n",
+		len(train), start.Format(time.RFC3339), cut.Format(time.RFC3339), len(test),
+		end.Format(time.RFC3339), cfg.Mode)
+
+	var model *elsa.Model
+	if *modelPath != "" {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		model, err = elsa.LoadModel(mf)
+		mf.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded model: %d event types, %d chains (%d predictive)\n",
+			model.EventCount(), len(model.Chains()), len(model.PredictiveChains()))
+	} else {
+		model = elsa.Train(train, start, cut, cfg)
+		fmt.Printf("mined %d event types, extracted %d chains (%d predictive)\n",
+			model.EventCount(), len(model.Chains()), len(model.PredictiveChains()))
+	}
+	if *savePath != "" {
+		sf, err := os.Create(*savePath)
+		if err != nil {
+			return err
+		}
+		err = model.Save(sf)
+		if cerr := sf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model saved to %s\n", *savePath)
+	}
+
+	if *showChains {
+		for _, ch := range model.Chains() {
+			fmt.Printf("chain %s support=%d conf=%.2f predictive=%v\n",
+				ch.Key(), ch.Support, ch.Confidence, ch.Predictive)
+			for _, it := range ch.Items {
+				fmt.Printf("  @%-5d %s\n", it.Delay, model.EventTemplate(it.Event))
+			}
+		}
+	}
+
+	result := model.Predict(test, cut, end)
+	st := result.Stats
+	fmt.Printf("online: %d predictions (%d late), %d/%d chains used, mean analysis %.1fms, worst %s\n",
+		len(result.Predictions), st.LatePreds, len(st.ChainsUsed), st.ChainsLoaded,
+		1000*st.Analysis.Mean(), st.MaxAnalysis.Round(time.Millisecond))
+
+	if *showPreds {
+		for _, p := range result.Predictions {
+			fmt.Printf("predict %s at %s lead=%s scope=%s trigger=%s chain=%s\n",
+				model.EventTemplate(p.Event), p.ExpectedAt.Format(time.RFC3339),
+				p.Lead.Round(time.Second), p.Scope, p.Trigger, p.ChainKey)
+		}
+	}
+
+	if *truthPath != "" {
+		tf, err := os.Open(*truthPath)
+		if err != nil {
+			return err
+		}
+		failures, err := elsa.ReadFailures(tf)
+		tf.Close()
+		if err != nil {
+			return err
+		}
+		var testFailures []elsa.Failure
+		for _, fl := range failures {
+			if !fl.Time.Before(cut) {
+				testFailures = append(testFailures, fl)
+			}
+		}
+		outcome := elsa.Evaluate(result, testFailures, elsa.DefaultMatchConfig())
+		fmt.Print(outcome)
+	}
+	return nil
+}

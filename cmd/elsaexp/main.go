@@ -1,0 +1,79 @@
+// Command elsaexp regenerates the paper's tables and figures from the
+// synthetic substrate.
+//
+// Usage:
+//
+//	elsaexp -all                        # full report (EXPERIMENTS.md source)
+//	elsaexp -exp table3                 # one experiment
+//	elsaexp -exp fig9 -train-days 5 -test-days 11 -seed 42
+//	elsaexp -list                       # experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/elsa-hpc/elsa/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elsaexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		all       = flag.Bool("all", false, "run every experiment")
+		exp       = flag.String("exp", "", "run one experiment by id")
+		list      = flag.Bool("list", false, "list experiment ids")
+		csvDir    = flag.String("csv", "", "write per-figure CSV data files to this directory")
+		trainDays = flag.Int("train-days", experiments.Full.TrainDays, "training window, days")
+		testDays  = flag.Int("test-days", experiments.Full.TestDays, "test window, days")
+		seed      = flag.Int64("seed", experiments.Full.Seed, "campaign seed")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return nil
+	}
+	sc := experiments.Scale{TrainDays: *trainDays, TestDays: *testDays, Seed: *seed}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		files := experiments.CSVFiles(sc)
+		names := make([]string, 0, len(files))
+		for name := range files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			path := filepath.Join(*csvDir, name)
+			if err := os.WriteFile(path, []byte(files[name]), 0o644); err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+		return nil
+	}
+	if *all {
+		fmt.Print(experiments.Report(sc))
+		return nil
+	}
+	if *exp == "" {
+		return fmt.Errorf("pass -all, -list or -exp <id>")
+	}
+	out, err := experiments.Run(*exp, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}

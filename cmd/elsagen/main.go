@@ -1,0 +1,85 @@
+// Command elsagen generates a synthetic HPC system log with ground truth,
+// standing in for the gated Blue Gene/L and Mercury datasets.
+//
+// Usage:
+//
+//	elsagen -profile bgl -days 16 -seed 42 -out system.log -truth truth.jsonl
+//
+// The log is written in the canonical text format readable by the elsa
+// tool; the ground truth is JSON lines, one failure per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	elsa "github.com/elsa-hpc/elsa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elsagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		profile = flag.String("profile", "bgl", "machine profile: bgl or mercury")
+		days    = flag.Int("days", 16, "log duration in days")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		out     = flag.String("out", "system.log", "log output path ('-' for stdout)")
+		truth   = flag.String("truth", "", "ground-truth output path (JSON lines; empty = skip)")
+		startS  = flag.String("start", "2006-07-01T00:00:00Z", "log start time (RFC3339)")
+	)
+	flag.Parse()
+
+	start, err := time.Parse(time.RFC3339, *startS)
+	if err != nil {
+		return fmt.Errorf("bad -start: %w", err)
+	}
+	if *days <= 0 {
+		return fmt.Errorf("-days must be positive")
+	}
+
+	var prof elsa.MachineProfile
+	switch *profile {
+	case "bgl":
+		prof = elsa.BlueGeneLProfile()
+	case "mercury":
+		prof = elsa.MercuryProfile()
+	default:
+		return fmt.Errorf("unknown -profile %q (bgl or mercury)", *profile)
+	}
+
+	log := elsa.Generate(prof, *seed, start, time.Duration(*days)*24*time.Hour)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := elsa.WriteLog(w, log.Records); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "elsagen: %d records, %d ground-truth failures over %d days (%s)\n",
+		len(log.Records), len(log.Failures), *days, *profile)
+
+	if *truth != "" {
+		f, err := os.Create(*truth)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := elsa.WriteFailures(f, log.Failures); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+// Command elsamon is the online monitor daemon: it loads a trained model,
+// tails a log stream on stdin and prints failure forecasts as soon as they
+// fire — the deployment shape of the paper's online phase.
+//
+// Usage:
+//
+//	elsa -log history.log -train-days 5 -save model.json
+//	tail -f /var/log/system.log | elsamon -model model.json -format syslog
+//
+// Each prediction is printed as one line:
+//
+//	PREDICT <expected-time> lead=<window> scope=<scope> at=<trigger> event=<template>
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	elsa "github.com/elsa-hpc/elsa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elsamon:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modelPath = flag.String("model", "", "trained model (from elsa -save) (required)")
+		formatS   = flag.String("format", "canonical", "input format: canonical, bgl or syslog")
+		year      = flag.Int("year", 0, "year completing syslog timestamps (0 = current)")
+		showLate  = flag.Bool("late", false, "also print predictions whose window has already closed")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		return fmt.Errorf("-model is required")
+	}
+	format, err := elsa.ParseLogFormat(*formatS)
+	if err != nil {
+		return err
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	model, err := elsa.LoadModel(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "elsamon: model with %d event types, %d chains loaded; waiting for records on stdin\n",
+		model.EventCount(), len(model.PredictiveChains()))
+
+	var monitor *elsa.Monitor
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	dropped := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		rec, err := decode(line, format, *year)
+		if err != nil {
+			dropped++
+			continue
+		}
+		if monitor == nil {
+			// Anchor tick 0 at the first record's time.
+			monitor = model.NewMonitor(rec.Time.Truncate(10 * time.Second))
+		}
+		for _, p := range monitor.Feed(rec) {
+			emit(out, model, p, *showLate)
+		}
+		out.Flush()
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if monitor == nil {
+		return fmt.Errorf("no records received")
+	}
+	res := monitor.Close()
+	st := res.Stats
+	fmt.Fprintf(os.Stderr, "elsamon: %d records over %d ticks, %d predictions (%d late), %d undecodable lines\n",
+		st.Messages, st.Ticks, len(res.Predictions), st.LatePreds, dropped)
+	return nil
+}
+
+func decode(line string, format elsa.LogFormat, year int) (elsa.Record, error) {
+	recs, dropped, err := elsa.ReadLogFormat(strings.NewReader(line), format, year)
+	if err != nil {
+		return elsa.Record{}, err
+	}
+	if dropped > 0 || len(recs) != 1 {
+		return elsa.Record{}, fmt.Errorf("undecodable line")
+	}
+	return recs[0], nil
+}
+
+func emit(out *bufio.Writer, model *elsa.Model, p elsa.Prediction, showLate bool) {
+	if p.Late() && !showLate {
+		return
+	}
+	status := "PREDICT"
+	if p.Late() {
+		status = "LATE"
+	}
+	fmt.Fprintf(out, "%s %s lead=%s scope=%s at=%s event=%s\n",
+		status, p.ExpectedAt.Format(time.RFC3339), p.Lead.Round(time.Second),
+		p.Scope, p.Trigger, model.EventTemplate(p.Event))
+}

@@ -1,0 +1,258 @@
+package elsa
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var apiStart = time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	log := GenerateBGL(42, apiStart, 6*24*time.Hour)
+	cut := apiStart.Add(3 * 24 * time.Hour)
+	train, test, truth := log.Split(cut)
+
+	model := Train(train, apiStart, cut, DefaultTrainConfig())
+	if model.Mode() != Hybrid {
+		t.Errorf("Mode = %v", model.Mode())
+	}
+	if model.EventCount() == 0 {
+		t.Fatal("no templates mined")
+	}
+	if len(model.Chains()) == 0 {
+		t.Fatal("no chains")
+	}
+	if len(model.PredictiveChains()) == 0 {
+		t.Fatal("no predictive chains")
+	}
+	if !model.TrainEnd().Equal(cut) {
+		t.Errorf("TrainEnd = %v", model.TrainEnd())
+	}
+
+	result := model.Predict(test, cut, log.End)
+	if len(result.Predictions) == 0 {
+		t.Fatal("no predictions")
+	}
+
+	outcome := Evaluate(result, truth, DefaultMatchConfig())
+	if outcome.Precision <= 0 || outcome.Recall <= 0 {
+		t.Errorf("precision=%v recall=%v", outcome.Precision, outcome.Recall)
+	}
+	if !strings.Contains(outcome.String(), "precision") {
+		t.Error("outcome rendering broken")
+	}
+}
+
+func TestTrainHandlesUnsortedRecords(t *testing.T) {
+	log := GenerateBGL(43, apiStart, 24*time.Hour)
+	// Shuffle a copy (reverse is enough to violate order).
+	recs := append([]Record(nil), log.Records...)
+	for i, j := 0, len(recs)-1; i < j; i, j = i+1, j-1 {
+		recs[i], recs[j] = recs[j], recs[i]
+	}
+	model := Train(recs, apiStart, log.End, DefaultTrainConfig())
+	if model.EventCount() == 0 {
+		t.Error("training on unsorted records failed")
+	}
+	// The caller's slice must not be reordered.
+	if !recs[0].Time.After(recs[len(recs)-1].Time) {
+		t.Error("Train mutated the caller's slice order")
+	}
+}
+
+func TestEventTemplate(t *testing.T) {
+	log := GenerateBGL(44, apiStart, 24*time.Hour)
+	model := Train(log.Records, apiStart, log.End, DefaultTrainConfig())
+	if got := model.EventTemplate(0); got == "" {
+		t.Error("template 0 empty")
+	}
+	if got := model.EventTemplate(-1); got != "" {
+		t.Errorf("negative id template = %q", got)
+	}
+	if got := model.EventTemplate(1 << 20); got != "" {
+		t.Errorf("out-of-range template = %q", got)
+	}
+}
+
+func TestLogIORoundTrip(t *testing.T) {
+	log := GenerateBGL(45, apiStart, 2*time.Hour)
+	var sb strings.Builder
+	if err := WriteLog(&sb, log.Records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLog(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(log.Records) {
+		t.Fatalf("got %d records, want %d", len(back), len(log.Records))
+	}
+}
+
+func TestFailureIORoundTrip(t *testing.T) {
+	log := GenerateBGL(46, apiStart, 48*time.Hour)
+	if len(log.Failures) == 0 {
+		t.Fatal("no failures generated")
+	}
+	var sb strings.Builder
+	if err := WriteFailures(&sb, log.Failures); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFailures(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(log.Failures) {
+		t.Fatalf("got %d failures, want %d", len(back), len(log.Failures))
+	}
+	for i := range back {
+		if !back[i].Time.Equal(log.Failures[i].Time) || back[i].Category != log.Failures[i].Category {
+			t.Fatalf("failure %d mismatch", i)
+		}
+		if len(back[i].Locations) != len(log.Failures[i].Locations) {
+			t.Fatalf("failure %d locations mismatch", i)
+		}
+	}
+}
+
+func TestReadFailuresError(t *testing.T) {
+	if _, err := ReadFailures(strings.NewReader("{bad json")); err == nil {
+		t.Error("bad json accepted")
+	}
+}
+
+func TestPredictionIORoundTrip(t *testing.T) {
+	log := GenerateBGL(48, apiStart, 5*24*time.Hour)
+	cut := apiStart.Add(2 * 24 * time.Hour)
+	train, test, _ := log.Split(cut)
+	model := Train(train, apiStart, cut, DefaultTrainConfig())
+	result := model.Predict(test, cut, log.End)
+	if len(result.Predictions) == 0 {
+		t.Fatal("no predictions to round-trip")
+	}
+	var sb strings.Builder
+	if err := WritePredictions(&sb, result.Predictions); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPredictions(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(result.Predictions) {
+		t.Fatalf("got %d predictions, want %d", len(back), len(result.Predictions))
+	}
+	for i := range back {
+		a, b := back[i], result.Predictions[i]
+		if !a.ExpectedAt.Equal(b.ExpectedAt) || a.ChainKey != b.ChainKey ||
+			a.Trigger != b.Trigger || a.Scope != b.Scope || a.Lead != b.Lead {
+			t.Fatalf("prediction %d mismatch", i)
+		}
+	}
+	if _, err := ReadPredictions(strings.NewReader("{bad")); err == nil {
+		t.Error("bad json accepted")
+	}
+}
+
+func TestWorkloadAndAdviseFacade(t *testing.T) {
+	m := BlueGeneLMachine()
+	jobsList := GenerateWorkload(m, apiStart, apiStart.Add(24*time.Hour), DefaultWorkload())
+	if len(jobsList) == 0 {
+		t.Fatal("no jobs")
+	}
+	node := jobsList[0].Nodes[0]
+	pred := Prediction{
+		IssuedAt:   jobsList[0].Start.Add(time.Minute),
+		ExpectedAt: jobsList[0].Start.Add(30 * time.Minute),
+		Lead:       29 * time.Minute,
+		Trigger:    node,
+	}
+	rec := Advise(m, jobsList, pred, DefaultAvoidanceConfig())
+	if rec.Action == NoAction {
+		t.Errorf("29-minute window on a busy node should act, got %v", rec.Action)
+	}
+}
+
+func TestCheckpointFacade(t *testing.T) {
+	p := PaperCheckpointParams(time.Minute, 24*time.Hour)
+	if YoungInterval(p) <= 0 {
+		t.Error("YoungInterval non-positive")
+	}
+	pred := CheckpointPredictor{Recall: 0.458, Precision: 0.912}
+	gain := CheckpointWasteGain(p, pred)
+	if gain <= 0.1 || gain >= 0.5 {
+		t.Errorf("gain = %v for paper-level predictor", gain)
+	}
+	if MinWasteWithPrediction(p, pred) >= MinCheckpointWaste(p) {
+		t.Error("prediction did not reduce waste")
+	}
+	if CheckpointWaste(p, YoungInterval(p)) != MinCheckpointWaste(p) {
+		t.Error("waste at Young interval mismatch")
+	}
+	sim := SimulateCheckpointing(p, pred, YoungInterval(p), 30*24*time.Hour, 1)
+	if sim.Waste <= 0 || sim.Failures == 0 {
+		t.Errorf("sim = %+v", sim)
+	}
+}
+
+func TestMultiLevelFacade(t *testing.T) {
+	p := MultiLevelParams{
+		C1: 10 * time.Second, C2: 2 * time.Minute,
+		R1: 30 * time.Second, R2: 5 * time.Minute,
+		D:    time.Minute,
+		MTTF: 5 * time.Hour, LocalFraction: 0.8,
+	}
+	plan := OptimizeMultiLevel(p)
+	if plan.T1 <= 0 || plan.K < 1 || plan.Waste <= 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	gain := MultiLevelGain(p, CheckpointPredictor{Recall: 0.458, Precision: 0.912})
+	if gain <= 0 {
+		t.Errorf("gain = %v", gain)
+	}
+	if DalyInterval(PaperCheckpointParams(time.Minute, time.Hour)) <= 0 {
+		t.Error("Daly interval non-positive")
+	}
+}
+
+func TestBootstrapFacade(t *testing.T) {
+	log := GenerateBGL(49, apiStart, 5*24*time.Hour)
+	cut := apiStart.Add(2 * 24 * time.Hour)
+	train, test, truth := log.Split(cut)
+	model := Train(train, apiStart, cut, DefaultTrainConfig())
+	out := Evaluate(model.Predict(test, cut, log.End), truth, DefaultMatchConfig())
+	p, r := out.Bootstrap(500, 1)
+	if !p.Contains(out.Precision) {
+		t.Errorf("precision CI [%v,%v] misses point estimate %v", p.Lo, p.Hi, out.Precision)
+	}
+	if !r.Contains(out.Recall) {
+		t.Errorf("recall CI [%v,%v] misses point estimate %v", r.Lo, r.Hi, out.Recall)
+	}
+}
+
+func TestParseLocationFacade(t *testing.T) {
+	loc, err := ParseLocation("R00-M0-N0-C:J02-U01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.String() != "R00-M0-N0-C:J02-U01" {
+		t.Errorf("round trip = %q", loc)
+	}
+	if _, err := ParseLocation("R0x-"); err == nil {
+		t.Error("bad location accepted")
+	}
+}
+
+func TestMercuryGeneration(t *testing.T) {
+	log := GenerateMercury(47, apiStart, 24*time.Hour)
+	if len(log.Records) == 0 {
+		t.Fatal("no mercury records")
+	}
+	if log.Profile != "mercury" {
+		t.Errorf("profile = %q", log.Profile)
+	}
+	m := BlueGeneLMachine()
+	if m.NumNodes() != 65536 {
+		t.Errorf("BGL nodes = %d", m.NumNodes())
+	}
+}

@@ -1,0 +1,72 @@
+package elsa_test
+
+import (
+	"fmt"
+	"time"
+
+	elsa "github.com/elsa-hpc/elsa"
+)
+
+// The checkpoint model reproduces the paper's Table IV arithmetic: a
+// predictor with the paper's quality cuts the waste of a 1-day-MTTF
+// platform by about a fifth.
+func Example_checkpointModel() {
+	p := elsa.PaperCheckpointParams(time.Minute, 24*time.Hour)
+	pred := elsa.CheckpointPredictor{Recall: 0.458, Precision: 0.912}
+
+	fmt.Printf("Young interval: %s\n", elsa.YoungInterval(p).Round(time.Second))
+	fmt.Printf("waste without prediction: %.2f%%\n", 100*elsa.MinCheckpointWaste(p))
+	fmt.Printf("waste with prediction:    %.2f%%\n", 100*elsa.MinWasteWithPrediction(p, pred))
+	fmt.Printf("gain: %.2f%%\n", 100*elsa.CheckpointWasteGain(p, pred))
+	// Output:
+	// Young interval: 53m40s
+	// waste without prediction: 4.14%
+	// waste with prediction:    3.20%
+	// gain: 22.88%
+}
+
+// Location codes follow the Blue Gene convention: prefixes of the full
+// code name coarser components, and the scope lattice relates them.
+func Example_locationCodes() {
+	node, _ := elsa.ParseLocation("R12-M1-N03-C:J07-U01")
+	fmt.Println("node:", node)
+	fmt.Println("its node card:", node.Truncate(1)) // ScopeNodeCard
+	fmt.Println("its midplane:", node.Truncate(2))  // ScopeMidplane
+
+	card, _ := elsa.ParseLocation("R12-M1-N03")
+	fmt.Println("card contains node:", card.Contains(node))
+	// Output:
+	// node: R12-M1-N3-C:J07-U01
+	// its node card: R12-M1-N3
+	// its midplane: R12-M1
+	// card contains node: true
+}
+
+// Absence detection catches components that fail silently: feed the
+// heartbeats you have, poll for the ones you stopped getting.
+func Example_absenceDetection() {
+	start := time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+	mon := elsa.NewAbsenceMonitor(elsa.HeartbeatWatch{
+		Event:         7,
+		Period:        time.Minute,
+		MissThreshold: 3,
+	})
+	rack, _ := elsa.ParseLocation("R05")
+	// Five healthy beats, then silence.
+	for i := 0; i < 5; i++ {
+		mon.Observe(elsa.Record{
+			Time:     start.Add(time.Duration(i) * time.Minute),
+			EventID:  7,
+			Location: rack,
+		})
+	}
+	if alerts := mon.Check(start.Add(5 * time.Minute)); len(alerts) == 0 {
+		fmt.Println("healthy: no alerts one beat after the last")
+	}
+	for _, a := range mon.Check(start.Add(8 * time.Minute)) {
+		fmt.Printf("silent: %s missed %d beats\n", a.Location, a.Missed)
+	}
+	// Output:
+	// healthy: no alerts one beat after the last
+	// silent: R05 missed 4 beats
+}

@@ -1,0 +1,76 @@
+// Checkpoint advisor: the fault-tolerance planning scenario of the
+// paper's Section VI.B — given a predictor's measured precision and
+// recall, how much checkpoint-restart waste does failure avoidance save
+// across platforms, and does a discrete-event simulation agree with the
+// analytic model (equations 1-7)?
+//
+// Run with: go run ./examples/checkpoint_advisor
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	elsa "github.com/elsa-hpc/elsa"
+)
+
+func main() {
+	// The paper's Table IV predictor quality.
+	pred := elsa.CheckpointPredictor{Recall: 0.458, Precision: 0.912}
+	fmt.Printf("predictor: recall %.1f%%, precision %.1f%%\n\n",
+		100*pred.Recall, 100*pred.Precision)
+
+	fmt.Println("platform sweep (R=5min, D=1min):")
+	fmt.Printf("  %-10s %-10s %12s %12s %10s\n", "C", "MTTF", "waste(base)", "waste(pred)", "gain")
+	for _, c := range []time.Duration{time.Minute, 10 * time.Second} {
+		for _, mttf := range []time.Duration{24 * time.Hour, 5 * time.Hour, time.Hour} {
+			p := elsa.PaperCheckpointParams(c, mttf)
+			base := elsa.MinCheckpointWaste(p)
+			with := elsa.MinWasteWithPrediction(p, pred)
+			fmt.Printf("  %-10s %-10s %11.2f%% %11.2f%% %9.2f%%\n",
+				c, mttf, 100*base, 100*with, 100*elsa.CheckpointWasteGain(p, pred))
+		}
+	}
+
+	// Cross-check the closed forms with the event simulator.
+	fmt.Println("\nanalytic model vs discrete-event simulation (C=1min, MTTF=5h, 200 days of work):")
+	p := elsa.PaperCheckpointParams(time.Minute, 5*time.Hour)
+	work := 200 * 24 * time.Hour
+
+	baseSim := elsa.SimulateCheckpointing(p, elsa.CheckpointPredictor{}, elsa.YoungInterval(p), work, 1)
+	fmt.Printf("  no prediction:  analytic %.2f%%  simulated %.2f%%  (%d failures)\n",
+		100*elsa.MinCheckpointWaste(p), 100*baseSim.Waste, baseSim.Failures)
+
+	interval := optimalInterval(p, pred)
+	predSim := elsa.SimulateCheckpointing(p, pred, interval, work, 2)
+	fmt.Printf("  with prediction: analytic %.2f%%  simulated %.2f%%  (%d predicted, %d false alarms)\n",
+		100*elsa.MinWasteWithPrediction(p, pred), 100*predSim.Waste,
+		predSim.Predicted, predSim.FalseAlarms)
+
+	// Recommendation logic: when does prediction pay for itself?
+	fmt.Println("\nrecall needed for a 20% waste gain at C=1min:")
+	for _, mttf := range []time.Duration{24 * time.Hour, 12 * time.Hour, 5 * time.Hour} {
+		pp := elsa.PaperCheckpointParams(time.Minute, mttf)
+		for n := 0.05; n <= 1.0; n += 0.05 {
+			g := elsa.CheckpointWasteGain(pp, elsa.CheckpointPredictor{Recall: n, Precision: 0.92})
+			if g >= 0.20 {
+				fmt.Printf("  MTTF %-9s -> recall >= %.0f%%\n", mttf, 100*n)
+				break
+			}
+			if n > 0.99 {
+				fmt.Printf("  MTTF %-9s -> unreachable at 92%% precision\n", mttf)
+			}
+		}
+	}
+}
+
+// optimalInterval mirrors equation (4): sqrt(2 C MTTF / (1-N)).
+func optimalInterval(p elsa.CheckpointParams, pred elsa.CheckpointPredictor) time.Duration {
+	base := elsa.YoungInterval(p)
+	if pred.Recall >= 1 {
+		return base * 1000
+	}
+	scale := 1 / (1 - pred.Recall)
+	return time.Duration(float64(base) * math.Sqrt(scale))
+}

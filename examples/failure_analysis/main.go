@@ -1,0 +1,73 @@
+// Failure analysis: the system-administrator workload from the paper's
+// introduction — characterise a machine's event types, inspect the
+// correlation chains (which event sequences herald which failures, with
+// what lead time) and their propagation behaviour.
+//
+// Run with: go run ./examples/failure_analysis
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	elsa "github.com/elsa-hpc/elsa"
+)
+
+func main() {
+	start := time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+	log := elsa.GenerateBGL(7, start, 6*24*time.Hour)
+	model := elsa.Train(log.Records, start, log.End, elsa.DefaultTrainConfig())
+
+	fmt.Printf("=== %d event types mined from %d records ===\n\n", model.EventCount(), len(log.Records))
+
+	chains := model.Chains()
+	sort.Slice(chains, func(i, j int) bool { return chains[i].Span() > chains[j].Span() })
+
+	fmt.Println("=== correlation chains, longest lead first ===")
+	for _, ch := range chains {
+		lead := time.Duration(ch.Span()) * 10 * time.Second
+		kind := "informational"
+		if ch.Predictive {
+			kind = "PREDICTIVE"
+		}
+		fmt.Printf("\n%s chain — lead %s, support %d, confidence %.0f%%\n",
+			kind, lead, ch.Support, 100*ch.Confidence)
+		for i, it := range ch.Items {
+			prefix := "first "
+			if i > 0 {
+				prefix = fmt.Sprintf("+%-5s", time.Duration(it.Delay)*10*time.Second)
+			}
+			fmt.Printf("  %s  %s\n", prefix, model.EventTemplate(it.Event))
+		}
+	}
+
+	// Fault-avoidance guidance: which failures leave enough time to act?
+	fmt.Println("\n=== actionability ===")
+	for _, ch := range chains {
+		if !ch.Predictive {
+			continue
+		}
+		lead := time.Duration(ch.Span()) * 10 * time.Second
+		switch {
+		case lead >= time.Hour:
+			fmt.Printf("  %-22s lead %-9s -> full job migration possible\n", head(model, ch), lead)
+		case lead >= time.Minute:
+			fmt.Printf("  %-22s lead %-9s -> checkpoint + local restart\n", head(model, ch), lead)
+		case lead > 10*time.Second:
+			fmt.Printf("  %-22s lead %-9s -> fast (FTI-style) checkpoint only\n", head(model, ch), lead)
+		default:
+			fmt.Printf("  %-22s lead %-9s -> no proactive action possible\n", head(model, ch), lead)
+		}
+	}
+}
+
+// head returns a short label for a chain: the first words of its terminal
+// event template.
+func head(model *elsa.Model, ch elsa.Chain) string {
+	t := model.EventTemplate(ch.Last().Event)
+	if len(t) > 22 {
+		t = t[:22]
+	}
+	return t
+}

@@ -1,0 +1,67 @@
+// Online monitor: the operations-centre scenario — a model trained on
+// history watches the live stream day by day, raising failure forecasts
+// with their visible prediction window and location scope while tracking
+// the analysis-time budget (the paper's Section VI.A concern: predictions
+// are only useful if the analysis itself is fast enough).
+//
+// Run with: go run ./examples/online_monitor
+package main
+
+import (
+	"fmt"
+	"time"
+
+	elsa "github.com/elsa-hpc/elsa"
+)
+
+func main() {
+	start := time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+	log := elsa.GenerateBGL(99, start, 7*24*time.Hour)
+	cut := start.Add(3 * 24 * time.Hour)
+	train, test, _ := log.Split(cut)
+
+	model := elsa.Train(train, start, cut, elsa.DefaultTrainConfig())
+	fmt.Printf("monitor armed with %d predictive chains\n\n", len(model.PredictiveChains()))
+
+	// Replay the live stream one day at a time, as an ops shift would see
+	// it.
+	for day := 0; ; day++ {
+		dayStart := cut.Add(time.Duration(day) * 24 * time.Hour)
+		dayEnd := dayStart.Add(24 * time.Hour)
+		if !dayStart.Before(log.End) {
+			break
+		}
+		if dayEnd.After(log.End) {
+			dayEnd = log.End
+		}
+		var window []elsa.Record
+		for _, r := range test {
+			if !r.Time.Before(dayStart) && r.Time.Before(dayEnd) {
+				window = append(window, r)
+			}
+		}
+		result := model.Predict(window, dayStart, dayEnd)
+		st := result.Stats
+
+		fmt.Printf("=== shift %s: %d msgs, mean analysis %.1f ms, worst %s ===\n",
+			dayStart.Format("Jan 02"), st.Messages,
+			1000*st.Analysis.Mean(), st.MaxAnalysis.Round(time.Millisecond))
+		for _, p := range result.Predictions {
+			if p.Late() {
+				fmt.Printf("  [too late] %s (analysis %s ate the window)\n",
+					short(model.EventTemplate(p.Event)), p.AnalysisTime.Round(time.Millisecond))
+				continue
+			}
+			fmt.Printf("  [%s lead] %s @ %s (scope %s)\n",
+				p.Lead.Round(time.Second), short(model.EventTemplate(p.Event)),
+				p.Trigger, p.Scope)
+		}
+	}
+}
+
+func short(s string) string {
+	if len(s) > 46 {
+		return s[:46] + "..."
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+// Quickstart: generate a synthetic Blue Gene/L-style log, train the hybrid
+// prediction model on the first days, predict failures in the rest, and
+// score the predictions against ground truth.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	elsa "github.com/elsa-hpc/elsa"
+)
+
+func main() {
+	start := time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+
+	// Ten days of system life: background daemons, fault cascades, bursts.
+	log := elsa.GenerateBGL(42, start, 10*24*time.Hour)
+	fmt.Printf("generated %d records, %d real failures\n", len(log.Records), len(log.Failures))
+
+	// Train on the first four days.
+	cut := start.Add(4 * 24 * time.Hour)
+	train, test, truth := log.Split(cut)
+	model := elsa.Train(train, start, cut, elsa.DefaultTrainConfig())
+	fmt.Printf("mined %d event types, %d correlation chains (%d predictive)\n",
+		model.EventCount(), len(model.Chains()), len(model.PredictiveChains()))
+
+	// Show one chain with its message templates.
+	for _, ch := range model.PredictiveChains() {
+		if ch.Size() >= 3 {
+			fmt.Println("\nexample chain:")
+			for _, it := range ch.Items {
+				fmt.Printf("  +%-6s %s\n", time.Duration(it.Delay)*10*time.Second, model.EventTemplate(it.Event))
+			}
+			break
+		}
+	}
+
+	// Online phase over the remaining days.
+	result := model.Predict(test, cut, log.End)
+	fmt.Printf("\nemitted %d predictions (%d too late to act on)\n",
+		len(result.Predictions), result.Stats.LatePreds)
+
+	// Score against ground truth.
+	outcome := elsa.Evaluate(result, truth, elsa.DefaultMatchConfig())
+	fmt.Printf("\n%s", outcome)
+
+	// What the predictor is worth to a checkpointing system (paper eq 7).
+	p := elsa.PaperCheckpointParams(time.Minute, 24*time.Hour)
+	pred := elsa.CheckpointPredictor{Recall: outcome.Recall, Precision: outcome.Precision}
+	fmt.Printf("\ncheckpoint waste gain on a 1-day-MTTF system: %.1f%%\n",
+		100*elsa.CheckpointWasteGain(p, pred))
+}

@@ -1,0 +1,47 @@
+package elsa
+
+import (
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/gen"
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+// SyntheticLog is a generated log with ground truth, standing in for the
+// gated Blue Gene/L and Mercury datasets.
+type SyntheticLog = gen.Result
+
+// MachineProfile describes a synthetic system (topology, background
+// daemons, fault archetypes).
+type MachineProfile = gen.Profile
+
+// BlueGeneLProfile returns the Blue Gene/L-style machine profile used by
+// the experiments.
+func BlueGeneLProfile() MachineProfile { return gen.BlueGeneL() }
+
+// MercuryProfile returns the flat-cluster profile modelled on NCSA
+// Mercury.
+func MercuryProfile() MachineProfile { return gen.Mercury() }
+
+// Generate produces a synthetic log for the given profile and window.
+func Generate(profile MachineProfile, seed int64, start time.Time, dur time.Duration) *SyntheticLog {
+	return gen.New(profile, seed).Generate(start, dur)
+}
+
+// GenerateBGL is Generate with the Blue Gene/L profile.
+func GenerateBGL(seed int64, start time.Time, dur time.Duration) *SyntheticLog {
+	return Generate(gen.BlueGeneL(), seed, start, dur)
+}
+
+// GenerateMercury is Generate with the Mercury profile.
+func GenerateMercury(seed int64, start time.Time, dur time.Duration) *SyntheticLog {
+	return Generate(gen.Mercury(), seed, start, dur)
+}
+
+// BlueGeneLMachine returns the machine shape (racks, midplanes, node
+// cards, nodes) of the BG/L profile.
+func BlueGeneLMachine() topology.Machine { return topology.BlueGeneL() }
+
+// ParseLocation decodes a location code ("R00-M0-N0-C:J02-U01",
+// "tg-c042", "SYSTEM").
+func ParseLocation(s string) (Location, error) { return topology.Parse(s) }

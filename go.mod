@@ -1,0 +1,3 @@
+module github.com/elsa-hpc/elsa
+
+go 1.22

@@ -1,0 +1,121 @@
+package absence
+
+import (
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+var t0 = time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func beat(at time.Time, event int, loc string) logs.Record {
+	return logs.Record{Time: at, EventID: event, Location: topology.MustParse(loc)}
+}
+
+func TestAlertAfterMissedBeats(t *testing.T) {
+	m := NewMonitor(Watch{Event: 7, Period: 2 * time.Minute, MissThreshold: 3})
+	for i := 0; i < 5; i++ {
+		m.Observe(beat(t0.Add(time.Duration(i)*2*time.Minute), 7, "R05"))
+	}
+	lastBeat := t0.Add(8 * time.Minute)
+	// Two periods later: no alert yet.
+	if got := m.Check(lastBeat.Add(4 * time.Minute)); len(got) != 0 {
+		t.Fatalf("premature alerts: %v", got)
+	}
+	// Three periods later: alert.
+	alerts := m.Check(lastBeat.Add(6 * time.Minute))
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	a := alerts[0]
+	if a.Location.String() != "R05" || a.Missed != 3 {
+		t.Errorf("alert = %+v", a)
+	}
+	if a.Latency() != 6*time.Minute {
+		t.Errorf("Latency = %v", a.Latency())
+	}
+	// Alert only fires once per silence.
+	if got := m.Check(lastBeat.Add(10 * time.Minute)); len(got) != 0 {
+		t.Errorf("duplicate alert: %v", got)
+	}
+}
+
+func TestReturningBeatRearms(t *testing.T) {
+	m := NewMonitor(Watch{Event: 7, Period: time.Minute})
+	m.Observe(beat(t0, 7, "R01"))
+	if got := m.Check(t0.Add(5 * time.Minute)); len(got) != 1 {
+		t.Fatalf("first silence not alerted: %v", got)
+	}
+	// The rack comes back, then dies again: a second alert must fire.
+	m.Observe(beat(t0.Add(6*time.Minute), 7, "R01"))
+	if got := m.Check(t0.Add(7 * time.Minute)); len(got) != 0 {
+		t.Fatal("alert while healthy")
+	}
+	if got := m.Check(t0.Add(12 * time.Minute)); len(got) != 1 {
+		t.Fatalf("second silence not alerted: %v", got)
+	}
+}
+
+func TestPerLocationIndependence(t *testing.T) {
+	m := NewMonitor(Watch{Event: 7, Period: time.Minute})
+	m.Observe(beat(t0, 7, "R01"))
+	m.Observe(beat(t0, 7, "R02"))
+	// R02 keeps beating, R01 dies.
+	for i := 1; i <= 10; i++ {
+		m.Observe(beat(t0.Add(time.Duration(i)*time.Minute), 7, "R02"))
+	}
+	alerts := m.Check(t0.Add(10 * time.Minute))
+	if len(alerts) != 1 || alerts[0].Location.String() != "R01" {
+		t.Fatalf("alerts = %v, want only R01", alerts)
+	}
+	if m.Tracked() != 2 {
+		t.Errorf("Tracked = %d", m.Tracked())
+	}
+}
+
+func TestUnwatchedEventsIgnored(t *testing.T) {
+	m := NewMonitor(Watch{Event: 7, Period: time.Minute})
+	m.Observe(beat(t0, 99, "R01"))
+	if m.Tracked() != 0 {
+		t.Error("unwatched event tracked")
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	// Two racks beating every minute; R03 stops after 10 minutes.
+	var recs []logs.Record
+	end := t0.Add(30 * time.Minute)
+	for i := 0; ; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		if !at.Before(end) {
+			break
+		}
+		recs = append(recs, beat(at, 7, "R04"))
+		if at.Before(t0.Add(10 * time.Minute)) {
+			recs = append(recs, beat(at, 7, "R03"))
+		}
+	}
+	logs.SortByTime(recs)
+	m := NewMonitor(Watch{Event: 7, Period: time.Minute, MissThreshold: 3})
+	alerts := m.Run(recs, t0, end, 30*time.Second)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %v, want one (R03)", alerts)
+	}
+	if alerts[0].Location.String() != "R03" {
+		t.Errorf("alerted %v", alerts[0].Location)
+	}
+	// Detection should come ~3 periods after the last beat, within one
+	// cadence step of slack.
+	if lat := alerts[0].Latency(); lat < 3*time.Minute || lat > 3*time.Minute+time.Minute {
+		t.Errorf("latency = %v, want ~3min", lat)
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	m := NewMonitor(Watch{Event: 1, Period: time.Minute})
+	if m.watches[1].MissThreshold != 3 {
+		t.Errorf("default threshold = %d", m.watches[1].MissThreshold)
+	}
+}

@@ -1,0 +1,212 @@
+package adapters
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/logs"
+)
+
+const rasLine = "- 1117838570 2005.06.03 R02-M1-N0-C:J12-U11 2005-06-03-15.42.50.363779 R02-M1-N0-C:J12-U11 RAS KERNEL INFO instruction cache parity error corrected"
+
+func TestParseBGL(t *testing.T) {
+	rec, err := ParseBGL(rasLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2005, 6, 3, 15, 42, 50, 363779000, time.UTC)
+	if !rec.Time.Equal(want) {
+		t.Errorf("Time = %v, want %v", rec.Time, want)
+	}
+	if rec.Location.String() != "R02-M1-N0-C:J12-U11" {
+		t.Errorf("Location = %v", rec.Location)
+	}
+	if rec.Component != "KERNEL" {
+		t.Errorf("Component = %q", rec.Component)
+	}
+	if rec.Severity != logs.Info {
+		t.Errorf("Severity = %v", rec.Severity)
+	}
+	if rec.Message != "instruction cache parity error corrected" {
+		t.Errorf("Message = %q", rec.Message)
+	}
+	if rec.EventID != -1 {
+		t.Errorf("EventID = %d", rec.EventID)
+	}
+}
+
+func TestParseBGLSeverities(t *testing.T) {
+	for lvl, want := range map[string]logs.Severity{
+		"INFO": logs.Info, "WARNING": logs.Warning, "ERROR": logs.Error,
+		"SEVERE": logs.Severe, "FATAL": logs.Failure, "FAILURE": logs.Failure,
+		"DEBUG": logs.Info,
+	} {
+		line := strings.Replace(rasLine, " INFO ", " "+lvl+" ", 1)
+		rec, err := ParseBGL(line)
+		if err != nil {
+			t.Fatalf("%s: %v", lvl, err)
+		}
+		if rec.Severity != want {
+			t.Errorf("%s -> %v, want %v", lvl, rec.Severity, want)
+		}
+	}
+}
+
+func TestParseBGLErrors(t *testing.T) {
+	for _, line := range []string{
+		"too short",
+		"- 1 2005.06.03 R02-M1-N0-C:J12-U11 notatime R02 RAS KERNEL INFO msg",
+		"- 1 2005.06.03 R0x 2005-06-03-15.42.50.363779 R02 RAS KERNEL INFO msg",
+		"- 1 2005.06.03 R02-M1-N0-C:J12-U11 2005-06-03-15.42.50.363779 R02 RAS KERNEL WAT msg",
+	} {
+		if _, err := ParseBGL(line); err == nil {
+			t.Errorf("ParseBGL(%q): expected error", line)
+		}
+	}
+}
+
+func TestParseSyslog(t *testing.T) {
+	rec, err := ParseSyslog("Jun  3 15:42:50 tg-c042 kernel: nfs server not responding",
+		SyslogConfig{Year: 2006})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2006, 6, 3, 15, 42, 50, 0, time.UTC)
+	if !rec.Time.Equal(want) {
+		t.Errorf("Time = %v, want %v", rec.Time, want)
+	}
+	if rec.Location.String() != "tg-c042" {
+		t.Errorf("Location = %v", rec.Location)
+	}
+	if rec.Component != "KERNEL" {
+		t.Errorf("Component = %q", rec.Component)
+	}
+	if rec.Message != "nfs server not responding" {
+		t.Errorf("Message = %q", rec.Message)
+	}
+	if rec.Severity != logs.Warning {
+		t.Errorf("Severity = %v (not responding should be a warning)", rec.Severity)
+	}
+}
+
+func TestParseSyslogTagWithPid(t *testing.T) {
+	rec, err := ParseSyslog("Jun  3 15:42:50 tg-c001 pbs_mom[1234]: session started",
+		SyslogConfig{Year: 2006})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Component != "PBS_MOM" {
+		t.Errorf("Component = %q", rec.Component)
+	}
+}
+
+func TestParseSyslogNoTag(t *testing.T) {
+	rec, err := ParseSyslog("Jun  3 15:42:50 tg-c001 free-form message body",
+		SyslogConfig{Year: 2006})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Component != "" {
+		t.Errorf("Component = %q, want empty", rec.Component)
+	}
+	if rec.Message != "free-form message body" {
+		t.Errorf("Message = %q", rec.Message)
+	}
+}
+
+func TestInferSeverity(t *testing.T) {
+	cases := map[string]logs.Severity{
+		"kernel panic - not syncing":    logs.Failure,
+		"ext3-fs error reading inode":   logs.Error,
+		"temperature warning on cpu0":   logs.Warning,
+		"critical voltage deviation":    logs.Severe,
+		"session opened for user root":  logs.Info,
+		"operation timed out after 30s": logs.Warning,
+		"raid array failed on /dev/sdb": logs.Failure,
+	}
+	for msg, want := range cases {
+		if got := inferSeverity(msg); got != want {
+			t.Errorf("inferSeverity(%q) = %v, want %v", msg, got, want)
+		}
+	}
+}
+
+func TestParseSyslogErrors(t *testing.T) {
+	for _, line := range []string{
+		"short",
+		"NotAMonth 3 15:42:50 host msg",
+		"Jun  3 15:42:50 onlyhost",
+	} {
+		if _, err := ParseSyslog(line, SyslogConfig{Year: 2006}); err == nil {
+			t.Errorf("ParseSyslog(%q): expected error", line)
+		}
+	}
+}
+
+func TestReaderBGLStream(t *testing.T) {
+	input := rasLine + "\n# comment\n\n" + rasLine + "\n"
+	r := NewReader(strings.NewReader(input), BGL, SyslogConfig{})
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+}
+
+func TestReaderSkipMalformed(t *testing.T) {
+	input := rasLine + "\ngarbage line\n" + rasLine + "\n"
+	r := NewReader(strings.NewReader(input), BGL, SyslogConfig{})
+	r.SkipMalformed = true
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || r.Dropped != 1 {
+		t.Errorf("records=%d dropped=%d", len(recs), r.Dropped)
+	}
+}
+
+func TestReaderFailsOnMalformedByDefault(t *testing.T) {
+	input := "garbage\n"
+	r := NewReader(strings.NewReader(input), BGL, SyslogConfig{})
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Error("expected decode error")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for s, want := range map[string]Format{
+		"bgl": BGL, "RAS": BGL, "syslog": Syslog, "canonical": Canonical, "": Canonical,
+	} {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("bogus"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if BGL.String() != "bgl" || Syslog.String() != "syslog" || Canonical.String() != "canonical" {
+		t.Error("format names wrong")
+	}
+	if Format(99).String() != "unknown" {
+		t.Error("unknown format name wrong")
+	}
+}
+
+func TestReaderCanonical(t *testing.T) {
+	rec := logs.Record{Time: time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC),
+		Severity: logs.Severe, Message: "msg body", EventID: -1}
+	r := NewReader(strings.NewReader(rec.String()+"\n"), Canonical, SyslogConfig{})
+	recs, err := r.ReadAll()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs=%d err=%v", len(recs), err)
+	}
+	if recs[0].Message != "msg body" {
+		t.Errorf("Message = %q", recs[0].Message)
+	}
+}

@@ -1,0 +1,41 @@
+package adapters
+
+import "testing"
+
+// FuzzParseBGL ensures no RAS input can panic the parser and accepted
+// records always carry sane fields.
+func FuzzParseBGL(f *testing.F) {
+	f.Add(rasLine)
+	f.Add("- 1 2005.06.03 R02 x R02 RAS KERNEL INFO msg")
+	f.Add("short")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseBGL(line)
+		if err != nil {
+			return
+		}
+		if rec.EventID != -1 {
+			t.Fatal("fresh record must have EventID -1")
+		}
+		if rec.Time.IsZero() {
+			t.Fatal("accepted record with zero time")
+		}
+	})
+}
+
+// FuzzParseSyslog ensures no syslog input can panic the parser.
+func FuzzParseSyslog(f *testing.F) {
+	f.Add("Jun  3 15:42:50 tg-c042 kernel: nfs server not responding")
+	f.Add("Jun  3 15:42:50 host msg")
+	f.Add("Xxx  3 15:42:50 host msg")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseSyslog(line, SyslogConfig{Year: 2006})
+		if err != nil {
+			return
+		}
+		if rec.Message == "" && rec.Component == "" {
+			t.Fatal("accepted record with no content")
+		}
+	})
+}

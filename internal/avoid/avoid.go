@@ -1,0 +1,158 @@
+// Package avoid turns predictions into failure-avoidance actions — the
+// consumer side the paper motivates: "For checkpointing strategies,
+// prediction with location information will allow the system to
+// checkpoint data only on the failed components. For migration, only the
+// tasks on failure prone components should be migrated." Given the active
+// job set and a prediction, the advisor decides between migrating the
+// affected tasks, checkpointing them in place, or doing nothing when the
+// window is too short, and finds migration targets outside the predicted
+// blast radius.
+package avoid
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/jobs"
+	"github.com/elsa-hpc/elsa/internal/predict"
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+// Action is the avoidance measure recommended for one prediction.
+type Action int
+
+// Possible recommendations.
+const (
+	// NoAction: the visible window is too short for any measure.
+	NoAction Action = iota
+	// CheckpointOnly: enough time to checkpoint the affected tasks
+	// locally, not enough (or no room) to migrate them.
+	CheckpointOnly
+	// Migrate: enough time and capacity to move the affected tasks off
+	// the failure-prone components.
+	Migrate
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case NoAction:
+		return "no-action"
+	case CheckpointOnly:
+		return "checkpoint"
+	case Migrate:
+		return "migrate"
+	default:
+		return "invalid"
+	}
+}
+
+// Config carries the cost model of the avoidance measures.
+type Config struct {
+	// MigrationCost is the time to live-migrate one job's processes
+	// (Wang et al.'s proactive process-level migration is in minutes).
+	MigrationCost time.Duration
+	// CheckpointCost is the time to checkpoint one job locally.
+	CheckpointCost time.Duration
+	// SafetyFactor scales the required window over the raw action cost.
+	SafetyFactor float64
+}
+
+// DefaultConfig returns costs consistent with the paper's discussion:
+// checkpointing a medium job in about a minute, migration a few times
+// that.
+func DefaultConfig() Config {
+	return Config{
+		MigrationCost:  4 * time.Minute,
+		CheckpointCost: time.Minute,
+		SafetyFactor:   1.25,
+	}
+}
+
+// Recommendation is the advisor's output for one prediction.
+type Recommendation struct {
+	Action   Action
+	Affected []jobs.Job // jobs with nodes inside the predicted scope
+	// Targets are free nodes outside the blast radius, one per affected
+	// node, when Action == Migrate.
+	Targets []topology.Location
+	// SavedNodeHours estimates the work protected by acting (affected
+	// node-hours of progress since the jobs' last checkpoints are not
+	// known here, so this is the remaining scheduled work).
+	SavedNodeHours float64
+}
+
+// String renders the recommendation.
+func (r Recommendation) String() string {
+	return fmt.Sprintf("%s: %d jobs affected, %d targets, %.1f node-hours at stake",
+		r.Action, len(r.Affected), len(r.Targets), r.SavedNodeHours)
+}
+
+// Advise decides the avoidance measure for one prediction given the
+// currently active jobs.
+func Advise(m topology.Machine, active []jobs.Job, pred predict.Prediction, cfg Config) Recommendation {
+	area := pred.Trigger.Truncate(pred.Scope)
+	var rec Recommendation
+
+	// Affected jobs and their nodes inside the blast radius.
+	affectedNodes := 0
+	busy := make(map[topology.Location]bool)
+	for i := range active {
+		j := &active[i]
+		hit := false
+		for _, n := range j.Nodes {
+			busy[n] = true
+			if area.Contains(n) {
+				hit = true
+				affectedNodes++
+			}
+		}
+		if hit {
+			rec.Affected = append(rec.Affected, *j)
+			remaining := j.End.Sub(pred.ExpectedAt)
+			if remaining > 0 {
+				rec.SavedNodeHours += float64(len(j.Nodes)) * remaining.Hours()
+			}
+		}
+	}
+	if len(rec.Affected) == 0 {
+		rec.Action = NoAction
+		return rec
+	}
+
+	window := pred.Lead
+	needMigrate := time.Duration(float64(cfg.MigrationCost) * cfg.SafetyFactor)
+	needCkpt := time.Duration(float64(cfg.CheckpointCost) * cfg.SafetyFactor)
+
+	if window >= needMigrate {
+		if targets := freeNodesOutside(m, area, busy, affectedNodes); len(targets) >= affectedNodes {
+			rec.Action = Migrate
+			rec.Targets = targets
+			return rec
+		}
+	}
+	if window >= needCkpt {
+		rec.Action = CheckpointOnly
+		return rec
+	}
+	rec.Action = NoAction
+	return rec
+}
+
+// freeNodesOutside returns up to want nodes that are idle and outside the
+// blast radius, scanning the machine in enumeration order.
+func freeNodesOutside(m topology.Machine, area topology.Location, busy map[topology.Location]bool, want int) []topology.Location {
+	if want <= 0 {
+		return nil
+	}
+	var out []topology.Location
+	n := m.NumNodes()
+	for i := 0; i < n && len(out) < want; i++ {
+		node := m.NodeByIndex(i)
+		if busy[node] || area.Contains(node) {
+			continue
+		}
+		out = append(out, node)
+	}
+	return out
+}

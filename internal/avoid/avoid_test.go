@@ -1,0 +1,127 @@
+package avoid
+
+import (
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/jobs"
+	"github.com/elsa-hpc/elsa/internal/predict"
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+var t0 = time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func job(id int, start time.Time, dur time.Duration, nodes ...string) jobs.Job {
+	j := jobs.Job{ID: id, Start: start, End: start.Add(dur)}
+	for _, n := range nodes {
+		j.Nodes = append(j.Nodes, topology.MustParse(n))
+	}
+	return j
+}
+
+func pred(lead time.Duration, trigger string, scope topology.Scope) predict.Prediction {
+	issued := t0.Add(time.Hour)
+	return predict.Prediction{
+		IssuedAt:   issued,
+		ExpectedAt: issued.Add(lead),
+		Lead:       lead,
+		Trigger:    topology.MustParse(trigger),
+		Scope:      scope,
+	}
+}
+
+func TestAdviseMigrateWithLongWindow(t *testing.T) {
+	m := topology.BlueGeneL()
+	active := []jobs.Job{
+		job(0, t0, 10*time.Hour, "R00-M0-N0-C:J00-U00", "R00-M0-N0-C:J01-U00"),
+		job(1, t0, 10*time.Hour, "R50-M1-N3-C:J05-U00"),
+	}
+	p := pred(45*time.Minute, "R00-M0-N0", topology.ScopeNodeCard)
+	rec := Advise(m, active, p, DefaultConfig())
+	if rec.Action != Migrate {
+		t.Fatalf("Action = %v, want migrate", rec.Action)
+	}
+	if len(rec.Affected) != 1 || rec.Affected[0].ID != 0 {
+		t.Errorf("Affected = %+v", rec.Affected)
+	}
+	if len(rec.Targets) < 2 {
+		t.Fatalf("targets = %d, want >= 2", len(rec.Targets))
+	}
+	area := p.Trigger.Truncate(p.Scope)
+	for _, tgt := range rec.Targets {
+		if area.Contains(tgt) {
+			t.Errorf("target %v inside blast radius", tgt)
+		}
+		for _, j := range active {
+			for _, n := range j.Nodes {
+				if n == tgt {
+					t.Errorf("target %v is busy", tgt)
+				}
+			}
+		}
+	}
+	if rec.SavedNodeHours <= 0 {
+		t.Error("no node-hours at stake recorded")
+	}
+}
+
+func TestAdviseCheckpointWithShortWindow(t *testing.T) {
+	m := topology.BlueGeneL()
+	active := []jobs.Job{job(0, t0, 10*time.Hour, "R00-M0-N0-C:J00-U00")}
+	// 90 seconds: above checkpoint cost (75 s with safety), below
+	// migration (5 min).
+	p := pred(90*time.Second, "R00-M0-N0-C:J00-U00", topology.ScopeNode)
+	rec := Advise(m, active, p, DefaultConfig())
+	if rec.Action != CheckpointOnly {
+		t.Fatalf("Action = %v, want checkpoint", rec.Action)
+	}
+	if len(rec.Targets) != 0 {
+		t.Error("checkpoint recommendation should have no targets")
+	}
+}
+
+func TestAdviseNoActionWhenTooLate(t *testing.T) {
+	m := topology.BlueGeneL()
+	active := []jobs.Job{job(0, t0, 10*time.Hour, "R00-M0-N0-C:J00-U00")}
+	p := pred(10*time.Second, "R00-M0-N0-C:J00-U00", topology.ScopeNode)
+	rec := Advise(m, active, p, DefaultConfig())
+	if rec.Action != NoAction {
+		t.Fatalf("Action = %v, want no-action", rec.Action)
+	}
+}
+
+func TestAdviseNoAffectedJobs(t *testing.T) {
+	m := topology.BlueGeneL()
+	active := []jobs.Job{job(0, t0, 10*time.Hour, "R63-M1-N15-C:J31-U00")}
+	p := pred(time.Hour, "R00-M0-N0", topology.ScopeNodeCard)
+	rec := Advise(m, active, p, DefaultConfig())
+	if rec.Action != NoAction || len(rec.Affected) != 0 {
+		t.Fatalf("rec = %+v, want no-action/empty", rec)
+	}
+}
+
+func TestAdviseSystemWidePredictionCannotMigrate(t *testing.T) {
+	// A system-scope prediction leaves nowhere to migrate to: with a
+	// long window the advisor must still fall back to checkpointing.
+	m := topology.BlueGeneL()
+	active := []jobs.Job{job(0, t0, 10*time.Hour, "R00-M0-N0-C:J00-U00")}
+	p := pred(time.Hour, "SYSTEM", topology.ScopeSystem)
+	rec := Advise(m, active, p, DefaultConfig())
+	if rec.Action != CheckpointOnly {
+		t.Fatalf("Action = %v, want checkpoint fallback", rec.Action)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if NoAction.String() != "no-action" || CheckpointOnly.String() != "checkpoint" ||
+		Migrate.String() != "migrate" || Action(9).String() != "invalid" {
+		t.Error("action names wrong")
+	}
+}
+
+func TestRecommendationString(t *testing.T) {
+	rec := Recommendation{Action: Migrate, SavedNodeHours: 12.5}
+	if s := rec.String(); s == "" {
+		t.Error("empty rendering")
+	}
+}

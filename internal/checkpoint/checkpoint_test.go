@@ -1,0 +1,208 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestYoungInterval(t *testing.T) {
+	p := PaperParams(time.Minute, 24*time.Hour)
+	// sqrt(2 * 1 * 1440) = 53.67 minutes.
+	want := 53.6656 * float64(time.Minute)
+	if got := YoungInterval(p); !almostEq(float64(got), want, float64(time.Second)) {
+		t.Errorf("YoungInterval = %v", got)
+	}
+}
+
+func TestWasteMinimisedAtYoung(t *testing.T) {
+	p := PaperParams(time.Minute, 24*time.Hour)
+	tOpt := YoungInterval(p)
+	wOpt := Waste(p, tOpt)
+	if got := MinWaste(p); !almostEq(got, wOpt, 1e-9) {
+		t.Errorf("MinWaste = %v, Waste(Topt) = %v", got, wOpt)
+	}
+	for _, f := range []float64{0.5, 0.8, 1.25, 2} {
+		other := time.Duration(float64(tOpt) * f)
+		if f != 1 && Waste(p, other) < wOpt {
+			t.Errorf("waste at %v below optimum", other)
+		}
+	}
+	if !math.IsInf(Waste(p, 0), 1) {
+		t.Error("zero interval should be infinite waste")
+	}
+}
+
+func TestEffectiveMTTF(t *testing.T) {
+	p := PaperParams(time.Minute, 24*time.Hour)
+	// 25% recall -> 4/3 day.
+	got := EffectiveMTTF(p, Predictor{Recall: 0.25})
+	want := time.Duration(float64(24*time.Hour) * 4 / 3)
+	if !almostEq(float64(got), float64(want), float64(time.Second)) {
+		t.Errorf("EffectiveMTTF = %v, want %v", got, want)
+	}
+	if EffectiveMTTF(p, Predictor{Recall: 1}) < 24*time.Hour*1000 {
+		t.Error("recall 1 should yield effectively infinite MTTF")
+	}
+}
+
+func TestOptimalIntervalGrowsWithRecall(t *testing.T) {
+	p := PaperParams(time.Minute, 24*time.Hour)
+	prev := time.Duration(0)
+	for _, n := range []float64{0, 0.2, 0.5, 0.8} {
+		got := OptimalInterval(p, Predictor{Recall: n})
+		if got <= prev {
+			t.Errorf("interval not increasing at recall %v", n)
+		}
+		prev = got
+	}
+	if got := OptimalInterval(p, Predictor{Recall: 0}); !almostEq(float64(got), float64(YoungInterval(p)), 1) {
+		t.Error("zero recall should reduce to Young's interval")
+	}
+}
+
+func TestPerfectPredictionWaste(t *testing.T) {
+	// With N=1, P=1 the minimum waste is one checkpoint plus one restart
+	// per failure: (C + R + D)/MTTF.
+	p := PaperParams(time.Minute, 24*time.Hour)
+	got := MinWasteWithPrediction(p, Predictor{Recall: 1, Precision: 1})
+	want := (1.0 + 5.0 + 1.0) / 1440.0
+	if !almostEq(got, want, 1e-12) {
+		t.Errorf("perfect prediction waste = %v, want %v", got, want)
+	}
+}
+
+func TestPredictionAlwaysHelpsAtGoodPrecision(t *testing.T) {
+	p := PaperParams(time.Minute, 24*time.Hour)
+	base := MinWaste(p)
+	for _, n := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		w := MinWasteWithPrediction(p, Predictor{Recall: n, Precision: 0.92})
+		if w >= base {
+			t.Errorf("recall %v: waste %v not below baseline %v", n, w, base)
+		}
+	}
+}
+
+func TestTableIVMatchesPaperRows(t *testing.T) {
+	rows := TableIV()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Rows 0, 1, 4, 5 match the published numbers to ~0.1 pp.
+	for _, i := range []int{0, 1, 4, 5} {
+		if !almostEq(rows[i].Gain, rows[i].PaperGain, 0.001) {
+			t.Errorf("row %d: gain %.4f, paper %.4f", i, rows[i].Gain, rows[i].PaperGain)
+		}
+	}
+	// Rows 2 and 3 disagree with the printed values but must preserve the
+	// ordering (more recall => more gain at fixed C and MTTF).
+	if rows[2].Gain >= rows[3].Gain {
+		t.Error("row 3 should gain more than row 2 (higher recall)")
+	}
+	// The 5-hour-MTTF rows gain the most, as the paper stresses.
+	if rows[4].Gain < 0.20 || rows[5].Gain < 0.20 {
+		t.Error("future-system rows should exceed 20% gain")
+	}
+}
+
+func TestWasteGainZeroPredictor(t *testing.T) {
+	p := PaperParams(time.Minute, 24*time.Hour)
+	if got := WasteGain(p, Predictor{Recall: 0, Precision: 1}); !almostEq(got, 0, 1e-12) {
+		t.Errorf("zero-recall gain = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Params{C: time.Minute, MTTF: time.Hour}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	if err := (Params{C: 0, MTTF: time.Hour}).Validate(); err == nil {
+		t.Error("zero C accepted")
+	}
+	if err := (Params{C: time.Minute, MTTF: time.Hour, R: -time.Second}).Validate(); err == nil {
+		t.Error("negative R accepted")
+	}
+}
+
+func TestDalyIntervalNearYoungForCheapCheckpoints(t *testing.T) {
+	// When C << MTTF the two formulas agree to first order.
+	p := PaperParams(10*time.Second, 24*time.Hour)
+	young := YoungInterval(p)
+	daly := DalyInterval(p)
+	if diff := math.Abs(float64(daly - young)); diff > 0.05*float64(young) {
+		t.Errorf("Daly %v vs Young %v differ by more than 5%%", daly, young)
+	}
+}
+
+func TestDalyBeatsYoungAtHighFailureRate(t *testing.T) {
+	// C = 5 min against MTTF = 1 h: the higher-order correction matters.
+	// Simulated waste at Daly's interval must not exceed Young's.
+	p := PaperParams(5*time.Minute, time.Hour)
+	work := 200 * 24 * time.Hour
+	wy := Simulate(p, Predictor{}, YoungInterval(p), work, 11).Waste
+	wd := Simulate(p, Predictor{}, DalyInterval(p), work, 11).Waste
+	if wd > wy*1.02 {
+		t.Errorf("Daly waste %.4f clearly above Young %.4f", wd, wy)
+	}
+}
+
+func TestDalyDegenerate(t *testing.T) {
+	p := Params{C: 3 * time.Hour, R: 0, D: 0, MTTF: time.Hour}
+	if got := DalyInterval(p); got != p.MTTF {
+		t.Errorf("degenerate Daly = %v, want MTTF", got)
+	}
+}
+
+func TestSimulateMatchesModelNoPrediction(t *testing.T) {
+	p := PaperParams(time.Minute, 24*time.Hour)
+	T := YoungInterval(p)
+	res := Simulate(p, Predictor{}, T, 400*24*time.Hour, 1)
+	want := MinWaste(p)
+	if !almostEq(res.Waste, want, 0.012) {
+		t.Errorf("simulated waste %.4f vs analytic %.4f", res.Waste, want)
+	}
+	if res.Predicted != 0 || res.FalseAlarms != 0 {
+		t.Error("no-prediction run produced predictions")
+	}
+}
+
+func TestSimulateMatchesModelWithPrediction(t *testing.T) {
+	p := PaperParams(time.Minute, 24*time.Hour)
+	pred := Predictor{Recall: 0.5, Precision: 0.92}
+	T := OptimalInterval(p, pred)
+	res := Simulate(p, pred, T, 400*24*time.Hour, 2)
+	want := MinWasteWithPrediction(p, pred)
+	if !almostEq(res.Waste, want, 0.012) {
+		t.Errorf("simulated waste %.4f vs analytic %.4f", res.Waste, want)
+	}
+	if res.Predicted == 0 || res.FalseAlarms == 0 {
+		t.Errorf("expected predictions and false alarms: %+v", res)
+	}
+	// Recall check: about half the failures predicted.
+	frac := float64(res.Predicted) / float64(res.Failures)
+	if !almostEq(frac, 0.5, 0.08) {
+		t.Errorf("simulated recall %.3f, want ~0.5", frac)
+	}
+}
+
+func TestSimulateGainOrdering(t *testing.T) {
+	// Simulated waste with a good predictor must beat no prediction.
+	p := PaperParams(time.Minute, 5*time.Hour)
+	pred := Predictor{Recall: 0.5, Precision: 0.92}
+	baseline := Simulate(p, Predictor{}, YoungInterval(p), 200*24*time.Hour, 3)
+	with := Simulate(p, pred, OptimalInterval(p, pred), 200*24*time.Hour, 3)
+	if with.Waste >= baseline.Waste {
+		t.Errorf("prediction did not reduce waste: %.4f vs %.4f", with.Waste, baseline.Waste)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := PaperParams(time.Minute, 24*time.Hour)
+	a := Simulate(p, Predictor{Recall: 0.3, Precision: 0.9}, YoungInterval(p), 30*24*time.Hour, 7)
+	b := Simulate(p, Predictor{Recall: 0.3, Precision: 0.9}, YoungInterval(p), 30*24*time.Hour, 7)
+	if a != b {
+		t.Error("same seed produced different results")
+	}
+}

@@ -1,0 +1,139 @@
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// MultiLevelParams describes a two-level checkpointing scheme of the kind
+// the paper cites as the state of the art (FTI, SCR): cheap local
+// checkpoints handle the common, locally recoverable failures, expensive
+// global checkpoints cover catastrophic ones. This extends the paper's
+// single-level model (Section VI.B) to the protocols it argues prediction
+// should be combined with.
+type MultiLevelParams struct {
+	C1 time.Duration // local checkpoint cost
+	C2 time.Duration // global checkpoint cost
+	R1 time.Duration // local recovery cost
+	R2 time.Duration // global recovery cost
+	D  time.Duration // downtime per failure
+
+	MTTF time.Duration // overall mean time between failures
+	// LocalFraction is the share of failures recoverable from a local
+	// checkpoint (FTI reports the large majority are).
+	LocalFraction float64
+}
+
+// Validate reports an error for inconsistent parameters.
+func (p MultiLevelParams) Validate() error {
+	if p.C1 <= 0 || p.C2 <= 0 || p.MTTF <= 0 {
+		return fmt.Errorf("checkpoint: C1, C2 and MTTF must be positive")
+	}
+	if p.LocalFraction < 0 || p.LocalFraction > 1 {
+		return fmt.Errorf("checkpoint: LocalFraction must be in [0,1]")
+	}
+	return nil
+}
+
+// MultiLevelWaste evaluates the two-level waste model at local interval t1
+// and global period k*t1 (k >= 1 local checkpoints per global one):
+//
+//	W = C1/T1 + C2/(k T1)
+//	  + lambda1 (T1/2 + R1 + D) + lambda2 (k T1/2 + R2 + D)
+//
+// where lambda1/lambda2 split 1/MTTF by LocalFraction. Level-1 failures
+// lose half a local interval, level-2 failures half a global one.
+func MultiLevelWaste(p MultiLevelParams, t1 time.Duration, k int) float64 {
+	if t1 <= 0 || k < 1 {
+		return math.Inf(1)
+	}
+	t1m := minutes(t1)
+	m := minutes(p.MTTF)
+	l1 := p.LocalFraction / m
+	l2 := (1 - p.LocalFraction) / m
+	return minutes(p.C1)/t1m + minutes(p.C2)/(float64(k)*t1m) +
+		l1*(t1m/2+minutes(p.R1)+minutes(p.D)) +
+		l2*(float64(k)*t1m/2+minutes(p.R2)+minutes(p.D))
+}
+
+// MultiLevelPlan is an optimised two-level schedule.
+type MultiLevelPlan struct {
+	T1    time.Duration // local checkpoint interval
+	K     int           // local checkpoints per global checkpoint
+	Waste float64
+}
+
+// OptimizeMultiLevel searches the (T1, k) plane for the minimum-waste
+// schedule: golden-section over T1 nested in a scan over k.
+func OptimizeMultiLevel(p MultiLevelParams) MultiLevelPlan {
+	best := MultiLevelPlan{Waste: math.Inf(1)}
+	for k := 1; k <= 256; k *= 2 {
+		t1 := goldenMin(func(t1m float64) float64 {
+			return MultiLevelWaste(p, time.Duration(t1m*float64(time.Minute)), k)
+		}, 0.05, minutes(p.MTTF))
+		w := MultiLevelWaste(p, time.Duration(t1*float64(time.Minute)), k)
+		if w < best.Waste {
+			best = MultiLevelPlan{T1: time.Duration(t1 * float64(time.Minute)), K: k, Waste: w}
+		}
+	}
+	return best
+}
+
+// MultiLevelWasteWithPrediction extends the optimised two-level schedule
+// with a predictor, mirroring equation (7): predicted failures cost one
+// local checkpoint instead of a rollback, false alarms cost one local
+// checkpoint each, and the failure rates seen by the rollback terms shrink
+// by the recall.
+func MultiLevelWasteWithPrediction(p MultiLevelParams, pred Predictor) float64 {
+	scaled := p
+	// Only unpredicted failures roll back; the optimiser should plan for
+	// the thinner failure stream.
+	if pred.Recall < 1 {
+		scaled.MTTF = time.Duration(float64(p.MTTF) / (1 - pred.Recall))
+	} else {
+		scaled.MTTF = p.MTTF * 1 << 20
+	}
+	plan := OptimizeMultiLevel(scaled)
+	w := plan.Waste
+	m := minutes(p.MTTF)
+	// One proactive local checkpoint per predicted failure...
+	w += minutes(p.C1) * pred.Recall / m
+	// ...and per false alarm.
+	if pred.Precision > 0 && pred.Precision < 1 {
+		w += minutes(p.C1) * pred.Recall * (1 - pred.Precision) / (pred.Precision * m)
+	}
+	return w
+}
+
+// MultiLevelGain returns the relative waste reduction prediction buys on
+// the optimised two-level schedule.
+func MultiLevelGain(p MultiLevelParams, pred Predictor) float64 {
+	base := OptimizeMultiLevel(p).Waste
+	if base <= 0 {
+		return 0
+	}
+	return 1 - MultiLevelWasteWithPrediction(p, pred)/base
+}
+
+// goldenMin minimises a unimodal function over [lo, hi] by golden-section
+// search.
+func goldenMin(f func(float64) float64, lo, hi float64) float64 {
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 200 && b-a > 1e-6*(1+b); i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}

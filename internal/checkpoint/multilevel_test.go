@@ -1,0 +1,120 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func ftiParams() MultiLevelParams {
+	return MultiLevelParams{
+		C1: 10 * time.Second, C2: 2 * time.Minute,
+		R1: 30 * time.Second, R2: 5 * time.Minute,
+		D:    time.Minute,
+		MTTF: 5 * time.Hour, LocalFraction: 0.8,
+	}
+}
+
+func TestMultiLevelValidate(t *testing.T) {
+	if err := ftiParams().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := ftiParams()
+	bad.C1 = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero C1 accepted")
+	}
+	bad = ftiParams()
+	bad.LocalFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("LocalFraction > 1 accepted")
+	}
+}
+
+func TestMultiLevelWasteDegenerate(t *testing.T) {
+	p := ftiParams()
+	if !math.IsInf(MultiLevelWaste(p, 0, 4), 1) {
+		t.Error("zero interval should be infinite waste")
+	}
+	if !math.IsInf(MultiLevelWaste(p, time.Minute, 0), 1) {
+		t.Error("k=0 should be infinite waste")
+	}
+}
+
+func TestOptimizeMultiLevelIsMinimum(t *testing.T) {
+	p := ftiParams()
+	plan := OptimizeMultiLevel(p)
+	if plan.T1 <= 0 || plan.K < 1 {
+		t.Fatalf("bad plan %+v", plan)
+	}
+	// Perturbations must not beat the optimum (allowing numeric slack).
+	for _, f := range []float64{0.5, 0.75, 1.5, 2} {
+		w := MultiLevelWaste(p, time.Duration(float64(plan.T1)*f), plan.K)
+		if w < plan.Waste-1e-9 {
+			t.Errorf("T1*%v beats the optimum: %v < %v", f, w, plan.Waste)
+		}
+	}
+	for _, k := range []int{plan.K / 2, plan.K * 2} {
+		if k < 1 {
+			continue
+		}
+		w := MultiLevelWaste(p, plan.T1, k)
+		if w < plan.Waste-1e-9 {
+			t.Errorf("k=%d beats the optimum: %v < %v", k, w, plan.Waste)
+		}
+	}
+}
+
+func TestMultiLevelBeatsSingleLevel(t *testing.T) {
+	// With cheap local checkpoints covering 80% of failures, the
+	// two-level optimum must beat a single-level scheme paying the global
+	// cost for everything.
+	p := ftiParams()
+	two := OptimizeMultiLevel(p).Waste
+	single := MinWaste(Params{C: p.C2, R: p.R2, D: p.D, MTTF: p.MTTF})
+	if two >= single {
+		t.Errorf("two-level %v not below single-level %v", two, single)
+	}
+}
+
+func TestMultiLevelLocalFractionMonotone(t *testing.T) {
+	// The more failures are locally recoverable, the lower the optimal
+	// waste.
+	prev := math.Inf(1)
+	for _, frac := range []float64{0.2, 0.5, 0.8, 0.95} {
+		p := ftiParams()
+		p.LocalFraction = frac
+		w := OptimizeMultiLevel(p).Waste
+		if w >= prev {
+			t.Errorf("waste not decreasing at fraction %v: %v >= %v", frac, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestMultiLevelPredictionGain(t *testing.T) {
+	p := ftiParams()
+	pred := Predictor{Recall: 0.458, Precision: 0.912}
+	gain := MultiLevelGain(p, pred)
+	if gain <= 0 || gain >= 0.6 {
+		t.Errorf("gain = %v, want a positive moderate reduction", gain)
+	}
+	// More recall, more gain.
+	better := MultiLevelGain(p, Predictor{Recall: 0.7, Precision: 0.912})
+	if better <= gain {
+		t.Errorf("higher recall gain %v not above %v", better, gain)
+	}
+	// Perfect recall caps the model sensibly.
+	perfect := MultiLevelGain(p, Predictor{Recall: 1, Precision: 1})
+	if perfect <= better || perfect > 1 {
+		t.Errorf("perfect-recall gain = %v", perfect)
+	}
+}
+
+func TestGoldenMin(t *testing.T) {
+	// Minimise (x-3)^2 over [0, 10].
+	got := goldenMin(func(x float64) float64 { return (x - 3) * (x - 3) }, 0, 10)
+	if math.Abs(got-3) > 1e-4 {
+		t.Errorf("goldenMin = %v, want 3", got)
+	}
+}

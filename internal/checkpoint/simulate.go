@@ -1,0 +1,127 @@
+package checkpoint
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/stats"
+)
+
+// SimResult reports one simulated execution.
+type SimResult struct {
+	WallClock   time.Duration // total elapsed time
+	UsefulWork  time.Duration // application progress achieved
+	Waste       float64       // 1 - useful/wall
+	Failures    int           // failures that struck
+	Predicted   int           // failures avoided by a proactive checkpoint
+	FalseAlarms int           // proactive checkpoints without a failure
+	Checkpoints int           // periodic checkpoints taken
+}
+
+// Simulate runs a discrete-event model of an application needing work
+// units of compute under periodic checkpointing with interval T, a failure
+// process with the given MTTF, and a predictor with recall/precision as in
+// the analytic model. It validates equations (1)-(7): with a perfect or
+// absent predictor the measured waste approaches the closed forms.
+//
+// Event model per segment of length T: a periodic checkpoint costs C.
+// Failures arrive exponentially. A failure is predicted with probability
+// recall; predicted failures trigger a proactive checkpoint right before
+// the hit, so only C (+R+D) is lost. Unpredicted failures roll back to the
+// last checkpoint. False alarms arrive as their own Poisson process with
+// rate N(1-P)/(P*MTTF) and cost one checkpoint each.
+func Simulate(p Params, pred Predictor, T, work time.Duration, seed int64) SimResult {
+	rng := rand.New(rand.NewSource(seed))
+	var res SimResult
+
+	mttf := p.MTTF.Seconds()
+	var faRate float64 // false alarms per second
+	if pred.Precision > 0 && pred.Precision < 1 {
+		faRate = pred.Recall * (1 - pred.Precision) / (pred.Precision * mttf)
+	}
+
+	remaining := work.Seconds()
+	wall := 0.0
+	sinceCkpt := 0.0 // useful seconds since last checkpoint
+	tSec := T.Seconds()
+
+	nextFailure := stats.Exponential(rng, mttf)
+	nextFA := simExp(rng, faRate)
+
+	for remaining > 0 {
+		// Next scheduled periodic checkpoint (in useful-work seconds).
+		untilCkpt := tSec - sinceCkpt
+		if untilCkpt > remaining {
+			untilCkpt = remaining
+		}
+		// Advance until the earliest of: checkpoint due, failure, false
+		// alarm. Failures and false alarms tick in wall-clock time; while
+		// computing, wall time and work time advance together.
+		step := untilCkpt
+		event := "ckpt"
+		if nextFailure < step {
+			step = nextFailure
+			event = "fail"
+		}
+		if nextFA < step {
+			step = nextFA
+			event = "fa"
+		}
+		wall += step
+		remaining -= step
+		sinceCkpt += step
+		nextFailure -= step
+		nextFA -= step
+
+		switch event {
+		case "ckpt":
+			if remaining <= 0 {
+				break
+			}
+			wall += p.C.Seconds()
+			nextFailure -= p.C.Seconds() // failures can strike during a checkpoint
+			res.Checkpoints++
+			sinceCkpt = 0
+			if nextFailure <= 0 {
+				res.Failures++
+				// Failure during the checkpoint: the checkpoint is lost.
+				wall += p.R.Seconds() + p.D.Seconds()
+				nextFailure = stats.Exponential(rng, mttf)
+			}
+		case "fail":
+			res.Failures++
+			if stats.Bernoulli(rng, pred.Recall) {
+				// Predicted: proactive checkpoint right before the hit.
+				res.Predicted++
+				wall += p.C.Seconds()
+				sinceCkpt = 0
+			} else {
+				// Unpredicted: roll back to the last checkpoint.
+				remaining += sinceCkpt
+				sinceCkpt = 0
+			}
+			wall += p.R.Seconds() + p.D.Seconds()
+			nextFailure = stats.Exponential(rng, mttf)
+		case "fa":
+			res.FalseAlarms++
+			wall += p.C.Seconds()
+			sinceCkpt = 0
+			nextFA = simExp(rng, faRate)
+		}
+	}
+	res.WallClock = time.Duration(wall * float64(time.Second))
+	res.UsefulWork = work
+	if wall > 0 {
+		res.Waste = 1 - work.Seconds()/wall
+	}
+	return res
+}
+
+// simExp draws an exponential gap for rate events/second, or +Inf for rate
+// zero.
+func simExp(rng *rand.Rand, rate float64) float64 {
+	if rate <= 0 {
+		return 1e18
+	}
+	return stats.Exponential(rng, 1/rate)
+}

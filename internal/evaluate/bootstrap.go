@@ -1,0 +1,51 @@
+package evaluate
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Interval is a percentile confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Bootstrap derives 95% percentile confidence intervals for the outcome's
+// precision and recall by resampling the per-prediction and per-failure
+// match indicators with replacement. A single evaluation campaign gives
+// point estimates only; the intervals say how much of the reported
+// difference between methods is sampling noise.
+func (o *Outcome) Bootstrap(iters int, seed int64) (precision, recall Interval) {
+	if iters < 1 {
+		iters = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	precision = resampleCI(rng, o.PredMatched, iters)
+	recall = resampleCI(rng, o.FailureHit, iters)
+	return precision, recall
+}
+
+// resampleCI bootstraps the mean of a boolean sample.
+func resampleCI(rng *rand.Rand, flags []bool, iters int) Interval {
+	n := len(flags)
+	if n == 0 {
+		return Interval{}
+	}
+	means := make([]float64, iters)
+	for it := 0; it < iters; it++ {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if flags[rng.Intn(n)] {
+				hits++
+			}
+		}
+		means[it] = float64(hits) / float64(n)
+	}
+	sort.Float64s(means)
+	lo := means[int(0.025*float64(iters))]
+	hi := means[int(0.975*float64(iters-1))]
+	return Interval{Lo: lo, Hi: hi}
+}

@@ -1,0 +1,77 @@
+package evaluate
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/gen"
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+func outcomeWithRates(nPred int, pRate float64, nFail int, rRate float64, seed int64) *Outcome {
+	rng := rand.New(rand.NewSource(seed))
+	o := &Outcome{}
+	for i := 0; i < nPred; i++ {
+		o.PredMatched = append(o.PredMatched, rng.Float64() < pRate)
+	}
+	for i := 0; i < nFail; i++ {
+		o.FailureHit = append(o.FailureHit, rng.Float64() < rRate)
+	}
+	return o
+}
+
+func TestBootstrapCoversTruth(t *testing.T) {
+	o := outcomeWithRates(400, 0.9, 300, 0.45, 1)
+	p, r := o.Bootstrap(2000, 2)
+	if !p.Contains(0.9) {
+		t.Errorf("precision CI [%v, %v] misses 0.9", p.Lo, p.Hi)
+	}
+	if !r.Contains(0.45) {
+		t.Errorf("recall CI [%v, %v] misses 0.45", r.Lo, r.Hi)
+	}
+	if p.Hi-p.Lo <= 0 || p.Hi-p.Lo > 0.15 {
+		t.Errorf("precision CI width %v implausible for n=400", p.Hi-p.Lo)
+	}
+}
+
+func TestBootstrapWidthShrinksWithN(t *testing.T) {
+	small := outcomeWithRates(50, 0.5, 50, 0.5, 3)
+	big := outcomeWithRates(5000, 0.5, 5000, 0.5, 3)
+	ps, _ := small.Bootstrap(1000, 4)
+	pb, _ := big.Bootstrap(1000, 4)
+	if pb.Hi-pb.Lo >= ps.Hi-ps.Lo {
+		t.Errorf("CI did not shrink with sample size: %v vs %v", pb.Hi-pb.Lo, ps.Hi-ps.Lo)
+	}
+}
+
+func TestBootstrapEmpty(t *testing.T) {
+	o := &Outcome{}
+	p, r := o.Bootstrap(100, 5)
+	if p != (Interval{}) || r != (Interval{}) {
+		t.Error("empty outcome should yield zero intervals")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	o := outcomeWithRates(100, 0.7, 100, 0.3, 6)
+	p1, r1 := o.Bootstrap(500, 7)
+	p2, r2 := o.Bootstrap(500, 7)
+	if p1 != p2 || r1 != r2 {
+		t.Error("same seed produced different intervals")
+	}
+}
+
+func TestLeadByCategoryPopulated(t *testing.T) {
+	// Reuse the category fixture from evaluate_test.go.
+	pred := mkPred(t0, time.Minute, "R00-M0-N0-C:J02-U01", topology.ScopeNode)
+	fail := mkFail(t0.Add(time.Minute), "memory", "R00-M0-N0-C:J02-U01")
+	out := Score(resultWith(pred), []gen.FailureRecord{fail}, DefaultMatchConfig())
+	lead, ok := out.LeadByCategory["memory"]
+	if !ok || lead.N() != 1 {
+		t.Fatalf("LeadByCategory = %+v", out.LeadByCategory)
+	}
+	if got := lead.Mean(); got < 59 || got > 61 {
+		t.Errorf("mean lead = %v s, want ~60", got)
+	}
+}

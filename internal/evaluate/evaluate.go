@@ -1,0 +1,256 @@
+// Package evaluate scores online predictions against generated ground
+// truth: precision, recall, category breakdown (the paper's Figure 9),
+// visible prediction-window distribution (Section VI.A) and chain-usage
+// statistics. The matching rule mirrors the paper's setting: a prediction
+// is correct when a real failure occurs inside its forecast window at a
+// location covered by its predicted scope.
+package evaluate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/gen"
+	"github.com/elsa-hpc/elsa/internal/predict"
+	"github.com/elsa-hpc/elsa/internal/stats"
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+// MatchConfig tunes prediction-to-failure matching.
+type MatchConfig struct {
+	// Slack extends the match window beyond the forecast time: a failure
+	// counts as predicted when it happens in
+	// [IssuedAt, ExpectedAt + Slack].
+	Slack time.Duration
+
+	// RequireLocation demands that a failure location fall inside the
+	// prediction's scope around its trigger. Disabling it reproduces the
+	// paper's location-blind ablation (precision rises to ~94%).
+	RequireLocation bool
+
+	// AdaptiveWindows matches failures against each prediction's
+	// [ExpectedEarliest, ExpectedLatest] bounds (learned online per
+	// chain) instead of the span-proportional slack around ExpectedAt.
+	AdaptiveWindows bool
+}
+
+// DefaultMatchConfig returns the matching rule used by the experiments.
+func DefaultMatchConfig() MatchConfig {
+	return MatchConfig{Slack: 3 * time.Minute, RequireLocation: true}
+}
+
+// CategoryStats reports per-category outcome (one bar of Figure 9).
+type CategoryStats struct {
+	Category  string
+	Total     int     // ground-truth failures of this category
+	Predicted int     // of those, how many were forecast in time
+	Share     float64 // category's share of all failures
+}
+
+// Recall returns the category's recall.
+func (c CategoryStats) Recall() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Predicted) / float64(c.Total)
+}
+
+// Outcome is the full evaluation result.
+type Outcome struct {
+	Predictions int // usable (non-late) predictions
+	LateDropped int // predictions that arrived after their window
+
+	TruePositives  int
+	FalsePositives int
+	FailuresTotal  int
+	FailuresHit    int
+
+	Precision float64
+	Recall    float64
+
+	ByCategory map[string]*CategoryStats
+
+	// Lead-time distribution over correct predictions (visible window).
+	LeadHist *stats.DelayHistogram
+
+	// ChainsUsed / ChainsLoaded give the "Seq Used" column of Table III.
+	ChainsUsed   int
+	ChainsLoaded int
+
+	// PredMatched records, per usable prediction, whether it matched a
+	// failure; FailureHit records, per failure (time order), whether any
+	// prediction covered it. Bootstrap resamples these.
+	PredMatched []bool
+	FailureHit  []bool
+
+	// LeadByCategory accumulates the visible windows (seconds) of the
+	// predictions that covered each category's failures.
+	LeadByCategory map[string]*stats.Online
+}
+
+// SeqUsedFraction returns the share of loaded chains that fired at least
+// once.
+func (o *Outcome) SeqUsedFraction() float64 {
+	if o.ChainsLoaded == 0 {
+		return 0
+	}
+	return float64(o.ChainsUsed) / float64(o.ChainsLoaded)
+}
+
+// Score matches predictions against ground-truth failures.
+func Score(res *predict.Result, failures []gen.FailureRecord, cfg MatchConfig) *Outcome {
+	out := &Outcome{
+		ByCategory:     make(map[string]*CategoryStats),
+		LeadHist:       stats.NewDelayHistogram(),
+		ChainsUsed:     len(res.Stats.ChainsUsed),
+		ChainsLoaded:   res.Stats.ChainsLoaded,
+		LeadByCategory: make(map[string]*stats.Online),
+	}
+	for _, f := range failures {
+		cs, ok := out.ByCategory[f.Category]
+		if !ok {
+			cs = &CategoryStats{Category: f.Category}
+			out.ByCategory[f.Category] = cs
+		}
+		cs.Total++
+	}
+	out.FailuresTotal = len(failures)
+	for _, cs := range out.ByCategory {
+		if out.FailuresTotal > 0 {
+			cs.Share = float64(cs.Total) / float64(out.FailuresTotal)
+		}
+	}
+
+	// Failures sorted by time for binary search.
+	byTime := append([]gen.FailureRecord(nil), failures...)
+	sort.Slice(byTime, func(i, j int) bool { return byTime[i].Time.Before(byTime[j].Time) })
+	times := make([]time.Time, len(byTime))
+	for i, f := range byTime {
+		times[i] = f.Time
+	}
+	hit := make([]bool, len(byTime))
+
+	for _, p := range res.Predictions {
+		if p.Late() {
+			out.LateDropped++
+			continue
+		}
+		out.Predictions++
+		lo := searchTime(times, p.IssuedAt)
+		var deadline time.Time
+		if cfg.AdaptiveWindows && !p.ExpectedLatest.IsZero() {
+			deadline = p.ExpectedLatest.Add(cfg.Slack)
+		} else {
+			// Forecast error grows with the chain's span (delays jitter
+			// multiplicatively), so the slack scales with the lead
+			// horizon.
+			slack := cfg.Slack
+			if rel := time.Duration(float64(p.ExpectedAt.Sub(p.TriggeredAt)) * 0.35); rel > slack {
+				slack = rel
+			}
+			deadline = p.ExpectedAt.Add(slack)
+		}
+		matched := false
+		for i := lo; i < len(byTime) && !byTime[i].Time.After(deadline); i++ {
+			if cfg.RequireLocation && !locationMatches(p, byTime[i]) {
+				continue
+			}
+			matched = true
+			if !hit[i] {
+				hit[i] = true
+				out.FailuresHit++
+				cat := byTime[i].Category
+				out.ByCategory[cat].Predicted++
+				lead, ok := out.LeadByCategory[cat]
+				if !ok {
+					lead = &stats.Online{}
+					out.LeadByCategory[cat] = lead
+				}
+				lead.Add(p.Lead.Seconds())
+			}
+		}
+		out.PredMatched = append(out.PredMatched, matched)
+		if matched {
+			out.TruePositives++
+			out.LeadHist.Add(p.Lead)
+		} else {
+			out.FalsePositives++
+		}
+	}
+	out.FailureHit = hit
+	if out.Predictions > 0 {
+		out.Precision = float64(out.TruePositives) / float64(out.Predictions)
+	}
+	if out.FailuresTotal > 0 {
+		out.Recall = float64(out.FailuresHit) / float64(out.FailuresTotal)
+	}
+	return out
+}
+
+// locationMatches reports whether the failure touched a component inside
+// the prediction's scope around its trigger — and whether that scope was
+// honest: a prediction naming a whole rack or the whole system is only
+// credited for failures that actually span comparably, otherwise
+// over-broad forecasts would trivially "cover" every local fault.
+func locationMatches(p predict.Prediction, f gen.FailureRecord) bool {
+	failSpan := topology.SpanScope(f.Locations)
+	if len(f.Locations) == 1 {
+		failSpan = f.Locations[0].Level()
+	}
+	if p.Scope >= topology.ScopeRack && p.Scope > failSpan+1 {
+		return false
+	}
+	area := p.Trigger.Truncate(p.Scope)
+	for _, loc := range f.Locations {
+		if area.Contains(loc) || loc.Contains(p.Trigger) {
+			return true
+		}
+	}
+	return false
+}
+
+func searchTime(times []time.Time, t time.Time) int {
+	return sort.Search(len(times), func(i int) bool { return !times[i].Before(t) })
+}
+
+// String renders the outcome as a Table III-style row plus breakdown.
+func (o *Outcome) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "precision=%.1f%% recall=%.1f%% preds=%d (late %d) seq-used=%d/%d (%.1f%%) failures=%d/%d\n",
+		100*o.Precision, 100*o.Recall, o.Predictions, o.LateDropped,
+		o.ChainsUsed, o.ChainsLoaded, 100*o.SeqUsedFraction(), o.FailuresHit, o.FailuresTotal)
+	cats := make([]string, 0, len(o.ByCategory))
+	for k := range o.ByCategory {
+		cats = append(cats, k)
+	}
+	sort.Strings(cats)
+	for _, k := range cats {
+		c := o.ByCategory[k]
+		fmt.Fprintf(&b, "  %-10s share=%5.1f%%  recall=%5.1f%% (%d/%d)\n",
+			c.Category, 100*c.Share, 100*c.Recall(), c.Predicted, c.Total)
+	}
+	return b.String()
+}
+
+// WindowStats summarises the visible prediction windows of correct
+// predictions, matching Section VI.A's reporting.
+type WindowStats struct {
+	Over10s   float64 // fraction with more than 10 s visible window
+	Over1min  float64
+	Over10min float64
+}
+
+// Windows derives the window statistics from an outcome.
+func (o *Outcome) Windows() WindowStats {
+	h := o.LeadHist
+	if h.Total() == 0 {
+		return WindowStats{}
+	}
+	return WindowStats{
+		Over10s:   h.TenToMinute() + h.MinuteToTen() + h.OverTenMin(),
+		Over1min:  h.MinuteToTen() + h.OverTenMin(),
+		Over10min: h.OverTenMin(),
+	}
+}

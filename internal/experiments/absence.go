@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/absence"
+	"github.com/elsa-hpc/elsa/internal/stats"
+)
+
+// AbsenceResult evaluates the lack-of-messages detector on the rack-crash
+// archetype: a crash mutes the rack's watchdog heartbeats immediately, but
+// the first log *message* about it (the environmental monitor noticing)
+// only appears minutes later. Occurrence-based correlation is blind here
+// (the crash has no precursor events); the absence monitor must win the
+// race against the operators' own notice.
+type AbsenceResult struct {
+	Crashes     int
+	Detected    int
+	FalseAlerts int
+
+	// DetectionLatency measures alert time minus last heartbeat, in
+	// seconds; LeadOverNotice measures how far ahead of the SEVERE
+	// "lost contact" log message the alert came (positive = earlier).
+	DetectionLatency stats.Online
+	LeadOverNotice   stats.Online
+}
+
+// heartbeatPeriod must match the BG/L profile's rackwatch daemon.
+const heartbeatPeriod = 2 * time.Minute
+
+// noticeDelay must match the rackcrash archetype's final-event delay.
+const noticeDelay = 10 * time.Minute
+
+// Absence runs the monitor over the campaign's test window.
+func Absence(c *Campaign) *AbsenceResult {
+	org := c.Organizer()
+	tmpl, ok := org.Match("rack watchdog heartbeat ok slot 17")
+	if !ok {
+		return &AbsenceResult{}
+	}
+	mon := absence.NewMonitor(absence.Watch{
+		Event:  tmpl.ID,
+		Period: heartbeatPeriod,
+	})
+	alerts := mon.Run(c.TestRecords(), c.Cut(), c.Log().End, 30*time.Second)
+
+	res := &AbsenceResult{}
+	type crash struct {
+		rack    int
+		silence time.Time // silence onset (the crash instant)
+		notice  time.Time // the SEVERE log message
+		hit     bool
+	}
+	var crashes []crash
+	for _, f := range c.TestFailures() {
+		if f.Archetype != "rackcrash" {
+			continue
+		}
+		crashes = append(crashes, crash{
+			rack:    f.Origin.Rack,
+			silence: f.Time.Add(-noticeDelay),
+			notice:  f.Time,
+		})
+	}
+	res.Crashes = len(crashes)
+	for _, a := range alerts {
+		matched := false
+		for i := range crashes {
+			cr := &crashes[i]
+			if a.Location.Rack != cr.rack {
+				continue
+			}
+			// The alert belongs to this crash when it fires inside the
+			// silence window.
+			if a.DetectedAt.Before(cr.silence) || a.DetectedAt.After(cr.silence.Add(40*time.Minute)) {
+				continue
+			}
+			matched = true
+			if !cr.hit {
+				cr.hit = true
+				res.Detected++
+				res.DetectionLatency.Add(a.DetectedAt.Sub(cr.silence).Seconds())
+				res.LeadOverNotice.Add(cr.notice.Sub(a.DetectedAt).Seconds())
+			}
+			break
+		}
+		if !matched {
+			res.FalseAlerts++
+		}
+	}
+	return res
+}
+
+// String renders the detection outcome.
+func (r *AbsenceResult) String() string {
+	if r.Crashes == 0 {
+		return "Absence detection — no rack crashes in window\n"
+	}
+	return fmt.Sprintf("Absence detection — %d/%d rack crashes detected from missing heartbeats, mean detection latency %.0fs after silence onset, mean lead over the operators' log notice %.0fs, %d false alerts\n",
+		r.Detected, r.Crashes, r.DetectionLatency.Mean(), r.LeadOverNotice.Mean(), r.FalseAlerts)
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report runs every experiment at the given scale and renders the combined
+// text report (the source of EXPERIMENTS.md). Experiments that need a
+// second system run on the Mercury profile.
+func Report(sc Scale) string {
+	bgl := BGL(sc)
+	mercury := MercuryCampaign(sc)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "ELSA reproduction report — scale: train %dd, test %dd, seed %d\n\n",
+		sc.TrainDays, sc.TestDays, sc.Seed)
+
+	b.WriteString(Fig1(bgl).String())
+	b.WriteString("\n")
+	b.WriteString(Fig3(sc.Seed).String())
+	b.WriteString("\n")
+	b.WriteString(Fig4(sc.Seed).String())
+	b.WriteString("\n")
+	b.WriteString(Table1(bgl).String())
+	b.WriteString("\n")
+	b.WriteString(Fig5(bgl).String())
+	b.WriteString(Fig5(mercury).String())
+	b.WriteString("\n")
+	b.WriteString(Fig6(bgl).String())
+	b.WriteString("\n")
+	b.WriteString(PairDelays(bgl).String())
+	b.WriteString("\n")
+	b.WriteString(Table2(bgl).String())
+	b.WriteString("\n")
+	b.WriteString(Fig7(bgl).String())
+	b.WriteString(Fig7(mercury).String())
+	b.WriteString("\n")
+	b.WriteString(AnalysisTime(bgl).String())
+	b.WriteString("\n")
+	b.WriteString(Table3(bgl).String())
+	b.WriteString("\n")
+	b.WriteString(Fig9(bgl).String())
+	b.WriteString("\n")
+	b.WriteString(Windows(bgl).String())
+	b.WriteString("\n")
+	b.WriteString(Table4(bgl).String())
+	b.WriteString("\n")
+	b.WriteString(AppImpact(bgl).String())
+	b.WriteString("\n")
+	b.WriteString(Absence(bgl).String())
+	return b.String()
+}
+
+// Names lists the experiment ids understood by Run.
+func Names() []string {
+	return []string{"fig1", "fig3", "fig4", "table1", "fig5", "fig6",
+		"pairdelays", "table2", "fig7", "analysistime", "table3", "fig9",
+		"windows", "table4", "appimpact", "robustness", "absence"}
+}
+
+// Run executes one experiment by id and returns its rendering.
+func Run(name string, sc Scale) (string, error) {
+	bgl := BGL(sc)
+	switch name {
+	case "fig1":
+		return Fig1(bgl).String(), nil
+	case "fig3":
+		return Fig3(sc.Seed).String(), nil
+	case "fig4":
+		return Fig4(sc.Seed).String(), nil
+	case "table1":
+		return Table1(bgl).String(), nil
+	case "fig5":
+		return Fig5(bgl).String() + Fig5(MercuryCampaign(sc)).String(), nil
+	case "fig6":
+		return Fig6(bgl).String(), nil
+	case "pairdelays":
+		return PairDelays(bgl).String(), nil
+	case "table2":
+		return Table2(bgl).String(), nil
+	case "fig7":
+		return Fig7(bgl).String() + Fig7(MercuryCampaign(sc)).String(), nil
+	case "analysistime":
+		return AnalysisTime(bgl).String(), nil
+	case "table3":
+		return Table3(bgl).String(), nil
+	case "fig9":
+		return Fig9(bgl).String(), nil
+	case "windows":
+		return Windows(bgl).String(), nil
+	case "table4":
+		return Table4(bgl).String(), nil
+	case "appimpact":
+		return AppImpact(bgl).String(), nil
+	case "robustness":
+		return Robustness(sc, 5).String(), nil
+	case "absence":
+		return Absence(bgl).String(), nil
+	default:
+		return "", fmt.Errorf("experiments: unknown experiment %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/elsa-hpc/elsa/internal/correlate"
+	"github.com/elsa-hpc/elsa/internal/jobs"
+)
+
+// AppImpactResult extends the paper's checkpoint analysis (Section VI.B)
+// from one application to a whole workload: how many node-hours does the
+// hybrid predictor save a realistic job mix?
+type AppImpactResult struct {
+	Outcome jobs.Outcome
+}
+
+// AppImpact runs the workload simulation over the campaign's test window
+// using the hybrid predictor's actual predictions.
+func AppImpact(c *Campaign) *AppImpactResult {
+	run := c.Run(correlate.Hybrid)
+	log := c.Log()
+	workload := jobs.GenerateWorkload(c.Profile.Machine, c.Cut(), log.End, jobs.DefaultWorkload())
+	out := jobs.Simulate(workload, c.TestFailures(), run.Predictions, jobs.DefaultImpact())
+	return &AppImpactResult{Outcome: out}
+}
+
+// String renders the accounting.
+func (r *AppImpactResult) String() string {
+	o := r.Outcome
+	return fmt.Sprintf("Workload impact — %d jobs (%.0f node-hours), %d failure hits: lost %.1f node-hours without prediction, %.1f with (%d proactive saves, %.1fx reduction)\n",
+		o.Jobs, o.NodeHoursTotal, o.FailureHits, o.LostNoPred, o.LostWithPred,
+		o.ProactiveSaves, o.ReductionFactor)
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/elsa-hpc/elsa/internal/sig"
+)
+
+// CSV renders the Figure 1 series (class, count, share).
+func (r *Fig1Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("class,count,share\n")
+	for _, cl := range []sig.Class{sig.Periodic, sig.Noise, sig.Silent} {
+		share := 0.0
+		if r.Total > 0 {
+			share = float64(r.Counts[cl]) / float64(r.Total)
+		}
+		fmt.Fprintf(&b, "%s,%d,%.4f\n", cl, r.Counts[cl], share)
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 5 histogram (size, chains).
+func (r *Fig5Result) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# system=%s mean=%.2f over8=%.4f\n", r.System, r.Mean, r.FracOver8)
+	b.WriteString("size,chains\n")
+	sizes := make([]int, 0, len(r.Sizes))
+	for s := range r.Sizes {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		fmt.Fprintf(&b, "%d,%d\n", s, r.Sizes[s])
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 6 delay buckets (bucket, share).
+func (r *Fig6Result) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# system=%s n=%d\n", r.System, r.Hist.Total())
+	b.WriteString("bucket,share\n")
+	fmt.Fprintf(&b, "under10s,%.4f\n", r.Hist.Under10s())
+	fmt.Fprintf(&b, "10s-1min,%.4f\n", r.Hist.TenToMinute())
+	fmt.Fprintf(&b, "1-10min,%.4f\n", r.Hist.MinuteToTen())
+	fmt.Fprintf(&b, "over10min,%.4f\n", r.Hist.OverTenMin())
+	return b.String()
+}
+
+// CSV renders the Figure 7 propagation shares.
+func (r *Fig7Result) CSV() string {
+	var b strings.Builder
+	bd := r.Breakdown
+	fmt.Fprintf(&b, "# system=%s chains=%d mean_affected=%.2f\n", r.System, bd.Chains, bd.MeanAffected)
+	b.WriteString("scope,share\n")
+	fmt.Fprintf(&b, "none,%.4f\nnodecard,%.4f\nmidplane,%.4f\nbeyond_midplane,%.4f\n",
+		bd.NoPropagate, bd.NodeCard, bd.Midplane, bd.BeyondMP)
+	return b.String()
+}
+
+// CSV renders the Figure 9 bars (category, share, recall).
+func (r *Fig9Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("category,share,recall,predicted,total\n")
+	for _, c := range r.Categories {
+		fmt.Fprintf(&b, "%s,%.4f,%.4f,%d,%d\n", c.Category, c.Share, c.Recall, c.Predicted, c.Total)
+	}
+	return b.String()
+}
+
+// CSV renders the Table III rows.
+func (r *Table3Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("method,precision,recall,seq_used,seq_loaded,pred_failures,late\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%.4f,%.4f,%d,%d,%d,%d\n",
+			row.Method, row.Precision, row.Recall, row.SeqUsed, row.SeqLoaded,
+			row.PredFailures, row.LatePredCount)
+	}
+	return b.String()
+}
+
+// CSV renders the Table IV rows with paper-vs-computed columns.
+func (r *Table4Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("c_seconds,precision,recall,mttf_hours,gain,paper_gain\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%.0f,%.2f,%.2f,%.1f,%.4f,%.4f\n",
+			row.C.Seconds(), row.Precision, row.Recall, row.MTTF.Hours(),
+			row.Gain, row.PaperGain)
+	}
+	return b.String()
+}
+
+// CSV renders the pair-delay buckets.
+func (r *PairDelaysResult) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# non_predictive=%.4f n=%d\n", r.NonPredictive, r.Hist.Total())
+	b.WriteString("bucket,share\n")
+	fmt.Fprintf(&b, "under10s,%.4f\n", r.Hist.Under10s())
+	fmt.Fprintf(&b, "10s-1min,%.4f\n", r.Hist.TenToMinute())
+	fmt.Fprintf(&b, "1-10min,%.4f\n", r.Hist.MinuteToTen())
+	fmt.Fprintf(&b, "over10min,%.4f\n", r.Hist.OverTenMin())
+	return b.String()
+}
+
+// CSV renders the visible-window shares.
+func (r *WindowsResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("metric,value\n")
+	fmt.Fprintf(&b, "over10s,%.4f\nover1min,%.4f\nover10min,%.4f\n", r.Over10s, r.Over1min, r.Over10min)
+	fmt.Fprintf(&b, "one_min_of_predicted,%.4f\none_min_of_total,%.4f\nten_s_of_total,%.4f\n",
+		r.OneMinuteActionOfPredicted, r.OneMinuteActionOfTotal, r.TenSecondActionOfTotal)
+	return b.String()
+}
+
+// CSVFiles runs the plottable experiments at the given scale and returns
+// the per-figure CSV payloads keyed by file name.
+func CSVFiles(sc Scale) map[string]string {
+	bgl := BGL(sc)
+	mercury := MercuryCampaign(sc)
+	return map[string]string{
+		"fig1_signal_classes.csv":    Fig1(bgl).CSV(),
+		"fig5_chain_sizes_bgl.csv":   Fig5(bgl).CSV(),
+		"fig5_chain_sizes_merc.csv":  Fig5(mercury).CSV(),
+		"fig6_sequence_delays.csv":   Fig6(bgl).CSV(),
+		"fig7_propagation_bgl.csv":   Fig7(bgl).CSV(),
+		"fig7_propagation_merc.csv":  Fig7(mercury).CSV(),
+		"fig9_recall_breakdown.csv":  Fig9(bgl).CSV(),
+		"table3_methods.csv":         Table3(bgl).CSV(),
+		"table4_checkpoint_gain.csv": Table4(bgl).CSV(),
+		"pair_delays.csv":            PairDelays(bgl).CSV(),
+		"windows.csv":                Windows(bgl).CSV(),
+	}
+}

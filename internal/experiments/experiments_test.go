@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/correlate"
+	"github.com/elsa-hpc/elsa/internal/sig"
+)
+
+// One quick campaign shared by the tests in this file.
+var testCampaign = BGL(Quick)
+
+func TestFig1ClassMix(t *testing.T) {
+	r := Fig1(testCampaign)
+	if r.Total == 0 {
+		t.Fatal("no event types classified")
+	}
+	// The paper: silent signals are the majority of event types.
+	if r.Counts[sig.Silent]*2 < r.Total {
+		t.Errorf("silent not the majority: %v of %d", r.Counts, r.Total)
+	}
+	if r.Counts[sig.Periodic] == 0 {
+		t.Error("no periodic signals despite periodic daemons")
+	}
+	if !strings.Contains(r.String(), "silent") {
+		t.Error("rendering missing class names")
+	}
+}
+
+func TestFig3FilterQuality(t *testing.T) {
+	r := Fig3(7)
+	if r.Detected < r.InjectedSpikes*9/10 {
+		t.Errorf("detected %d/%d spikes", r.Detected, r.InjectedSpikes)
+	}
+	if r.FalseFlags > r.Samples/100 {
+		t.Errorf("false flags %d too high", r.FalseFlags)
+	}
+	if r.VarAfter >= r.VarBefore {
+		t.Error("replacement did not reduce variance")
+	}
+}
+
+func TestFig4RecoversDelays(t *testing.T) {
+	r := Fig4(7)
+	if got := r.RecoveredDelays["S1->S2"]; got < 5 || got > 7 {
+		t.Errorf("S1->S2 delay = %d, want ~6", got)
+	}
+	if got := r.RecoveredDelays["S1->S3"]; got < 9 || got > 11 {
+		t.Errorf("S1->S3 delay = %d, want ~10", got)
+	}
+	if got := r.RecoveredDelays["S2->S3"]; got < 3 || got > 5 {
+		t.Errorf("S2->S3 delay = %d, want ~4", got)
+	}
+}
+
+func TestTable1FindsCoreSequences(t *testing.T) {
+	r := Table1(testCampaign)
+	found := 0
+	for _, s := range r.Sections {
+		if s.Found {
+			found++
+		}
+	}
+	if found < 2 {
+		t.Errorf("only %d/4 example sequences extracted", found)
+	}
+	if !strings.Contains(r.String(), "Table I") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r := Fig5(testCampaign)
+	if r.Total == 0 {
+		t.Fatal("no chains")
+	}
+	if r.Mean < 2 || r.Mean > 8 {
+		t.Errorf("mean chain size = %v, implausible", r.Mean)
+	}
+}
+
+func TestFig6HasLongTail(t *testing.T) {
+	r := Fig6(testCampaign)
+	if r.Hist.Total() == 0 {
+		t.Fatal("no chains")
+	}
+	// Some sequences must exceed one minute (node-card class) and some be
+	// fast (ciodb/multiline).
+	if r.Hist.MinuteToTen()+r.Hist.OverTenMin() == 0 {
+		t.Error("no sequences beyond one minute")
+	}
+	if r.Hist.Under10s()+r.Hist.TenToMinute() == 0 {
+		t.Error("no fast sequences")
+	}
+}
+
+func TestPairDelays(t *testing.T) {
+	r := PairDelays(testCampaign)
+	if r.Hist.Total() == 0 {
+		t.Fatal("no pairs")
+	}
+	if r.NonPredictive <= 0 || r.NonPredictive >= 0.9 {
+		t.Errorf("non-predictive share = %v, want a real minority share", r.NonPredictive)
+	}
+}
+
+func TestTable2Extremes(t *testing.T) {
+	r := Table2(testCampaign)
+	if r.LongSpan <= r.ShortSpan {
+		t.Errorf("long span %v not above short span %v", r.LongSpan, r.ShortSpan)
+	}
+	if r.LongSpan < time.Minute {
+		t.Errorf("long span %v, want above a minute", r.LongSpan)
+	}
+}
+
+func TestFig7Propagation(t *testing.T) {
+	r := Fig7(testCampaign)
+	if r.Breakdown.Chains == 0 {
+		t.Fatal("no profiled chains")
+	}
+	if r.Breakdown.NoPropagate < 0.4 {
+		t.Errorf("NoPropagate = %v, want clear majority", r.Breakdown.NoPropagate)
+	}
+}
+
+func TestAnalysisTimeRegimes(t *testing.T) {
+	r := AnalysisTime(testCampaign)
+	if r.BurstAnalysis < 2*time.Second || r.BurstAnalysis > 4*time.Second {
+		t.Errorf("burst analysis = %v, want ~2.5s", r.BurstAnalysis)
+	}
+	if r.MeanAnalysis >= r.BurstAnalysis {
+		t.Error("mean analysis should be far below burst analysis")
+	}
+	if r.MeanMsgRate <= 0 {
+		t.Error("no message rate measured")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r := Table3(testCampaign)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	hy, sg, dm := r.Rows[0], r.Rows[1], r.Rows[2]
+	if dm.Recall >= hy.Recall {
+		t.Errorf("dm recall %v not below hybrid %v", dm.Recall, hy.Recall)
+	}
+	if hy.Precision < sg.Precision-0.03 {
+		t.Errorf("hybrid precision %v clearly below signal %v", hy.Precision, sg.Precision)
+	}
+	if sg.SeqLoaded <= hy.SeqLoaded {
+		t.Errorf("signal chains %d not above hybrid %d", sg.SeqLoaded, hy.SeqLoaded)
+	}
+}
+
+func TestFig9Breakdown(t *testing.T) {
+	r := Fig9(testCampaign)
+	if len(r.Categories) < 3 {
+		t.Fatalf("categories = %d", len(r.Categories))
+	}
+	shareSum := 0.0
+	for _, c := range r.Categories {
+		shareSum += c.Share
+	}
+	if shareSum < 0.99 || shareSum > 1.01 {
+		t.Errorf("shares sum to %v", shareSum)
+	}
+}
+
+func TestWindowsMonotone(t *testing.T) {
+	r := Windows(testCampaign)
+	if r.Over10s < r.Over1min || r.Over1min < r.Over10min {
+		t.Errorf("window fractions not monotone: %+v", r)
+	}
+	if r.Over10s == 0 {
+		t.Error("no predictions with usable window")
+	}
+}
+
+func TestTable4Gains(t *testing.T) {
+	r := Table4(testCampaign)
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.MeasuredGain <= 0 {
+		t.Errorf("measured gain = %v, want positive", r.MeasuredGain)
+	}
+}
+
+func TestAppImpact(t *testing.T) {
+	r := AppImpact(testCampaign)
+	o := r.Outcome
+	if o.Jobs == 0 || o.NodeHoursTotal <= 0 {
+		t.Fatalf("empty workload: %+v", o)
+	}
+	if o.FailureHits == 0 {
+		t.Fatal("no failure hit any job")
+	}
+	if o.ProactiveSaves == 0 {
+		t.Error("predictor saved nothing")
+	}
+	if o.LostWithPred >= o.LostNoPred {
+		t.Errorf("prediction did not reduce lost node-hours: %.1f vs %.1f",
+			o.LostWithPred, o.LostNoPred)
+	}
+	if !strings.Contains(r.String(), "node-hours") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestRobustnessSweep(t *testing.T) {
+	r := Robustness(Quick, 3)
+	if r.Seeds != 3 || len(r.PerSeed) != 3 {
+		t.Fatalf("seeds = %d", r.Seeds)
+	}
+	if r.Recall.Mean() <= 0.2 {
+		t.Errorf("mean recall = %v, implausibly low", r.Recall.Mean())
+	}
+	if r.Precision.Mean() <= 0.6 {
+		t.Errorf("mean precision = %v, implausibly low", r.Precision.Mean())
+	}
+	// Different seeds must actually differ somewhere.
+	same := true
+	for _, p := range r.PerSeed[1:] {
+		if p.Recall != r.PerSeed[0].Recall || p.Precision != r.PerSeed[0].Precision {
+			same = false
+		}
+	}
+	if same {
+		t.Error("all seeds produced identical outcomes")
+	}
+	if !strings.Contains(r.String(), "seed") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestAbsenceDetection(t *testing.T) {
+	// Rack crashes are rare (30 h MTBF); use a longer test window so a
+	// few land in it.
+	c := BGL(Scale{TrainDays: 2, TestDays: 8, Seed: 7})
+	r := Absence(c)
+	if r.Crashes == 0 {
+		t.Skip("no rack crashes at this seed")
+	}
+	if r.Detected < r.Crashes {
+		t.Errorf("detected %d/%d crashes", r.Detected, r.Crashes)
+	}
+	if r.FalseAlerts > r.Crashes {
+		t.Errorf("false alerts = %d", r.FalseAlerts)
+	}
+	// Detection must beat the operators' own notice on average.
+	if r.LeadOverNotice.Mean() <= 0 {
+		t.Errorf("mean lead over notice = %vs, want positive", r.LeadOverNotice.Mean())
+	}
+	if !strings.Contains(r.String(), "rack crashes") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestMercuryPipelineCrossSystem(t *testing.T) {
+	// The paper stresses platform independence: the same modules must run
+	// on the flat Mercury cluster. Train/predict/evaluate end to end and
+	// require a usable outcome.
+	c := MercuryCampaign(Quick)
+	out := c.Outcome(correlate.Hybrid)
+	if out.ChainsLoaded == 0 {
+		t.Fatal("no prediction-capable chains on mercury")
+	}
+	if out.Predictions == 0 {
+		t.Fatal("no usable predictions on mercury")
+	}
+	if out.Precision < 0.5 {
+		t.Errorf("mercury precision = %v, implausibly low", out.Precision)
+	}
+	if out.Recall <= 0.05 {
+		t.Errorf("mercury recall = %v, implausibly low", out.Recall)
+	}
+}
+
+func TestCSVFiles(t *testing.T) {
+	files := CSVFiles(Quick)
+	if len(files) < 10 {
+		t.Fatalf("only %d csv files", len(files))
+	}
+	for name, content := range files {
+		if !strings.HasSuffix(name, ".csv") {
+			t.Errorf("file %q lacks .csv suffix", name)
+		}
+		lines := strings.Split(strings.TrimSpace(content), "\n")
+		if len(lines) < 2 {
+			t.Errorf("%s: only %d lines", name, len(lines))
+			continue
+		}
+		// Header (or comment + header) plus at least one data row, and
+		// consistent comma counts on data rows.
+		header := lines[0]
+		if strings.HasPrefix(header, "#") {
+			header = lines[1]
+		}
+		want := strings.Count(header, ",")
+		if want == 0 {
+			t.Errorf("%s: header %q has no columns", name, header)
+		}
+		for _, l := range lines {
+			if strings.HasPrefix(l, "#") || l == header {
+				continue
+			}
+			if strings.Count(l, ",") != want {
+				t.Errorf("%s: row %q column count mismatch", name, l)
+			}
+		}
+	}
+}
+
+func TestRunKnownAndUnknown(t *testing.T) {
+	outStr, err := Run("table4", Quick)
+	if err != nil || !strings.Contains(outStr, "Table IV") {
+		t.Errorf("Run(table4) = %q, %v", outStr, err)
+	}
+	if _, err := Run("bogus", Quick); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(Names()) < 10 {
+		t.Error("experiment registry too small")
+	}
+}

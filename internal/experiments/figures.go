@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/correlate"
+	"github.com/elsa-hpc/elsa/internal/location"
+	"github.com/elsa-hpc/elsa/internal/outlier"
+	"github.com/elsa-hpc/elsa/internal/sig"
+	"github.com/elsa-hpc/elsa/internal/stats"
+)
+
+// Fig1Result reproduces Figure 1: the population of signal classes over
+// all event types, with one example template per class.
+type Fig1Result struct {
+	Counts   map[sig.Class]int
+	Total    int
+	Examples map[sig.Class]string // template text
+}
+
+// Fig1 classifies every event signal of the campaign.
+func Fig1(c *Campaign) *Fig1Result {
+	model := c.Model(correlate.Hybrid)
+	templates := c.Organizer().Templates()
+	res := &Fig1Result{
+		Counts:   make(map[sig.Class]int),
+		Examples: make(map[sig.Class]string),
+	}
+	ids := make([]int, 0, len(model.Profiles))
+	for id := range model.Profiles {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		p := model.Profiles[id]
+		res.Counts[p.Class]++
+		res.Total++
+		if _, ok := res.Examples[p.Class]; !ok && id < len(templates) {
+			res.Examples[p.Class] = templates[id].String()
+		}
+	}
+	return res
+}
+
+// String renders the class shares.
+func (r *Fig1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — signal classes over %d event types\n", r.Total)
+	for _, cl := range []sig.Class{sig.Periodic, sig.Noise, sig.Silent} {
+		share := 0.0
+		if r.Total > 0 {
+			share = float64(r.Counts[cl]) / float64(r.Total)
+		}
+		fmt.Fprintf(&b, "  %-8s %4d (%5.1f%%)  e.g. %s\n", cl, r.Counts[cl], 100*share, clip(r.Examples[cl], 60))
+	}
+	return b.String()
+}
+
+// Fig3Result reproduces Figure 3: the online outlier filter applied to a
+// synthetic noise signal with injected spikes.
+type Fig3Result struct {
+	Samples        int
+	InjectedSpikes int
+	Detected       int
+	MissedSpikes   int
+	FalseFlags     int
+	// VarBefore/VarAfter show the cleaning effect on the series.
+	VarBefore, VarAfter float64
+}
+
+// Fig3 builds the synthetic signal, injects spikes and runs the filter.
+func Fig3(seed int64) *Fig3Result {
+	rng := rand.New(rand.NewSource(seed))
+	n := 5000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = 20 + rng.NormFloat64()*2
+	}
+	spikeAt := map[int]bool{}
+	for len(spikeAt) < 40 {
+		i := 100 + rng.Intn(n-200)
+		if !spikeAt[i] {
+			spikeAt[i] = true
+			samples[i] = 80 + rng.NormFloat64()*10
+		}
+	}
+	profile := sig.Profile{Class: sig.Noise, Level: 20, Spread: 2}
+	th := outlier.Threshold(profile, outlier.DefaultK, outlier.DefaultFloor)
+	outliers, corrected := outlier.Filter(samples, 500, th)
+	res := &Fig3Result{Samples: n, InjectedSpikes: len(spikeAt)}
+	for _, i := range outliers {
+		if spikeAt[i] {
+			res.Detected++
+		} else {
+			res.FalseFlags++
+		}
+	}
+	res.MissedSpikes = res.InjectedSpikes - res.Detected
+	res.VarBefore = stats.Variance(samples)
+	res.VarAfter = stats.Variance(corrected)
+	return res
+}
+
+// String renders the filter outcome.
+func (r *Fig3Result) String() string {
+	return fmt.Sprintf("Figure 3 — online outlier filter: %d/%d injected spikes detected, %d false flags, variance %.1f -> %.1f\n",
+		r.Detected, r.InjectedSpikes, r.FalseFlags, r.VarBefore, r.VarAfter)
+}
+
+// Fig4Result reproduces Figure 4: three binarised signals with fixed
+// delays and the pair correlations the cross-correlation stage recovers.
+type Fig4Result struct {
+	TrueDelays      [2]int // S1->S2, S1->S3 in samples
+	RecoveredDelays map[string]int
+	Scores          map[string]float64
+}
+
+// Fig4 builds three spike trains (S2 and S3 trail S1) and recovers the
+// delays.
+func Fig4(seed int64) *Fig4Result {
+	rng := rand.New(rand.NewSource(seed))
+	res := &Fig4Result{TrueDelays: [2]int{6, 10},
+		RecoveredDelays: map[string]int{}, Scores: map[string]float64{}}
+	trains := sig.SpikeTrains{}
+	var s1, s2, s3 []int
+	for i := 0; i < 50; i++ {
+		base := i*700 + rng.Intn(10)
+		s1 = append(s1, base)
+		s2 = append(s2, base+res.TrueDelays[0])
+		s3 = append(s3, base+res.TrueDelays[1])
+	}
+	trains[1], trains[2], trains[3] = s1, s2, s3
+	for _, p := range sig.AllPairs(trains, sig.DefaultCrossCorrConfig()) {
+		key := fmt.Sprintf("S%d->S%d", p.A, p.B)
+		res.RecoveredDelays[key] = p.Delay
+		res.Scores[key] = p.Score
+	}
+	return res
+}
+
+// String renders the recovered correlation structure.
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — correlation of binarised signals (true delays S1->S2=%d, S1->S3=%d samples)\n",
+		r.TrueDelays[0], r.TrueDelays[1])
+	keys := make([]string, 0, len(r.RecoveredDelays))
+	for k := range r.RecoveredDelays {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %s delay=%d score=%.2f\n", k, r.RecoveredDelays[k], r.Scores[k])
+	}
+	return b.String()
+}
+
+// Fig5Result reproduces Figure 5: the distribution of chain sizes.
+type Fig5Result struct {
+	System    string
+	Sizes     map[int]int
+	Mean      float64
+	FracOver8 float64
+	Total     int
+}
+
+// Fig5 computes the chain-size distribution for a campaign.
+func Fig5(c *Campaign) *Fig5Result {
+	model := c.Model(correlate.Hybrid)
+	res := &Fig5Result{System: c.Profile.Name, Sizes: make(map[int]int)}
+	sum := 0
+	over8 := 0
+	for _, ch := range model.Chains {
+		res.Sizes[ch.Size()]++
+		res.Total++
+		sum += ch.Size()
+		if ch.Size() > 8 {
+			over8++
+		}
+	}
+	if res.Total > 0 {
+		res.Mean = float64(sum) / float64(res.Total)
+		res.FracOver8 = float64(over8) / float64(res.Total)
+	}
+	return res
+}
+
+// String renders the size histogram.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 — sequence sizes on %s: %d chains, mean %.1f, %.1f%% longer than 8\n",
+		r.System, r.Total, r.Mean, 100*r.FracOver8)
+	sizes := make([]int, 0, len(r.Sizes))
+	for s := range r.Sizes {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		fmt.Fprintf(&b, "  size %2d: %d\n", s, r.Sizes[s])
+	}
+	return b.String()
+}
+
+// Fig6Result reproduces Figure 6: the delay between a sequence's first
+// symptom and its last event.
+type Fig6Result struct {
+	System string
+	Hist   *stats.DelayHistogram
+}
+
+// Fig6 computes the first-to-last delay distribution over chains.
+func Fig6(c *Campaign) *Fig6Result {
+	model := c.Model(correlate.Hybrid)
+	res := &Fig6Result{System: c.Profile.Name, Hist: stats.NewDelayHistogram()}
+	for _, ch := range model.Chains {
+		res.Hist.Add(time.Duration(ch.Span()) * model.Step)
+	}
+	return res
+}
+
+// String renders the bucket shares.
+func (r *Fig6Result) String() string {
+	return fmt.Sprintf("Figure 6 — first-to-last delays on %s: %s\n", r.System, r.Hist)
+}
+
+// Fig7Result reproduces Figure 7: propagation breakdown of correlations.
+type Fig7Result struct {
+	System    string
+	Breakdown location.PropagationBreakdown
+}
+
+// Fig7 computes the propagation breakdown from the location profiles.
+func Fig7(c *Campaign) *Fig7Result {
+	profiles := c.LocationProfiles(correlate.Hybrid)
+	return &Fig7Result{System: c.Profile.Name, Breakdown: location.Breakdown(profiles)}
+}
+
+// String renders the propagation shares.
+func (r *Fig7Result) String() string {
+	b := r.Breakdown
+	return fmt.Sprintf("Figure 7 — propagation on %s over %d chains: none %.1f%%, node card %.1f%%, midplane %.1f%%, beyond midplane %.1f%% (mean affected %.1f)\n",
+		r.System, b.Chains, 100*b.NoPropagate, 100*b.NodeCard, 100*b.Midplane, 100*b.BeyondMP, b.MeanAffected)
+}
+
+// Fig9Result reproduces Figure 9: the recall breakdown per error category.
+type Fig9Result struct {
+	Categories []CategoryBar
+}
+
+// CategoryBar is one bar: the category's share of all failures and the
+// predicted (dark) portion.
+type CategoryBar struct {
+	Category  string
+	Share     float64
+	Recall    float64
+	Predicted int
+	Total     int
+}
+
+// Fig9 computes the per-category breakdown from the hybrid outcome.
+func Fig9(c *Campaign) *Fig9Result {
+	out := c.Outcome(correlate.Hybrid)
+	res := &Fig9Result{}
+	keys := make([]string, 0, len(out.ByCategory))
+	for k := range out.ByCategory {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cs := out.ByCategory[k]
+		res.Categories = append(res.Categories, CategoryBar{
+			Category: cs.Category, Share: cs.Share, Recall: cs.Recall(),
+			Predicted: cs.Predicted, Total: cs.Total,
+		})
+	}
+	return res
+}
+
+// String renders the bars.
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 9 — recall breakdown by category\n")
+	for _, c := range r.Categories {
+		fmt.Fprintf(&b, "  %-10s share=%5.1f%%  recall=%5.1f%% (%d/%d)\n",
+			c.Category, 100*c.Share, 100*c.Recall, c.Predicted, c.Total)
+	}
+	return b.String()
+}
+
+// chainText renders a chain as template lines with delays, used by the
+// table experiments.
+func chainText(c *Campaign, ch correlate.Chain) string {
+	templates := c.Organizer().Templates()
+	model := c.Model(correlate.Hybrid)
+	var b strings.Builder
+	for i, it := range ch.Items {
+		name := fmt.Sprintf("event-%d", it.Event)
+		if it.Event < len(templates) {
+			name = templates[it.Event].String()
+		}
+		if i == 0 {
+			fmt.Fprintf(&b, "    %s\n", clip(name, 76))
+		} else {
+			gap := time.Duration(it.Delay-ch.Items[i-1].Delay) * model.Step
+			fmt.Fprintf(&b, "    after %-8s %s\n", gap, clip(name, 64))
+		}
+	}
+	return b.String()
+}
+
+// findChain returns the first hybrid chain one of whose templates contains
+// the substring.
+func findChain(c *Campaign, substr string) (correlate.Chain, bool) {
+	model := c.Model(correlate.Hybrid)
+	templates := c.Organizer().Templates()
+	for _, ch := range model.Chains {
+		for _, it := range ch.Items {
+			if it.Event < len(templates) && strings.Contains(templates[it.Event].String(), substr) {
+				return ch, true
+			}
+		}
+	}
+	return correlate.Chain{}, false
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/checkpoint"
+	"github.com/elsa-hpc/elsa/internal/correlate"
+	"github.com/elsa-hpc/elsa/internal/stats"
+)
+
+// Table1Result reproduces Table I: example correlated-event sequences.
+type Table1Result struct {
+	Sections []Table1Section
+}
+
+// Table1Section is one block of the table.
+type Table1Section struct {
+	Title string
+	Text  string
+	Found bool
+}
+
+// Table1 extracts the example sequences the paper lists: a memory error
+// cascade, a node-card failure cascade, a multiline message pair and a
+// component restart sequence.
+func Table1(c *Campaign) *Table1Result {
+	res := &Table1Result{}
+	for _, want := range []struct{ title, substr string }{
+		{"Memory error", "ddr failing"},
+		{"Node card failure", "link card power module"},
+		{"Multiline messages", "purpose registers"},
+		{"Component restart sequence", "restarted"},
+	} {
+		sec := Table1Section{Title: want.title}
+		if ch, ok := findChain(c, want.substr); ok {
+			sec.Found = true
+			sec.Text = chainText(c, ch)
+		}
+		res.Sections = append(res.Sections, sec)
+	}
+	return res
+}
+
+// String renders the sections.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table I — sequences of correlated events\n")
+	for _, s := range r.Sections {
+		if !s.Found {
+			fmt.Fprintf(&b, "  %s: (not extracted at this scale)\n", s.Title)
+			continue
+		}
+		fmt.Fprintf(&b, "  %s\n%s", s.Title, s.Text)
+	}
+	return b.String()
+}
+
+// Table2Result reproduces Table II: the two delay extremes — a sequence
+// with no prediction window and one with a very long one.
+type Table2Result struct {
+	ShortTitle string
+	ShortSpan  time.Duration
+	ShortText  string
+	LongTitle  string
+	LongSpan   time.Duration
+	LongText   string
+}
+
+// Table2 finds the minimum- and maximum-span predictive chains.
+func Table2(c *Campaign) *Table2Result {
+	model := c.Model(correlate.Hybrid)
+	res := &Table2Result{ShortTitle: "CIODB sequence", LongTitle: "Node card sequence"}
+	first := true
+	var short, long correlate.Chain
+	for _, ch := range model.Chains {
+		if !ch.Predictive {
+			continue
+		}
+		if first {
+			short, long = ch, ch
+			first = false
+			continue
+		}
+		if ch.Span() < short.Span() {
+			short = ch
+		}
+		if ch.Span() > long.Span() {
+			long = ch
+		}
+	}
+	if first {
+		return res
+	}
+	res.ShortSpan = time.Duration(short.Span()) * model.Step
+	res.ShortText = chainText(c, short)
+	res.LongSpan = time.Duration(long.Span()) * model.Step
+	res.LongText = chainText(c, long)
+	return res
+}
+
+// String renders the two extremes.
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table II — sequences with extreme time delays\n")
+	fmt.Fprintf(&b, "  %s (span %s)\n%s", r.ShortTitle, r.ShortSpan, r.ShortText)
+	fmt.Fprintf(&b, "  %s (span %s)\n%s", r.LongTitle, r.LongSpan, r.LongText)
+	return b.String()
+}
+
+// PairDelaysResult reproduces the Section IV.B numbers: the delay
+// distribution over the initial pair correlations and the share of
+// sequences with no predictive value.
+type PairDelaysResult struct {
+	Hist          *stats.DelayHistogram
+	NonPredictive float64 // share of chains that are all-INFO (paper: ~23%)
+}
+
+// PairDelays computes the pair-delay mix from the signal-only model (whose
+// chains are exactly the cross-correlation pairs) and the non-predictive
+// share from the hybrid chain list.
+func PairDelays(c *Campaign) *PairDelaysResult {
+	pairs := c.Model(correlate.SignalOnly)
+	res := &PairDelaysResult{Hist: stats.NewDelayHistogram()}
+	for _, ch := range pairs.Chains {
+		res.Hist.Add(time.Duration(ch.Span()) * pairs.Step)
+	}
+	hybrid := c.Model(correlate.Hybrid)
+	if len(hybrid.Chains) > 0 {
+		nonPred := 0
+		for _, ch := range hybrid.Chains {
+			if !ch.Predictive {
+				nonPred++
+			}
+		}
+		res.NonPredictive = float64(nonPred) / float64(len(hybrid.Chains))
+	}
+	return res
+}
+
+// String renders the distribution.
+func (r *PairDelaysResult) String() string {
+	return fmt.Sprintf("Section IV.B — pair correlation delays: %s; non-predictive sequences %.1f%%\n",
+		r.Hist, 100*r.NonPredictive)
+}
+
+// AnalysisTimeResult reproduces the Section VI.A analysis-window numbers.
+type AnalysisTimeResult struct {
+	MeanMsgRate   float64       // messages per second over the run
+	MeanAnalysis  time.Duration // average per-tick analysis time
+	BurstAnalysis time.Duration // modelled analysis at 100 msg/s
+	WorstAnalysis time.Duration // worst tick observed (NFS bursts)
+	WorstMessages int
+}
+
+// AnalysisTime summarises the hybrid run's analysis-time model.
+func AnalysisTime(c *Campaign) *AnalysisTimeResult {
+	run := c.Run(correlate.Hybrid)
+	st := run.Stats
+	res := &AnalysisTimeResult{
+		MeanAnalysis:  time.Duration(st.Analysis.Mean() * float64(time.Second)),
+		WorstAnalysis: st.MaxAnalysis,
+		WorstMessages: st.MaxTickMessages,
+	}
+	if st.Ticks > 0 {
+		stepSec := 10.0
+		res.MeanMsgRate = float64(st.Messages) / (float64(st.Ticks) * stepSec)
+	}
+	// The paper's burst regime: 100 msg/s for one 10 s tick.
+	cfg := defaultEngineCost()
+	res.BurstAnalysis = cfg.base + 1000*cfg.perMsg
+	return res
+}
+
+type engineCost struct{ base, perMsg time.Duration }
+
+func defaultEngineCost() engineCost {
+	return engineCost{base: time.Millisecond, perMsg: 2500 * time.Microsecond}
+}
+
+// String renders the regimes.
+func (r *AnalysisTimeResult) String() string {
+	return fmt.Sprintf("Section VI.A — analysis time: mean rate %.2f msg/s, mean analysis %v, burst(100 msg/s) %v, worst observed %v (%d msgs)\n",
+		r.MeanMsgRate, r.MeanAnalysis.Round(time.Microsecond), r.BurstAnalysis, r.WorstAnalysis.Round(time.Millisecond), r.WorstMessages)
+}
+
+// Table3Row is one method's row of Table III.
+type Table3Row struct {
+	Method        string
+	Precision     float64
+	Recall        float64
+	SeqUsed       int
+	SeqLoaded     int
+	SeqUsedFrac   float64
+	PredFailures  int
+	LatePredCount int
+}
+
+// Table3Result reproduces Table III.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 runs all three methods on the campaign.
+func Table3(c *Campaign) *Table3Result {
+	res := &Table3Result{}
+	for _, mode := range []correlate.Mode{correlate.Hybrid, correlate.SignalOnly, correlate.DataMiningOnly} {
+		out := c.Outcome(mode)
+		res.Rows = append(res.Rows, Table3Row{
+			Method:        "ELSA " + mode.String(),
+			Precision:     out.Precision,
+			Recall:        out.Recall,
+			SeqUsed:       out.ChainsUsed,
+			SeqLoaded:     out.ChainsLoaded,
+			SeqUsedFrac:   out.SeqUsedFraction(),
+			PredFailures:  out.FailuresHit,
+			LatePredCount: out.LateDropped,
+		})
+	}
+	return res
+}
+
+// String renders the table.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table III — prediction methods\n")
+	fmt.Fprintf(&b, "  %-16s %10s %8s %14s %12s\n", "Method", "Precision", "Recall", "Seq Used", "Pred Failures")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-16s %9.1f%% %7.1f%% %6d (%4.1f%%) %12d\n",
+			row.Method, 100*row.Precision, 100*row.Recall,
+			row.SeqUsed, 100*row.SeqUsedFrac, row.PredFailures)
+	}
+	return b.String()
+}
+
+// WindowsResult reproduces the visible-window analysis of Section VI.A.
+type WindowsResult struct {
+	Over10s   float64 // share of correct predictions with >10 s window
+	Over1min  float64
+	Over10min float64
+
+	// Actionable shares: failures for which avoidance completes in time.
+	OneMinuteActionOfPredicted float64 // 1-min checkpoint, share of predicted
+	OneMinuteActionOfTotal     float64 // same, share of all failures
+	TenSecondActionOfTotal     float64 // 10-s checkpoint (FTI-style)
+}
+
+// Windows derives the window statistics from the hybrid run.
+func Windows(c *Campaign) *WindowsResult {
+	out := c.Outcome(correlate.Hybrid)
+	w := out.Windows()
+	res := &WindowsResult{
+		Over10s:   w.Over10s,
+		Over1min:  w.Over1min,
+		Over10min: w.Over10min,
+	}
+	// A proactive action taking A seconds is applicable to correct
+	// predictions with Lead > A.
+	if out.FailuresTotal > 0 && out.FailuresHit > 0 {
+		predShare := float64(out.FailuresHit) / float64(out.FailuresTotal)
+		res.OneMinuteActionOfPredicted = w.Over1min
+		res.OneMinuteActionOfTotal = w.Over1min * predShare
+		res.TenSecondActionOfTotal = w.Over10s * predShare
+	}
+	return res
+}
+
+// String renders the shares.
+func (r *WindowsResult) String() string {
+	return fmt.Sprintf("Section VI.A — visible windows: >10s %.1f%%, >1min %.1f%%, >10min %.1f%%; 1-min actions cover %.1f%% of predicted (%.1f%% of all) failures; 10-s actions cover %.1f%% of all\n",
+		100*r.Over10s, 100*r.Over1min, 100*r.Over10min,
+		100*r.OneMinuteActionOfPredicted, 100*r.OneMinuteActionOfTotal, 100*r.TenSecondActionOfTotal)
+}
+
+// Table4Result reproduces Table IV, optionally extended with a row using
+// the campaign's own measured precision/recall.
+type Table4Result struct {
+	Rows []checkpoint.TableIVRow
+	// Measured is the gain for this campaign's hybrid predictor on a
+	// 1-day-MTTF, 1-minute-checkpoint system.
+	MeasuredPrecision float64
+	MeasuredRecall    float64
+	MeasuredGain      float64
+}
+
+// Table4 computes the analytic table and the campaign-specific row.
+func Table4(c *Campaign) *Table4Result {
+	res := &Table4Result{Rows: checkpoint.TableIV()}
+	out := c.Outcome(correlate.Hybrid)
+	p := checkpoint.PaperParams(time.Minute, 24*time.Hour)
+	res.MeasuredPrecision = out.Precision
+	res.MeasuredRecall = out.Recall
+	res.MeasuredGain = checkpoint.WasteGain(p, checkpoint.Predictor{
+		Recall: out.Recall, Precision: out.Precision,
+	})
+	return res
+}
+
+// String renders the table with paper-vs-computed columns.
+func (r *Table4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table IV — checkpoint waste improvement\n")
+	fmt.Fprintf(&b, "  %-8s %-10s %-7s %-9s %10s %10s\n", "C", "Precision", "Recall", "MTTF", "Gain", "Paper")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-8s %9.0f%% %6.0f%% %-9s %9.2f%% %9.2f%%\n",
+			row.C, 100*row.Precision, 100*row.Recall, row.MTTF,
+			100*row.Gain, 100*row.PaperGain)
+	}
+	fmt.Fprintf(&b, "  measured hybrid predictor (P=%.1f%%, R=%.1f%%) on C=1min MTTF=1day: gain %.2f%%\n",
+		100*r.MeasuredPrecision, 100*r.MeasuredRecall, 100*r.MeasuredGain)
+	return b.String()
+}

@@ -1,0 +1,180 @@
+// Package fft implements the radix-2 fast Fourier transform and the
+// spectral utilities (periodogram, autocorrelation) that the signal module
+// uses to recognise periodic event types.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Transform computes the in-place iterative radix-2 FFT of x. It returns an
+// error unless len(x) is a power of two.
+func Transform(x []complex128) error {
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	if n == 1 {
+		return nil
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// Inverse computes the in-place inverse FFT of x (power-of-two length).
+func Inverse(x []complex128) error {
+	n := len(x)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := Transform(x); err != nil {
+		return err
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+	return nil
+}
+
+// Periodogram returns the power spectrum |X_k|^2 / n of the real series xs
+// for k in [0, n/2], zero-padding xs to the next power of two. The DC bin
+// is computed after removing the mean so that a constant offset does not
+// mask genuine periodicity.
+func Periodogram(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	m := 0.0
+	for _, v := range xs {
+		m += v
+	}
+	m /= float64(len(xs))
+	n := NextPow2(len(xs))
+	buf := make([]complex128, n)
+	for i, v := range xs {
+		buf[i] = complex(v-m, 0)
+	}
+	_ = Transform(buf) // length is a power of two by construction
+	out := make([]float64, n/2+1)
+	for k := range out {
+		re, im := real(buf[k]), imag(buf[k])
+		out[k] = (re*re + im*im) / float64(n)
+	}
+	return out
+}
+
+// PeakFrequency returns the index and power of the largest non-DC bin in a
+// periodogram, or (-1, 0) when the spectrum has fewer than two bins.
+func PeakFrequency(spec []float64) (bin int, power float64) {
+	bin = -1
+	for k := 1; k < len(spec); k++ {
+		if spec[k] > power {
+			bin, power = k, spec[k]
+		}
+	}
+	return bin, power
+}
+
+// SpectralFlatness returns the ratio of geometric to arithmetic mean of the
+// non-DC spectrum: near 1 for white noise, near 0 for a pure tone. Signal
+// classification uses it to separate periodic from noise signals.
+func SpectralFlatness(spec []float64) float64 {
+	if len(spec) < 2 {
+		return 1
+	}
+	const eps = 1e-12
+	logSum, sum := 0.0, 0.0
+	n := 0
+	for _, p := range spec[1:] {
+		logSum += math.Log(p + eps)
+		sum += p + eps
+		n++
+	}
+	geo := math.Exp(logSum / float64(n))
+	arith := sum / float64(n)
+	if arith == 0 {
+		return 1
+	}
+	return geo / arith
+}
+
+// Autocorrelation returns the biased autocorrelation of xs (mean-removed,
+// normalised so lag 0 equals 1) for lags 0..maxLag, computed via FFT in
+// O(n log n). A zero-variance series yields an all-zero result beyond
+// lag 0.
+func Autocorrelation(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if n == 0 || maxLag < 0 {
+		return nil
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	m := 0.0
+	for _, v := range xs {
+		m += v
+	}
+	m /= float64(n)
+	size := NextPow2(2 * n) // zero-pad to avoid circular wrap
+	buf := make([]complex128, size)
+	for i, v := range xs {
+		buf[i] = complex(v-m, 0)
+	}
+	_ = Transform(buf)
+	for i := range buf {
+		re, im := real(buf[i]), imag(buf[i])
+		buf[i] = complex(re*re+im*im, 0)
+	}
+	_ = Inverse(buf)
+	out := make([]float64, maxLag+1)
+	c0 := real(buf[0])
+	if c0 <= 0 {
+		out[0] = 1
+		return out
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		out[lag] = real(buf[lag]) / c0
+	}
+	return out
+}

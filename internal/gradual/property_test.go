@@ -1,0 +1,174 @@
+package gradual
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randItemset builds a random well-formed itemset (delay 0 first, sorted,
+// distinct events).
+func randItemset(r *rand.Rand) Itemset {
+	n := 2 + r.Intn(5)
+	items := make([]Item, n)
+	delay := 0
+	used := map[int]bool{}
+	for i := 0; i < n; i++ {
+		ev := r.Intn(50)
+		for used[ev] {
+			ev = r.Intn(50)
+		}
+		used[ev] = true
+		items[i] = Item{Event: ev, Delay: delay}
+		delay += 1 + r.Intn(20)
+	}
+	return Itemset{Items: items}
+}
+
+func TestSubPatternReflexive(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		s := randItemset(r)
+		return subPattern(&s, &s, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubPatternSuffixesAreSubPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		s := randItemset(r)
+		if s.Size() < 3 {
+			return true
+		}
+		// Any contiguous re-anchored sub-chain must be a sub-pattern.
+		lo := r.Intn(s.Size() - 1)
+		hi := lo + 2 + r.Intn(s.Size()-lo-1)
+		if hi > s.Size() {
+			hi = s.Size()
+		}
+		sub := Itemset{Items: append([]Item(nil), s.Items[lo:hi]...)}
+		base := sub.Items[0].Delay
+		for i := range sub.Items {
+			sub.Items[i].Delay -= base
+		}
+		return subPattern(&sub, &s, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeProducesWellFormedItems(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		prefix := randItemset(r)
+		if prefix.Size() < 2 {
+			return true
+		}
+		// Two siblings: same items except the last.
+		a := Itemset{Items: append([]Item(nil), prefix.Items...)}
+		b := Itemset{Items: append([]Item(nil), prefix.Items[:prefix.Size()-1]...)}
+		b.Items = append(b.Items, Item{Event: 100 + r.Intn(50), Delay: r.Intn(60)})
+		items, ok := merge(a, b)
+		if !ok {
+			return true
+		}
+		if items[0].Delay != 0 {
+			return false
+		}
+		for i := 1; i < len(items); i++ {
+			if items[i].Delay < items[i-1].Delay {
+				return false
+			}
+		}
+		return len(items) == a.Size()+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaximalKeepsAtLeastLargest(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		var sets []Itemset
+		n := 1 + r.Intn(8)
+		for i := 0; i < n; i++ {
+			sets = append(sets, randItemset(r))
+		}
+		kept := maximal(sets, 1)
+		if len(kept) == 0 || len(kept) > len(sets) {
+			return false
+		}
+		// The largest input size must survive.
+		maxIn, maxOut := 0, 0
+		for _, s := range sets {
+			if s.Size() > maxIn {
+				maxIn = s.Size()
+			}
+		}
+		for _, s := range kept {
+			if s.Size() > maxOut {
+				maxOut = s.Size()
+			}
+		}
+		return maxOut == maxIn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaximalIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		var sets []Itemset
+		for i := 0; i < 1+r.Intn(6); i++ {
+			sets = append(sets, randItemset(r))
+		}
+		once := maximal(sets, 1)
+		twice := maximal(once, 1)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i].Key() != twice[i].Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		a := randItemset(r)
+		b := randItemset(r)
+		sameItems := len(a.Items) == len(b.Items)
+		if sameItems {
+			for i := range a.Items {
+				if a.Items[i] != b.Items[i] {
+					sameItems = false
+					break
+				}
+			}
+		}
+		return (a.Key() == b.Key()) == sameItems
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

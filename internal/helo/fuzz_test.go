@@ -1,0 +1,38 @@
+package helo
+
+import (
+	"testing"
+
+	"github.com/elsa-hpc/elsa/internal/logs"
+)
+
+// FuzzLearn ensures template mining never panics and keeps its core
+// invariants for arbitrary message bytes: the returned template matches
+// the message's own token shape, and ids stay dense.
+func FuzzLearn(f *testing.F) {
+	f.Add("instruction cache parity error corrected")
+	f.Add("ddr failing data registers: 12 34")
+	f.Add("")
+	f.Add("    ")
+	f.Add("x")
+	f.Add("0x1f 0x2e 0x3d")
+	f.Add("lr:1 cr:2 xer:3 ctr:4")
+	f.Fuzz(func(t *testing.T, msg string) {
+		o := New(0)
+		tm := o.Learn(msg, logs.Warning)
+		if tm == nil {
+			t.Fatal("nil template")
+		}
+		if tm.ID != 0 {
+			t.Fatalf("first template id = %d", tm.ID)
+		}
+		if len(tm.Tokens) != len(Tokenize(msg)) {
+			t.Fatal("template token count differs from message")
+		}
+		// Learning the same message again must not create a new template.
+		tm2 := o.Learn(msg, logs.Warning)
+		if tm2.ID != tm.ID {
+			t.Fatalf("same message split into ids %d and %d", tm.ID, tm2.ID)
+		}
+	})
+}

@@ -1,0 +1,264 @@
+// Package helo reimplements the Hierarchical Event Log Organizer the paper
+// uses for preprocessing: it mines message templates (regular-expression
+// like patterns with wildcard positions) from raw log messages and assigns
+// every message a stable event-type id. The same code runs offline (mining
+// on a training window) and online (matching the live stream, creating
+// templates for genuinely new message shapes so the template set follows
+// software upgrades).
+package helo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/elsa-hpc/elsa/internal/logs"
+)
+
+// Wildcard is the token standing for a variable position in a template.
+const Wildcard = "*"
+
+// NumToken replaces purely numeric tokens during normalisation, matching
+// the "d+" convention in the paper's template listings.
+const NumToken = "d+"
+
+// Template is one mined event type: a token pattern where constant
+// positions carry the literal token and variable positions carry Wildcard.
+type Template struct {
+	ID          int
+	Tokens      []string
+	Support     int           // messages matched so far
+	MaxSeverity logs.Severity // highest severity seen on matching records
+}
+
+// String renders the template pattern.
+func (t *Template) String() string { return strings.Join(t.Tokens, " ") }
+
+// Matches reports whether the token sequence fits the template (same
+// length, all constant positions equal).
+func (t *Template) Matches(tokens []string) bool {
+	if len(tokens) != len(t.Tokens) {
+		return false
+	}
+	for i, tok := range t.Tokens {
+		if tok != Wildcard && tok != tokens[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// similarity scores how well a token sequence fits the template: exact
+// constant matches count fully, wildcard positions count half — they are
+// compatible but confirm nothing, so a template cannot degenerate into an
+// all-wildcard pattern that absorbs every same-length message.
+func (t *Template) similarity(tokens []string) float64 {
+	if len(tokens) != len(t.Tokens) {
+		return 0
+	}
+	if len(tokens) == 0 {
+		return 1 // two empty messages are the same event type
+	}
+	same := 0.0
+	for i, tok := range t.Tokens {
+		switch {
+		// Exact equality first: a literal "*" in a message must match a
+		// template position holding "*" fully, not as a half-credit
+		// wildcard.
+		case tok == tokens[i]:
+			same++
+		case tok == Wildcard:
+			same += 0.5
+		}
+	}
+	return same / float64(len(tokens))
+}
+
+// absorb merges a token sequence into the template, wildcarding every
+// position that disagrees.
+func (t *Template) absorb(tokens []string) {
+	for i, tok := range t.Tokens {
+		if tok != Wildcard && tok != tokens[i] {
+			t.Tokens[i] = Wildcard
+		}
+	}
+}
+
+// Tokenize normalises a raw message into tokens: lower-cased, whitespace
+// split, with purely numeric and hex-literal tokens replaced by NumToken so
+// that ids, counters and addresses do not explode the template space.
+// Key:value tokens with numeric values ("lr:0x01a") keep their key and
+// normalise the value ("lr:d+"), following HELO's handling of register
+// dumps and structured fields.
+func Tokenize(msg string) []string {
+	fields := strings.Fields(strings.ToLower(msg))
+	for i, f := range fields {
+		if isNumeric(f) {
+			fields[i] = NumToken
+			continue
+		}
+		if k := strings.IndexByte(f, ':'); k > 0 && k < len(f)-1 && isNumeric(f[k+1:]) {
+			fields[i] = f[:k+1] + NumToken
+		}
+	}
+	return fields
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	body := s
+	if strings.HasPrefix(body, "0x") && len(body) > 2 {
+		for _, c := range body[2:] {
+			if !isHexDigit(byte(c)) && !strings.ContainsRune(".,:-", c) {
+				return false
+			}
+		}
+		return true
+	}
+	digits := 0
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case c >= '0' && c <= '9':
+			digits++
+		case c == '.' || c == ',' || c == ':' || c == '-' || c == '+':
+			// separators inside numbers and ranges
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f'
+}
+
+// Organizer mines and matches templates. It is safe for concurrent use.
+type Organizer struct {
+	mu        sync.RWMutex
+	threshold float64
+	groups    map[int][]*Template // indexed by token count
+	all       []*Template
+}
+
+// DefaultThreshold is the similarity required to merge a message into an
+// existing template instead of opening a new one.
+const DefaultThreshold = 0.6
+
+// New returns an empty Organizer. A non-positive threshold selects
+// DefaultThreshold.
+func New(threshold float64) *Organizer {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return &Organizer{threshold: threshold, groups: make(map[int][]*Template)}
+}
+
+// Restore rebuilds an Organizer from previously mined templates (loaded
+// from a serialised model). Template ids must be dense and start at 0;
+// Restore panics otherwise, since matching relies on id = slice index.
+func Restore(threshold float64, templates []*Template) *Organizer {
+	o := New(threshold)
+	o.all = make([]*Template, len(templates))
+	for _, t := range templates {
+		if t.ID < 0 || t.ID >= len(templates) || o.all[t.ID] != nil {
+			panic(fmt.Sprintf("helo: template ids not dense (id %d of %d)", t.ID, len(templates)))
+		}
+		o.all[t.ID] = t
+		o.groups[len(t.Tokens)] = append(o.groups[len(t.Tokens)], t)
+	}
+	return o
+}
+
+// Threshold returns the merge-similarity threshold.
+func (o *Organizer) Threshold() float64 { return o.threshold }
+
+// Learn matches msg against the template set, merging it into the most
+// similar template above the threshold or creating a new one, and returns
+// the template. Severity tracks the worst level seen for the event type.
+func (o *Organizer) Learn(msg string, sev logs.Severity) *Template {
+	tokens := Tokenize(msg)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if best := o.bestLocked(tokens); best != nil {
+		best.absorb(tokens)
+		best.Support++
+		if sev > best.MaxSeverity {
+			best.MaxSeverity = sev
+		}
+		return best
+	}
+	t := &Template{
+		ID:          len(o.all),
+		Tokens:      append([]string(nil), tokens...),
+		Support:     1,
+		MaxSeverity: sev,
+	}
+	o.all = append(o.all, t)
+	o.groups[len(tokens)] = append(o.groups[len(tokens)], t)
+	return t
+}
+
+// bestLocked returns the most similar template above the threshold, or nil.
+func (o *Organizer) bestLocked(tokens []string) *Template {
+	var best *Template
+	bestSim := o.threshold
+	for _, t := range o.groups[len(tokens)] {
+		if sim := t.similarity(tokens); sim >= bestSim {
+			// Strict improvement keeps the earliest template on ties, so
+			// ids are stable across replays.
+			if best == nil || sim > bestSim {
+				best, bestSim = t, sim
+			}
+		}
+	}
+	return best
+}
+
+// Match returns the template msg belongs to without mutating the set.
+func (o *Organizer) Match(msg string) (*Template, bool) {
+	tokens := Tokenize(msg)
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for _, t := range o.groups[len(tokens)] {
+		if t.Matches(tokens) {
+			return t, true
+		}
+	}
+	if best := o.bestLocked(tokens); best != nil {
+		return best, true
+	}
+	return nil, false
+}
+
+// Templates returns the mined templates ordered by id. The returned slice
+// is a snapshot; the Template pointers are shared and their Support may
+// keep growing.
+func (o *Organizer) Templates() []*Template {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := append([]*Template(nil), o.all...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of templates mined so far.
+func (o *Organizer) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.all)
+}
+
+// Assign runs Learn over every record and stamps EventID in place,
+// returning the organizer's final template count.
+func (o *Organizer) Assign(recs []logs.Record) int {
+	for i := range recs {
+		t := o.Learn(recs[i].Message, recs[i].Severity)
+		recs[i].EventID = t.ID
+	}
+	return o.Len()
+}

@@ -1,0 +1,186 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/gen"
+	"github.com/elsa-hpc/elsa/internal/predict"
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+var t0 = time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func TestGenerateWorkloadShape(t *testing.T) {
+	m := topology.BlueGeneL()
+	jobsList := GenerateWorkload(m, t0, t0.Add(48*time.Hour), DefaultWorkload())
+	if len(jobsList) < 50 {
+		t.Fatalf("only %d jobs in 48h", len(jobsList))
+	}
+	for _, j := range jobsList {
+		if len(j.Nodes) < 1 {
+			t.Fatal("empty allocation")
+		}
+		if j.Start.Before(t0) || j.End.After(t0.Add(48*time.Hour)) {
+			t.Fatalf("job %d outside window: %v..%v", j.ID, j.Start, j.End)
+		}
+		if !j.End.After(j.Start) && j.End != j.Start {
+			t.Fatalf("job %d negative runtime", j.ID)
+		}
+		if j.NodeHours() < 0 {
+			t.Fatalf("job %d negative node-hours", j.ID)
+		}
+	}
+}
+
+func TestGenerateWorkloadDeterministic(t *testing.T) {
+	m := topology.BlueGeneL()
+	a := GenerateWorkload(m, t0, t0.Add(24*time.Hour), DefaultWorkload())
+	b := GenerateWorkload(m, t0, t0.Add(24*time.Hour), DefaultWorkload())
+	if len(a) != len(b) {
+		t.Fatalf("job counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || !a[i].Start.Equal(b[i].Start) || len(a[i].Nodes) != len(b[i].Nodes) {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+}
+
+// fixedJob builds one job over explicit nodes.
+func fixedJob(id int, nodes []string, start time.Time, dur time.Duration) Job {
+	j := Job{ID: id, Start: start, End: start.Add(dur)}
+	for _, n := range nodes {
+		j.Nodes = append(j.Nodes, topology.MustParse(n))
+	}
+	return j
+}
+
+func TestSimulateUnpredictedFailureCostsRollback(t *testing.T) {
+	cfg := DefaultImpact()
+	j := fixedJob(0, []string{"R00-M0-N0-C:J00-U00", "R00-M0-N0-C:J01-U00"}, t0, 10*time.Hour)
+	// Failure 30 minutes after the job's last checkpoint boundary.
+	f := gen.FailureRecord{
+		Time:      t0.Add(cfg.CheckpointInterval + 30*time.Minute),
+		Category:  "memory",
+		Locations: []topology.Location{topology.MustParse("R00-M0-N0-C:J00-U00")},
+	}
+	out := Simulate([]Job{j}, []gen.FailureRecord{f}, nil, cfg)
+	if out.FailureHits != 1 {
+		t.Fatalf("hits = %d", out.FailureHits)
+	}
+	wantLost := 2 * 0.5 // 2 nodes * 30 minutes
+	if diff := out.LostNoPred - wantLost; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("LostNoPred = %v node-hours, want %v", out.LostNoPred, wantLost)
+	}
+	if out.LostWithPred != out.LostNoPred {
+		t.Error("uncovered failure should cost the same with prediction")
+	}
+	if out.ProactiveSaves != 0 {
+		t.Error("no prediction given, yet a save recorded")
+	}
+}
+
+func TestSimulateCoveredFailureCostsOneCheckpoint(t *testing.T) {
+	cfg := DefaultImpact()
+	j := fixedJob(0, []string{"R00-M0-N0-C:J00-U00"}, t0, 10*time.Hour)
+	failAt := t0.Add(2 * time.Hour)
+	f := gen.FailureRecord{
+		Time:      failAt,
+		Category:  "memory",
+		Locations: []topology.Location{topology.MustParse("R00-M0-N0-C:J00-U00")},
+	}
+	pred := predict.Prediction{
+		IssuedAt:   failAt.Add(-5 * time.Minute),
+		ExpectedAt: failAt.Add(-time.Minute),
+		Lead:       4 * time.Minute,
+		Trigger:    topology.MustParse("R00-M0-N0-C:J00-U00"),
+		Scope:      topology.ScopeNode,
+	}
+	out := Simulate([]Job{j}, []gen.FailureRecord{f}, []predict.Prediction{pred}, cfg)
+	if out.ProactiveSaves != 1 {
+		t.Fatalf("saves = %d", out.ProactiveSaves)
+	}
+	wantLost := cfg.CheckpointCost.Hours() // one node, one checkpoint
+	if diff := out.LostWithPred - wantLost; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("LostWithPred = %v, want %v", out.LostWithPred, wantLost)
+	}
+	if out.LostNoPred <= out.LostWithPred {
+		t.Error("prediction did not reduce loss")
+	}
+	if out.ReductionFactor <= 1 {
+		t.Errorf("ReductionFactor = %v", out.ReductionFactor)
+	}
+}
+
+func TestSimulateShortLeadCannotSave(t *testing.T) {
+	cfg := DefaultImpact()
+	j := fixedJob(0, []string{"R00-M0-N0-C:J00-U00"}, t0, 10*time.Hour)
+	failAt := t0.Add(2 * time.Hour)
+	f := gen.FailureRecord{
+		Time:      failAt,
+		Category:  "io",
+		Locations: []topology.Location{topology.MustParse("R00-M0-N0-C:J00-U00")},
+	}
+	pred := predict.Prediction{
+		IssuedAt:   failAt.Add(-10 * time.Second),
+		ExpectedAt: failAt,
+		Lead:       10 * time.Second, // below the 1-minute checkpoint cost
+		Trigger:    topology.MustParse("R00-M0-N0-C:J00-U00"),
+		Scope:      topology.ScopeNode,
+	}
+	out := Simulate([]Job{j}, []gen.FailureRecord{f}, []predict.Prediction{pred}, cfg)
+	if out.ProactiveSaves != 0 {
+		t.Error("a lead shorter than the checkpoint cost must not save work")
+	}
+}
+
+func TestSimulateWrongLocationDoesNotSave(t *testing.T) {
+	cfg := DefaultImpact()
+	j := fixedJob(0, []string{"R00-M0-N0-C:J00-U00"}, t0, 10*time.Hour)
+	failAt := t0.Add(time.Hour)
+	f := gen.FailureRecord{
+		Time:      failAt,
+		Category:  "memory",
+		Locations: []topology.Location{topology.MustParse("R00-M0-N0-C:J00-U00")},
+	}
+	pred := predict.Prediction{
+		IssuedAt:   failAt.Add(-10 * time.Minute),
+		ExpectedAt: failAt,
+		Lead:       10 * time.Minute,
+		Trigger:    topology.MustParse("R63-M1-N9-C:J00-U00"), // elsewhere
+		Scope:      topology.ScopeNode,
+	}
+	out := Simulate([]Job{j}, []gen.FailureRecord{f}, []predict.Prediction{pred}, cfg)
+	if out.ProactiveSaves != 0 {
+		t.Error("wrong-location prediction must not save work")
+	}
+}
+
+func TestSimulateFailureOutsideJobWindow(t *testing.T) {
+	cfg := DefaultImpact()
+	j := fixedJob(0, []string{"R00-M0-N0-C:J00-U00"}, t0, time.Hour)
+	f := gen.FailureRecord{
+		Time:      t0.Add(2 * time.Hour), // after the job finished
+		Category:  "memory",
+		Locations: []topology.Location{topology.MustParse("R00-M0-N0-C:J00-U00")},
+	}
+	out := Simulate([]Job{j}, []gen.FailureRecord{f}, nil, cfg)
+	if out.FailureHits != 0 {
+		t.Error("failure after job end should not hit")
+	}
+}
+
+func TestSimulateMidplaneFailureHitsJob(t *testing.T) {
+	cfg := DefaultImpact()
+	j := fixedJob(0, []string{"R05-M1-N3-C:J07-U00"}, t0, 5*time.Hour)
+	f := gen.FailureRecord{
+		Time:      t0.Add(time.Hour),
+		Category:  "power",
+		Locations: []topology.Location{topology.MustParse("R05-M1")}, // whole midplane
+	}
+	out := Simulate([]Job{j}, []gen.FailureRecord{f}, nil, cfg)
+	if out.FailureHits != 1 {
+		t.Error("midplane-level failure should hit contained job node")
+	}
+}

@@ -1,0 +1,219 @@
+// Package location implements the paper's location-correlation heuristic
+// (Section III.D): for every extracted correlation chain it replays the
+// training log, collects the set of components each chain occurrence
+// touched, and summarises the chain's propagation behaviour — does the
+// fault stay on the node where the first symptom appears, spread within a
+// node card or midplane, or hit the whole system? The online predictor
+// uses these profiles to attach a predicted location set to each
+// prediction.
+package location
+
+import (
+	"sort"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/correlate"
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/sig"
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+// Profile is the learned propagation behaviour of one chain.
+type Profile struct {
+	ChainKey    string
+	Occurrences int
+
+	// ScopeCounts histograms the span scope of each occurrence's location
+	// set (ScopeNode means no propagation).
+	ScopeCounts map[topology.Scope]int
+
+	// MeanAffected is the average number of distinct components per
+	// occurrence.
+	MeanAffected float64
+
+	// TriggerIncluded counts occurrences where the first symptom's
+	// location was among the terminal event's locations (the paper
+	// observes this holds for most propagating sequences).
+	TriggerIncluded int
+}
+
+// DominantScope returns the most common propagation scope, preferring the
+// narrower scope on ties (conservative prediction).
+func (p *Profile) DominantScope() topology.Scope {
+	best, bestCount := topology.ScopeNode, -1
+	for s := topology.ScopeNode; s <= topology.ScopeSystem; s++ {
+		if c := p.ScopeCounts[s]; c > bestCount {
+			best, bestCount = s, c
+		}
+	}
+	return best
+}
+
+// Propagates reports whether the chain's occurrences typically touch more
+// than the originating component.
+func (p *Profile) Propagates() bool { return p.DominantScope() > topology.ScopeNode }
+
+// PredictScope returns the scope around the triggering location expected
+// to be affected by the predicted failure.
+func (p *Profile) PredictScope() topology.Scope { return p.DominantScope() }
+
+// occurrence is an event instance: sample index plus location.
+type occurrence struct {
+	tick int
+	loc  topology.Location
+}
+
+// Extract builds a profile for every chain by replaying the training
+// records (time-sorted, event-stamped). step is the sampling period and
+// start the signal origin used during training.
+func Extract(recs []logs.Record, chains []correlate.Chain, start time.Time, step time.Duration, tol int) map[string]*Profile {
+	// Index event occurrences (tick + location), deduplicated per tick
+	// and location.
+	occ := make(map[int][]occurrence)
+	for _, r := range recs {
+		if r.EventID < 0 {
+			continue
+		}
+		tick := int(r.Time.Sub(start) / step)
+		lst := occ[r.EventID]
+		if n := len(lst); n > 0 && lst[n-1].tick == tick && lst[n-1].loc == r.Location {
+			continue
+		}
+		occ[r.EventID] = append(occ[r.EventID], occurrence{tick: tick, loc: r.Location})
+	}
+
+	out := make(map[string]*Profile, len(chains))
+	for i := range chains {
+		out[chains[i].Key()] = profileChain(&chains[i], occ, tol)
+	}
+	return out
+}
+
+// profileChain replays one chain against the occurrence index.
+func profileChain(c *correlate.Chain, occ map[int][]occurrence, tol int) *Profile {
+	p := &Profile{ChainKey: c.Key(), ScopeCounts: make(map[topology.Scope]int)}
+	first := occ[c.First()]
+	totalAffected := 0
+	for _, f := range first {
+		locs, ok := matchOccurrence(c, occ, f, tol)
+		if !ok {
+			continue
+		}
+		p.Occurrences++
+		distinct := dedupe(locs)
+		// Propagation means touching multiple distinct components; a
+		// chain that always fires on one component (even a system-level
+		// one) does not propagate.
+		span := topology.ScopeNode
+		if len(distinct) > 1 {
+			span = topology.SpanScope(distinct)
+		}
+		p.ScopeCounts[span]++
+		totalAffected += len(distinct)
+		// Terminal locations are those of the last item; check whether
+		// the trigger is among them (or contains/is contained by one).
+		last := c.Last()
+		for _, o := range occAt(occ[last.Event], f.tick+last.Delay, sig.DelayTolerance(last.Delay, tol)) {
+			if o.loc == f.loc || o.loc.Contains(f.loc) || f.loc.Contains(o.loc) {
+				p.TriggerIncluded++
+				break
+			}
+		}
+	}
+	if p.Occurrences > 0 {
+		p.MeanAffected = float64(totalAffected) / float64(p.Occurrences)
+	}
+	return p
+}
+
+// matchOccurrence checks whether every item of the chain fires at the
+// right offset from the trigger occurrence, returning all locations
+// involved.
+func matchOccurrence(c *correlate.Chain, occ map[int][]occurrence, f occurrence, tol int) ([]topology.Location, bool) {
+	locs := []topology.Location{f.loc}
+	for _, it := range c.Items[1:] {
+		hits := occAt(occ[it.Event], f.tick+it.Delay, sig.DelayTolerance(it.Delay, tol))
+		if len(hits) == 0 {
+			return nil, false
+		}
+		for _, h := range hits {
+			locs = append(locs, h.loc)
+		}
+	}
+	return locs, true
+}
+
+// occAt returns the occurrences of a train with tick in [want-tol,
+// want+tol].
+func occAt(train []occurrence, want, tol int) []occurrence {
+	lo := sort.Search(len(train), func(i int) bool { return train[i].tick >= want-tol })
+	var out []occurrence
+	for i := lo; i < len(train) && train[i].tick <= want+tol; i++ {
+		out = append(out, train[i])
+	}
+	return out
+}
+
+func dedupe(locs []topology.Location) []topology.Location {
+	seen := make(map[topology.Location]bool, len(locs))
+	out := locs[:0]
+	for _, l := range locs {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// PropagationBreakdown summarises, over a set of profiles, the fraction of
+// chains whose occurrences stay on one node versus spreading to a node
+// card, midplane, rack or the whole system — the paper's Figure 7.
+type PropagationBreakdown struct {
+	Chains       int
+	NoPropagate  float64 // fraction with dominant scope == node
+	NodeCard     float64
+	Midplane     float64
+	BeyondMP     float64 // rack or system
+	MeanAffected float64 // average affected components among propagating chains
+}
+
+// Breakdown computes the propagation statistics over profiles with at
+// least one occurrence.
+func Breakdown(profiles map[string]*Profile) PropagationBreakdown {
+	var b PropagationBreakdown
+	counted := 0
+	affSum, affN := 0.0, 0
+	for _, p := range profiles {
+		if p.Occurrences == 0 {
+			continue
+		}
+		counted++
+		switch p.DominantScope() {
+		case topology.ScopeNode:
+			b.NoPropagate++
+		case topology.ScopeNodeCard:
+			b.NodeCard++
+		case topology.ScopeMidplane:
+			b.Midplane++
+		default:
+			b.BeyondMP++
+		}
+		if p.Propagates() {
+			affSum += p.MeanAffected
+			affN++
+		}
+	}
+	b.Chains = counted
+	if counted > 0 {
+		n := float64(counted)
+		b.NoPropagate /= n
+		b.NodeCard /= n
+		b.Midplane /= n
+		b.BeyondMP /= n
+	}
+	if affN > 0 {
+		b.MeanAffected = affSum / float64(affN)
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package location
+
+import (
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/correlate"
+	"github.com/elsa-hpc/elsa/internal/gen"
+	"github.com/elsa-hpc/elsa/internal/gradual"
+	"github.com/elsa-hpc/elsa/internal/helo"
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+var (
+	t0   = time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+	step = 10 * time.Second
+)
+
+func mkChain(items ...gradual.Item) correlate.Chain {
+	return correlate.Chain{Itemset: gradual.Itemset{Items: items}, Predictive: true}
+}
+
+func recAt(tick int, event int, loc string) logs.Record {
+	return logs.Record{
+		Time:     t0.Add(time.Duration(tick) * step),
+		EventID:  event,
+		Location: topology.MustParse(loc),
+	}
+}
+
+func TestProfileLocalChain(t *testing.T) {
+	// Chain 1 -> 2 with delay 3, always on the same node.
+	var recs []logs.Record
+	for i := 0; i < 10; i++ {
+		base := i * 100
+		recs = append(recs, recAt(base, 1, "R00-M0-N0-C:J02-U01"))
+		recs = append(recs, recAt(base+3, 2, "R00-M0-N0-C:J02-U01"))
+	}
+	chain := mkChain(gradual.Item{Event: 1, Delay: 0}, gradual.Item{Event: 2, Delay: 3})
+	profiles := Extract(recs, []correlate.Chain{chain}, t0, step, 1)
+	p := profiles[chain.Key()]
+	if p.Occurrences != 10 {
+		t.Fatalf("Occurrences = %d, want 10", p.Occurrences)
+	}
+	if p.Propagates() {
+		t.Error("local chain reported as propagating")
+	}
+	if p.DominantScope() != topology.ScopeNode {
+		t.Errorf("DominantScope = %v", p.DominantScope())
+	}
+	if p.TriggerIncluded != 10 {
+		t.Errorf("TriggerIncluded = %d, want 10", p.TriggerIncluded)
+	}
+	if p.MeanAffected != 1 {
+		t.Errorf("MeanAffected = %v, want 1", p.MeanAffected)
+	}
+}
+
+func TestProfileMidplaneChain(t *testing.T) {
+	// Chain where the final event hits three nodes in the trigger's
+	// midplane.
+	var recs []logs.Record
+	for i := 0; i < 8; i++ {
+		base := i * 100
+		recs = append(recs, recAt(base, 1, "R05-M1-N0-C:J00-U00"))
+		recs = append(recs, recAt(base+6, 2, "R05-M1-N0-C:J00-U00"))
+		recs = append(recs, recAt(base+6, 2, "R05-M1-N3-C:J07-U01"))
+		recs = append(recs, recAt(base+6, 2, "R05-M1-N9-C:J01-U00"))
+	}
+	chain := mkChain(gradual.Item{Event: 1, Delay: 0}, gradual.Item{Event: 2, Delay: 6})
+	p := Extract(recs, []correlate.Chain{chain}, t0, step, 1)[chain.Key()]
+	if !p.Propagates() {
+		t.Fatal("midplane chain reported local")
+	}
+	if p.DominantScope() != topology.ScopeMidplane {
+		t.Errorf("DominantScope = %v, want midplane", p.DominantScope())
+	}
+	if p.TriggerIncluded != 8 {
+		t.Errorf("TriggerIncluded = %d, want 8", p.TriggerIncluded)
+	}
+	if p.MeanAffected < 3 {
+		t.Errorf("MeanAffected = %v, want >= 3", p.MeanAffected)
+	}
+}
+
+func TestProfileNoOccurrences(t *testing.T) {
+	chain := mkChain(gradual.Item{Event: 5, Delay: 0}, gradual.Item{Event: 6, Delay: 2})
+	p := Extract(nil, []correlate.Chain{chain}, t0, step, 1)[chain.Key()]
+	if p.Occurrences != 0 || p.MeanAffected != 0 {
+		t.Errorf("empty profile = %+v", p)
+	}
+	if p.Propagates() {
+		t.Error("empty profile should not propagate")
+	}
+}
+
+func TestDominantScopeTieBreaksNarrow(t *testing.T) {
+	p := &Profile{ScopeCounts: map[topology.Scope]int{
+		topology.ScopeNode:     3,
+		topology.ScopeMidplane: 3,
+	}}
+	if got := p.DominantScope(); got != topology.ScopeNode {
+		t.Errorf("tie broke to %v, want node", got)
+	}
+}
+
+func TestBreakdownOnGeneratedLog(t *testing.T) {
+	// End-to-end: most chains must not propagate (paper: ~75%) and only a
+	// small share beyond the midplane.
+	res := gen.New(gen.BlueGeneL(), 201).Generate(t0, 6*24*time.Hour)
+	org := helo.New(0)
+	org.Assign(res.Records)
+	model := correlate.Train(res.Records, t0, res.End, correlate.Hybrid, correlate.DefaultConfig())
+	if len(model.Chains) == 0 {
+		t.Fatal("no chains")
+	}
+	profiles := Extract(res.Records, model.Chains, t0, step, 1)
+	b := Breakdown(profiles)
+	if b.Chains == 0 {
+		t.Fatal("no profiled chains")
+	}
+	if b.NoPropagate < 0.5 {
+		t.Errorf("NoPropagate = %v, want majority", b.NoPropagate)
+	}
+	if b.BeyondMP > 0.3 {
+		t.Errorf("BeyondMP = %v, want small share", b.BeyondMP)
+	}
+	sum := b.NoPropagate + b.NodeCard + b.Midplane + b.BeyondMP
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("breakdown fractions sum to %v", sum)
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	b := Breakdown(map[string]*Profile{})
+	if b.Chains != 0 || b.NoPropagate != 0 {
+		t.Errorf("empty breakdown = %+v", b)
+	}
+}

@@ -1,0 +1,109 @@
+package logs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Writer streams records to an io.Writer in the canonical text format.
+type Writer struct {
+	bw  *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriterSize(w, 1<<16)} }
+
+// Write appends one record. Errors are sticky and re-reported by Flush.
+func (w *Writer) Write(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.bw.WriteString(r.String()); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.bw.WriteByte('\n'); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains buffered output and returns any sticky error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// Reader streams records from an io.Reader, one per line. Blank lines and
+// lines starting with '#' are skipped.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r. Lines up to 1 MiB are supported.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next record, io.EOF at end of stream, or a decoding
+// error annotated with the line number.
+func (r *Reader) Next() (Record, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := r.sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return Record{}, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		return rec, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Record{}, err
+	}
+	return Record{}, io.EOF
+}
+
+// ReadAll drains the stream into a slice, stopping at the first error
+// other than EOF.
+func ReadAll(r io.Reader) ([]Record, error) {
+	rd := NewReader(r)
+	var out []Record
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteAll writes every record and flushes.
+func WriteAll(w io.Writer, recs []Record) error {
+	lw := NewWriter(w)
+	for _, r := range recs {
+		if err := lw.Write(r); err != nil {
+			return err
+		}
+	}
+	return lw.Flush()
+}

@@ -1,0 +1,93 @@
+package logs
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	recs := []Record{
+		rec(0, Info, "R00-M0-N0", "idoproxydb has been started"),
+		rec(10*time.Second, Severe, "R00-M0-N0-C:J02-U01", "L3 major internal error"),
+		rec(time.Minute, Failure, "tg-c042", "rpc: bad tcp reclen 1234 (non-terminal)"),
+	}
+	var sb strings.Builder
+	if err := WriteAll(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestReaderSkipsCommentsAndBlank(t *testing.T) {
+	input := "# header comment\n\n" + rec(0, Info, "R00", "msg body here").String() + "\n"
+	back, err := ReadAll(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("got %d records, want 1", len(back))
+	}
+}
+
+func TestReaderReportsLineNumber(t *testing.T) {
+	input := rec(0, Info, "R00", "ok line").String() + "\nbroken line\n"
+	r := NewReader(strings.NewReader(input))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line-2 annotation", err)
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.after -= len(p)
+	return len(p), nil
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(&failWriter{after: 1})
+	for i := 0; i < 10000; i++ {
+		_ = w.Write(rec(0, Info, "R00", strings.Repeat("x", 100)))
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("expected sticky write error")
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	_ = w.Write(rec(0, Info, "R00", "a"))
+	_ = w.Write(rec(0, Info, "R00", "b"))
+	if w.Count() != 2 {
+		t.Errorf("Count = %d", w.Count())
+	}
+}

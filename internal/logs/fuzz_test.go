@@ -1,0 +1,30 @@
+package logs
+
+import (
+	"testing"
+)
+
+// FuzzParseRecord checks the canonical-codec invariant: any line that
+// parses must re-encode to a line that parses to the same record, and no
+// input may panic.
+func FuzzParseRecord(f *testing.F) {
+	f.Add("2006-07-01T12:00:00Z SEVERE R00-M0-N0 KERNEL some message body")
+	f.Add("2006-07-01T12:00:00.123456789Z INFO SYSTEM - hello")
+	f.Add("2006-07-01T12:00:00Z FAILURE tg-c042 NFS rpc: bad tcp reclen 9 (non-terminal)")
+	f.Add("garbage")
+	f.Add("")
+	f.Add("2006-07-01T12:00:00Z BOGUS R00 X msg")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return
+		}
+		back, err := ParseRecord(rec.String())
+		if err != nil {
+			t.Fatalf("re-encode failed: %v (from %q)", err, line)
+		}
+		if back != rec {
+			t.Fatalf("round trip changed record: %+v vs %+v", back, rec)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package logs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+// randRecord builds a random but valid record (printable single-space
+// message, valid location).
+func randRecord(r *rand.Rand) Record {
+	words := []string{"error", "detected", "in", "module", "d+", "card", "restart",
+		"timeout", "0xdead", "l3", "ddr", "rpc:", "(non-terminal)", "*"}
+	n := 1 + r.Intn(8)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = words[r.Intn(len(words))]
+	}
+	m := topology.BlueGeneL()
+	var loc topology.Location
+	switch r.Intn(4) {
+	case 0:
+		loc = topology.System
+	case 1:
+		loc = m.RandomNode(r)
+	case 2:
+		loc = m.RandomNodeCard(r)
+	default:
+		loc = topology.FlatNode("tg-c" + string(rune('0'+r.Intn(10))))
+	}
+	comps := []string{"KERNEL", "MMCS", "CIODB", "", "LINKCARD"}
+	return Record{
+		Time:      time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(r.Int63n(int64(30 * 24 * time.Hour)))),
+		Severity:  Severity(r.Intn(5)),
+		Location:  loc,
+		Component: comps[r.Intn(len(comps))],
+		Message:   strings.Join(parts, " "),
+		EventID:   -1,
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		rec := randRecord(r)
+		back, err := ParseRecord(rec.String())
+		if err != nil {
+			return false
+		}
+		return back == rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		n := r.Intn(20)
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = randRecord(r)
+		}
+		var sb strings.Builder
+		if err := WriteAll(&sb, recs); err != nil {
+			return false
+		}
+		back, err := ReadAll(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		if len(back) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if back[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowPartitionProperty(t *testing.T) {
+	// Window over any split point partitions a sorted slice.
+	rng := rand.New(rand.NewSource(103))
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		n := 1 + r.Intn(50)
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = randRecord(r)
+		}
+		SortByTime(recs)
+		first, last := Span(recs)
+		mid := first.Add(time.Duration(r.Int63n(int64(last.Sub(first)) + 1)))
+		left := Window(recs, first, mid)
+		right := Window(recs, mid, last.Add(time.Nanosecond))
+		return len(left)+len(right) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

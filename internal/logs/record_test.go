@@ -1,0 +1,162 @@
+package logs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+var t0 = time.Date(2006, 7, 1, 12, 0, 0, 0, time.UTC)
+
+func rec(offset time.Duration, sev Severity, loc, msg string) Record {
+	return Record{
+		Time:      t0.Add(offset),
+		Severity:  sev,
+		Location:  topology.MustParse(loc),
+		Component: "KERNEL",
+		Message:   msg,
+		EventID:   -1,
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	cases := map[Severity]string{
+		Info: "INFO", Warning: "WARNING", Error: "ERROR",
+		Severe: "SEVERE", Failure: "FAILURE", Severity(42): "UNKNOWN",
+	}
+	for sev, want := range cases {
+		if got := sev.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", sev, got, want)
+		}
+	}
+}
+
+func TestParseSeverity(t *testing.T) {
+	for in, want := range map[string]Severity{
+		"INFO": Info, "warning": Warning, "WARN": Warning,
+		"Error": Error, "SEVERE": Severe, "FAILURE": Failure, "FATAL": Failure,
+	} {
+		got, err := ParseSeverity(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSeverity(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSeverity("bogus"); err == nil {
+		t.Error("expected error for unknown severity")
+	}
+}
+
+func TestSeverityIsError(t *testing.T) {
+	if Info.IsError() || Warning.IsError() || Error.IsError() {
+		t.Error("sub-severe levels should not be errors")
+	}
+	if !Severe.IsError() || !Failure.IsError() {
+		t.Error("severe and failure should be errors")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := rec(0, Severe, "R00-M0-N0-C:J02-U01", "instruction cache parity error corrected")
+	line := r.String()
+	back, err := ParseRecord(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.EventID = r.EventID
+	if back != r {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, r)
+	}
+}
+
+func TestRecordRoundTripEmptyComponent(t *testing.T) {
+	r := Record{Time: t0, Severity: Info, Location: topology.System, Message: "hello world", EventID: -1}
+	back, err := ParseRecord(r.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Component != "" || back.Message != "hello world" {
+		t.Errorf("got %+v", back)
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	for _, line := range []string{
+		"too short",
+		"notatime SEVERE R00 KERNEL msg",
+		"2006-07-01T12:00:00Z BOGUS R00 KERNEL msg",
+		"2006-07-01T12:00:00Z SEVERE R0x- KERNEL msg",
+	} {
+		if _, err := ParseRecord(line); err == nil {
+			t.Errorf("ParseRecord(%q): expected error", line)
+		}
+	}
+}
+
+func TestSortAndWindow(t *testing.T) {
+	recs := []Record{
+		rec(30*time.Second, Info, "R00", "c"),
+		rec(0, Info, "R00", "a"),
+		rec(10*time.Second, Info, "R00", "b"),
+	}
+	SortByTime(recs)
+	if recs[0].Message != "a" || recs[2].Message != "c" {
+		t.Fatalf("sort order wrong: %v", recs)
+	}
+	w := Window(recs, t0.Add(5*time.Second), t0.Add(30*time.Second))
+	if len(w) != 1 || w[0].Message != "b" {
+		t.Errorf("Window = %v", w)
+	}
+	if got := Window(recs, t0.Add(time.Hour), t0.Add(2*time.Hour)); len(got) != 0 {
+		t.Errorf("empty window returned %v", got)
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	recs := []Record{
+		rec(0, Info, "R00", "first"),
+		rec(0, Info, "R00", "second"),
+	}
+	SortByTime(recs)
+	if recs[0].Message != "first" {
+		t.Error("stable sort violated for simultaneous records")
+	}
+}
+
+func TestFilterAndCount(t *testing.T) {
+	recs := []Record{
+		rec(0, Info, "R00", "a"),
+		rec(1, Severe, "R00", "b"),
+		rec(2, Failure, "R00", "c"),
+		rec(3, Warning, "R00", "d"),
+	}
+	errs := FilterSeverity(recs, Severe)
+	if len(errs) != 2 {
+		t.Errorf("FilterSeverity = %d records", len(errs))
+	}
+	counts := CountBySeverity(recs)
+	if counts[Info] != 1 || counts[Severe] != 1 || counts[Failure] != 1 || counts[Warning] != 1 {
+		t.Errorf("CountBySeverity = %v", counts)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	first, last := Span(nil)
+	if !first.IsZero() || !last.IsZero() {
+		t.Error("empty span should be zero times")
+	}
+	recs := []Record{rec(0, Info, "R00", "a"), rec(time.Minute, Info, "R00", "b")}
+	first, last = Span(recs)
+	if !first.Equal(t0) || !last.Equal(t0.Add(time.Minute)) {
+		t.Errorf("Span = %v, %v", first, last)
+	}
+}
+
+func TestRecordStringFormat(t *testing.T) {
+	r := rec(0, Failure, "R22-M0-N0-I:J18-U01", "rpc: bad tcp reclen")
+	s := r.String()
+	if !strings.HasPrefix(s, "2006-07-01T12:00:00Z FAILURE R22-M0-N0-I:J18-U01 KERNEL ") {
+		t.Errorf("String = %q", s)
+	}
+}

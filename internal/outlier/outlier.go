@@ -1,0 +1,190 @@
+// Package outlier implements ELSA's on-line data-cleaning filter: every
+// new sample of an event signal is compared against the median of a causal
+// moving window holding both the raw past values and the corrected
+// replacements, and samples that deviate beyond a per-signal threshold are
+// declared outliers and replaced by the median (the paper's Section III.B.1
+// and Figure 3). Outliers are what the correlation and prediction stages
+// consume; the replacement keeps severe faults from poisoning the window.
+package outlier
+
+import (
+	"sort"
+
+	"github.com/elsa-hpc/elsa/internal/sig"
+)
+
+// DefaultWindow is the number of past samples the filter keeps (6 hours at
+// the 10-second sampling step; the window length is configurable up to the
+// paper's two months, trading memory and latency for stability).
+const DefaultWindow = 2160
+
+// DefaultK is the threshold multiplier applied to a signal's robust spread.
+const DefaultK = 3.0
+
+// DefaultFloor is the minimum threshold. It guarantees that on silent
+// signals (spread 0) any occurrence at all is flagged — exactly the paper's
+// observation that for silent event types the message itself is the
+// anomaly.
+const DefaultFloor = 0.5
+
+// Threshold derives the outlier threshold for a characterised signal:
+// k * spread, floored. The offline phase calls this once per signal.
+func Threshold(p sig.Profile, k, floor float64) float64 {
+	if k <= 0 {
+		k = DefaultK
+	}
+	if floor <= 0 {
+		floor = DefaultFloor
+	}
+	th := k * p.Spread
+	if th < floor {
+		th = floor
+	}
+	return th
+}
+
+// Observation is the per-sample filter verdict.
+type Observation struct {
+	Outlier   bool
+	Value     float64 // the raw sample
+	Median    float64 // window median the sample was compared against
+	Corrected float64 // Value, or the median when an outlier
+}
+
+// Detector filters one signal. It is not safe for concurrent use; the
+// online engine owns one detector per event type.
+type Detector struct {
+	window    int
+	threshold float64
+
+	// ReplaceOutliers controls whether flagged samples enter the window
+	// as their median replacement (the paper's scheme, default) or raw.
+	// Disabling it is the ablation for the replacement strategy: long
+	// fault bursts then drag the window median toward the fault level.
+	ReplaceOutliers bool
+
+	raw    ring
+	cor    ring
+	sorted sortedSet
+}
+
+// NewDetector returns a detector with the given window length (samples)
+// and threshold. Non-positive arguments select the defaults.
+func NewDetector(window int, threshold float64) *Detector {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if threshold <= 0 {
+		threshold = DefaultFloor
+	}
+	return &Detector{
+		window:          window,
+		threshold:       threshold,
+		ReplaceOutliers: true,
+		raw:             newRing(window),
+		cor:             newRing(window),
+	}
+}
+
+// Threshold returns the configured threshold.
+func (d *Detector) Threshold() float64 { return d.threshold }
+
+// Window returns the configured window length.
+func (d *Detector) Window() int { return d.window }
+
+// Observe feeds one sample through the filter and returns the verdict.
+//
+// The comparison window is the paper's Vk: the last N corrected values,
+// the last N raw values and the current sample itself.
+func (d *Detector) Observe(y float64) Observation {
+	if old, evicted := d.raw.push(y); evicted {
+		d.sorted.remove(old)
+	}
+	d.sorted.insert(y)
+	med := d.sorted.median()
+	out := Observation{Value: y, Median: med, Corrected: y}
+	if diff := y - med; diff > d.threshold || diff < -d.threshold {
+		out.Outlier = true
+		if d.ReplaceOutliers {
+			out.Corrected = med
+		}
+	}
+	if old, evicted := d.cor.push(out.Corrected); evicted {
+		d.sorted.remove(old)
+	}
+	d.sorted.insert(out.Corrected)
+	return out
+}
+
+// Filter runs a fresh detector over samples and returns the outlier sample
+// indices plus the corrected series. It is the batch entry point used by
+// the offline phase and the experiments.
+func Filter(samples []float64, window int, threshold float64) (outliers []int, corrected []float64) {
+	d := NewDetector(window, threshold)
+	corrected = make([]float64, len(samples))
+	for i, y := range samples {
+		obs := d.Observe(y)
+		if obs.Outlier {
+			outliers = append(outliers, i)
+		}
+		corrected[i] = obs.Corrected
+	}
+	return outliers, corrected
+}
+
+// ring is a fixed-capacity FIFO of float64.
+type ring struct {
+	buf  []float64
+	head int // next write position
+	n    int // occupancy
+}
+
+func newRing(capacity int) ring { return ring{buf: make([]float64, capacity)} }
+
+// push appends v, returning the evicted oldest value when the ring was
+// full.
+func (r *ring) push(v float64) (evicted float64, wasFull bool) {
+	if r.n == len(r.buf) {
+		evicted = r.buf[r.head]
+		wasFull = true
+	} else {
+		r.n++
+	}
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+	return evicted, wasFull
+}
+
+// sortedSet is a sorted multiset backed by a slice. Insert/remove are
+// O(n) moves but n is the filter window, and the constant is a memmove —
+// in practice far faster than tree structures at these sizes.
+type sortedSet struct {
+	xs []float64
+}
+
+func (s *sortedSet) insert(v float64) {
+	i := sort.SearchFloat64s(s.xs, v)
+	s.xs = append(s.xs, 0)
+	copy(s.xs[i+1:], s.xs[i:])
+	s.xs[i] = v
+}
+
+func (s *sortedSet) remove(v float64) {
+	i := sort.SearchFloat64s(s.xs, v)
+	if i < len(s.xs) && s.xs[i] == v {
+		s.xs = append(s.xs[:i], s.xs[i+1:]...)
+	}
+}
+
+func (s *sortedSet) median() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s.xs[n/2]
+	}
+	return (s.xs[n/2-1] + s.xs[n/2]) / 2
+}
+
+func (s *sortedSet) len() int { return len(s.xs) }

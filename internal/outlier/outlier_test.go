@@ -1,0 +1,215 @@
+package outlier
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/elsa-hpc/elsa/internal/sig"
+)
+
+func TestThresholdCalibration(t *testing.T) {
+	noisy := sig.Profile{Class: sig.Noise, Spread: 2}
+	if got := Threshold(noisy, 3, 0.5); got != 6 {
+		t.Errorf("noisy threshold = %v, want 6", got)
+	}
+	silent := sig.Profile{Class: sig.Silent, Spread: 0}
+	if got := Threshold(silent, 3, 0.5); got != 0.5 {
+		t.Errorf("silent threshold = %v, want floor 0.5", got)
+	}
+	if got := Threshold(noisy, 0, 0); got != 6 {
+		t.Errorf("default k threshold = %v, want 6", got)
+	}
+}
+
+func TestSilentSignalAnyOccurrenceIsOutlier(t *testing.T) {
+	d := NewDetector(100, DefaultFloor)
+	for i := 0; i < 500; i++ {
+		if obs := d.Observe(0); obs.Outlier {
+			t.Fatalf("zero sample flagged at %d", i)
+		}
+	}
+	obs := d.Observe(1)
+	if !obs.Outlier {
+		t.Fatal("occurrence on a silent signal not flagged")
+	}
+	if obs.Corrected != 0 {
+		t.Errorf("Corrected = %v, want 0", obs.Corrected)
+	}
+}
+
+func TestSpikesDetectedInNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	d := NewDetector(200, 5)
+	// Warm up with noise around level 10.
+	for i := 0; i < 400; i++ {
+		d.Observe(10 + rng.NormFloat64())
+	}
+	if obs := d.Observe(10.5); obs.Outlier {
+		t.Error("in-band sample flagged")
+	}
+	if obs := d.Observe(40); !obs.Outlier {
+		t.Error("spike not flagged")
+	}
+}
+
+func TestReplacementLimitsBurstInfluence(t *testing.T) {
+	// A long fault burst must not drag the median up: replacements keep
+	// the window anchored at the normal level.
+	d := NewDetector(100, 3)
+	for i := 0; i < 200; i++ {
+		d.Observe(5)
+	}
+	flagged := 0
+	for i := 0; i < 80; i++ {
+		if obs := d.Observe(50); obs.Outlier {
+			flagged++
+		}
+	}
+	if flagged < 70 {
+		t.Errorf("only %d/80 burst samples flagged; median drifted", flagged)
+	}
+}
+
+func TestBurstLongerThanWindowStillFlaggedEarly(t *testing.T) {
+	// When a burst outlasts the window the median eventually adapts (the
+	// paper's replacement minimises, not eliminates, the influence of
+	// sustained faults). The filter must still flag at least the first
+	// half-window of burst samples before drifting.
+	d := NewDetector(50, 3)
+	for i := 0; i < 100; i++ {
+		d.Observe(5)
+	}
+	flaggedPrefix := 0
+	for i := 0; i < 60; i++ {
+		obs := d.Observe(50)
+		if i < 25 && obs.Outlier {
+			flaggedPrefix++
+		}
+	}
+	if flaggedPrefix != 25 {
+		t.Errorf("flagged %d/25 early burst samples", flaggedPrefix)
+	}
+}
+
+func TestObserveMedianTracksLevelShift(t *testing.T) {
+	// Legitimate slow level changes must eventually pass through: after
+	// the window fully turns over at the new level, samples there are
+	// normal. Replacement means the corrected half converges only via
+	// non-outlier samples, so approach the new level gradually.
+	d := NewDetector(40, 3)
+	for i := 0; i < 80; i++ {
+		d.Observe(5)
+	}
+	// Ramp up slowly within the threshold.
+	level := 5.0
+	for level < 20 {
+		level += 2 // below threshold 3 per step
+		for i := 0; i < 50; i++ {
+			d.Observe(level)
+		}
+	}
+	if obs := d.Observe(21); obs.Outlier {
+		t.Errorf("sample near new level flagged; median = %v", obs.Median)
+	}
+}
+
+func TestFilterBatch(t *testing.T) {
+	samples := make([]float64, 300)
+	for i := range samples {
+		samples[i] = 4
+	}
+	samples[150] = 100
+	samples[200] = 90
+	outliers, corrected := Filter(samples, 100, 3)
+	if len(outliers) != 2 || outliers[0] != 150 || outliers[1] != 200 {
+		t.Errorf("outliers = %v", outliers)
+	}
+	if corrected[150] != 4 || corrected[200] != 4 {
+		t.Errorf("corrected spikes = %v, %v", corrected[150], corrected[200])
+	}
+	if corrected[10] != 4 {
+		t.Errorf("normal sample changed: %v", corrected[10])
+	}
+}
+
+func TestFilterEmptyAndDefaults(t *testing.T) {
+	outliers, corrected := Filter(nil, 0, 0)
+	if outliers != nil || len(corrected) != 0 {
+		t.Error("empty input should yield empty output")
+	}
+	d := NewDetector(0, 0)
+	if d.Window() != DefaultWindow || d.Threshold() != DefaultFloor {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestFirstSampleNeverOutlier(t *testing.T) {
+	d := NewDetector(10, 0.5)
+	if obs := d.Observe(100); obs.Outlier {
+		t.Error("first sample compared against itself should not be an outlier")
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := newRing(3)
+	if _, full := r.push(1); full {
+		t.Error("push into empty ring reported eviction")
+	}
+	r.push(2)
+	r.push(3)
+	old, full := r.push(4)
+	if !full || old != 1 {
+		t.Errorf("eviction = %v, %v; want 1, true", old, full)
+	}
+	old, _ = r.push(5)
+	if old != 2 {
+		t.Errorf("second eviction = %v, want 2", old)
+	}
+}
+
+func TestSortedSet(t *testing.T) {
+	var s sortedSet
+	for _, v := range []float64{5, 1, 3, 3, 2} {
+		s.insert(v)
+	}
+	if s.len() != 5 {
+		t.Fatalf("len = %d", s.len())
+	}
+	if got := s.median(); got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+	s.remove(3)
+	if s.len() != 4 || s.median() != 2.5 {
+		t.Errorf("after remove: len=%d median=%v", s.len(), s.median())
+	}
+	s.remove(99) // absent value is a no-op
+	if s.len() != 4 {
+		t.Error("removing absent value changed the set")
+	}
+	var empty sortedSet
+	if empty.median() != 0 {
+		t.Error("empty median should be 0")
+	}
+}
+
+func TestDetectorWindowBounded(t *testing.T) {
+	d := NewDetector(50, 1)
+	for i := 0; i < 10000; i++ {
+		d.Observe(float64(i % 7))
+	}
+	if got := d.sorted.len(); got > 100 {
+		t.Errorf("sorted set grew to %d, want <= 2*window", got)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDetector(DefaultWindow, 3)
+	for i := 0; i < DefaultWindow*2; i++ {
+		d.Observe(10 + rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(10 + rng.NormFloat64())
+	}
+}

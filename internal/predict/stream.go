@@ -1,0 +1,103 @@
+package predict
+
+import (
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/logs"
+)
+
+// Stream wraps an Engine for incremental use: records arrive one at a
+// time (in time order), ticks close as the clock passes them, and
+// predictions surface as soon as their tick's analysis completes. It is
+// the online deployment shape of the batch Run API — a monitor daemon
+// tails a log and forwards records as they appear.
+type Stream struct {
+	engine *Engine
+	start  time.Time
+	tick   int // next tick to close
+	buf    []logs.Record
+	result *Result
+	closed bool
+}
+
+// NewStream arms an engine for incremental feeding, with tick 0 starting
+// at start.
+func NewStream(engine *Engine, start time.Time) *Stream {
+	return &Stream{
+		engine: engine,
+		start:  start,
+		result: &Result{Stats: Stats{
+			ChainsLoaded: len(engine.chains),
+			ChainsUsed:   make(map[string]int),
+		}},
+	}
+}
+
+// Feed appends one record and returns any predictions that became visible
+// by closing earlier ticks. Records must arrive in time order; stragglers
+// older than the current tick are dropped (and counted).
+func (s *Stream) Feed(rec logs.Record) []Prediction {
+	if s.closed {
+		return nil
+	}
+	preds := s.AdvanceTo(rec.Time)
+	if rec.Time.Before(s.start.Add(time.Duration(s.tick) * s.engine.cfg.Step)) {
+		s.result.Stats.LateRecords++
+		return preds
+	}
+	s.buf = append(s.buf, rec)
+	return preds
+}
+
+// AdvanceTo closes every tick that ends at or before now, returning the
+// predictions they emitted. Call it periodically even without records so
+// time-based expiry proceeds during quiet spells.
+func (s *Stream) AdvanceTo(now time.Time) []Prediction {
+	if s.closed {
+		return nil
+	}
+	var out []Prediction
+	for {
+		tickEnd := s.start.Add(time.Duration(s.tick+1) * s.engine.cfg.Step)
+		if now.Before(tickEnd) {
+			return out
+		}
+		out = append(out, s.closeTick(tickEnd)...)
+	}
+}
+
+// closeTick processes the buffered records of the current tick.
+func (s *Stream) closeTick(tickEnd time.Time) []Prediction {
+	tickStart := tickEnd.Add(-s.engine.cfg.Step)
+	// Partition buffered records: those in this tick are consumed.
+	var cur []logs.Record
+	rest := s.buf[:0]
+	for _, r := range s.buf {
+		if r.Time.Before(tickEnd) && !r.Time.Before(tickStart) {
+			cur = append(cur, r)
+		} else if !r.Time.Before(tickEnd) {
+			rest = append(rest, r)
+		}
+	}
+	s.buf = rest
+	before := len(s.result.Predictions)
+	s.engine.processTick(cur, s.tick, tickStart, tickEnd, s.result)
+	s.tick++
+	return s.result.Predictions[before:]
+}
+
+// Close flushes any still-open tick and returns the accumulated result.
+// The stream cannot be fed afterwards.
+func (s *Stream) Close() *Result {
+	if !s.closed {
+		if len(s.buf) > 0 {
+			tickEnd := s.start.Add(time.Duration(s.tick+1) * s.engine.cfg.Step)
+			s.closeTick(tickEnd)
+		}
+		s.closed = true
+	}
+	return s.result
+}
+
+// Result returns the accumulated result so far without closing.
+func (s *Stream) Result() *Result { return s.result }

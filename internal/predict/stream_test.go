@@ -1,0 +1,114 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/correlate"
+	"github.com/elsa-hpc/elsa/internal/gen"
+	"github.com/elsa-hpc/elsa/internal/helo"
+	"github.com/elsa-hpc/elsa/internal/location"
+)
+
+// streamPipeline trains a model and returns engine inputs for streaming
+// comparison tests.
+func streamPipeline(t *testing.T, seed int64) (*correlate.Model, map[string]*location.Profile, *gen.Result, time.Time) {
+	t.Helper()
+	total := 6 * 24 * time.Hour
+	cut := t0.Add(3 * 24 * time.Hour)
+	res := gen.New(gen.BlueGeneL(), seed).Generate(t0, total)
+	org := helo.New(0)
+	org.Assign(res.Records)
+	train, _, _ := res.Split(cut)
+	model := correlate.Train(train, t0, cut, correlate.Hybrid, correlate.DefaultConfig())
+	profiles := location.Extract(train, model.Chains, t0, model.Step, 1)
+	return model, profiles, res, cut
+}
+
+func TestStreamMatchesBatch(t *testing.T) {
+	model, profiles, res, cut := streamPipeline(t, 401)
+	_, test, _ := res.Split(cut)
+
+	batch := NewEngine(model, profiles, DefaultConfig()).Run(test, cut, res.End)
+
+	stream := NewStream(NewEngine(model, profiles, DefaultConfig()), cut)
+	var streamed []Prediction
+	for _, r := range test {
+		streamed = append(streamed, stream.Feed(r)...)
+	}
+	streamed = append(streamed, stream.AdvanceTo(res.End)...)
+	final := stream.Close()
+
+	if len(streamed) != len(batch.Predictions) {
+		t.Fatalf("stream emitted %d predictions, batch %d", len(streamed), len(batch.Predictions))
+	}
+	for i := range streamed {
+		if streamed[i] != batch.Predictions[i] {
+			t.Fatalf("prediction %d differs:\nstream %+v\nbatch  %+v", i, streamed[i], batch.Predictions[i])
+		}
+	}
+	if final.Stats.Messages != batch.Stats.Messages {
+		t.Errorf("message counts differ: %d vs %d", final.Stats.Messages, batch.Stats.Messages)
+	}
+	if len(final.Stats.ChainsUsed) != len(batch.Stats.ChainsUsed) {
+		t.Errorf("chains used differ: %d vs %d", len(final.Stats.ChainsUsed), len(batch.Stats.ChainsUsed))
+	}
+}
+
+func TestStreamIncrementalDelivery(t *testing.T) {
+	model, profiles, res, cut := streamPipeline(t, 402)
+	_, test, _ := res.Split(cut)
+	stream := NewStream(NewEngine(model, profiles, DefaultConfig()), cut)
+
+	sawMidRun := false
+	half := len(test) / 2
+	for i, r := range test {
+		if preds := stream.Feed(r); len(preds) > 0 && i < half {
+			sawMidRun = true
+		}
+	}
+	stream.Close()
+	if !sawMidRun {
+		t.Error("no prediction delivered before the stream ended")
+	}
+}
+
+func TestStreamDropsStragglers(t *testing.T) {
+	model, profiles, _, _ := streamPipeline(t, 403)
+	stream := NewStream(NewEngine(model, profiles, DefaultConfig()), t0)
+	// Advance well past tick 0, then feed a record from the past.
+	stream.AdvanceTo(t0.Add(time.Minute))
+	old := gen.New(gen.BlueGeneL(), 1).Generate(t0, time.Minute).Records
+	if len(old) == 0 {
+		t.Skip("no records generated in a minute")
+	}
+	r := old[0]
+	r.EventID = 0
+	stream.Feed(r)
+	if got := stream.Result().Stats.LateRecords; got != 1 {
+		t.Errorf("LateRecords = %d, want 1", got)
+	}
+}
+
+func TestStreamClosedIsInert(t *testing.T) {
+	model, profiles, _, _ := streamPipeline(t, 404)
+	stream := NewStream(NewEngine(model, profiles, DefaultConfig()), t0)
+	res1 := stream.Close()
+	if preds := stream.AdvanceTo(t0.Add(time.Hour)); preds != nil {
+		t.Error("closed stream advanced")
+	}
+	res2 := stream.Close()
+	if res1 != res2 {
+		t.Error("Close not idempotent")
+	}
+}
+
+func TestStreamQuietAdvance(t *testing.T) {
+	model, profiles, _, _ := streamPipeline(t, 405)
+	stream := NewStream(NewEngine(model, profiles, DefaultConfig()), t0)
+	// An hour of silence: ticks must still close.
+	stream.AdvanceTo(t0.Add(time.Hour))
+	if got := stream.Result().Stats.Ticks; got != 360 {
+		t.Errorf("Ticks = %d, want 360", got)
+	}
+}

@@ -1,0 +1,184 @@
+package sig
+
+import (
+	"github.com/elsa-hpc/elsa/internal/fft"
+	"github.com/elsa-hpc/elsa/internal/stats"
+)
+
+// Class is the behaviour type of an event signal. The paper (Figure 1)
+// identifies exactly three: periodic signals (daemons, monitors), noise
+// signals (bursty chatter) and silent signals (event types that almost
+// never appear, whose mere occurrence is the anomaly — the majority of
+// event types).
+type Class int
+
+// Signal classes.
+const (
+	Noise Class = iota
+	Periodic
+	Silent
+)
+
+var classNames = [...]string{"noise", "periodic", "silent"}
+
+// String names the class.
+func (c Class) String() string {
+	if c < Noise || c > Silent {
+		return "invalid"
+	}
+	return classNames[c]
+}
+
+// ClassifyConfig tunes classification.
+type ClassifyConfig struct {
+	// SilentZeroFraction is the minimum fraction of empty samples for a
+	// signal to count as silent.
+	SilentZeroFraction float64
+	// PeriodicACThreshold is the autocorrelation a lag must reach for the
+	// signal to count as periodic.
+	PeriodicACThreshold float64
+	// MaxPeriod bounds the period search, in samples.
+	MaxPeriod int
+}
+
+// DefaultClassifyConfig returns the thresholds used throughout the
+// experiments.
+func DefaultClassifyConfig() ClassifyConfig {
+	return ClassifyConfig{
+		SilentZeroFraction:  0.995,
+		PeriodicACThreshold: 0.5,
+		MaxPeriod:           4320, // 12 hours at the 10 s step
+	}
+}
+
+// Classify determines the behaviour class of samples and, for periodic
+// signals, the dominant period in samples (0 otherwise).
+func Classify(samples []float64, cfg ClassifyConfig) (Class, int) {
+	if len(samples) == 0 {
+		return Silent, 0
+	}
+	if stats.ZeroFraction(samples) >= cfg.SilentZeroFraction {
+		return Silent, 0
+	}
+	maxLag := cfg.MaxPeriod
+	if maxLag >= len(samples) {
+		maxLag = len(samples) - 1
+	}
+	if maxLag < 2 {
+		return Noise, 0
+	}
+	ac := fft.Autocorrelation(samples, maxLag)
+	if lag := dominantLag(ac, cfg.PeriodicACThreshold); lag > 0 {
+		return Periodic, lag
+	}
+	return Noise, 0
+}
+
+// dominantLag returns the lag with the strongest autocorrelation mass, or
+// 0 when nothing exceeds the threshold. Sampling jitter spreads a period's
+// energy over adjacent lags, so each lag is scored with its +/-1
+// neighbours and the winner refined back to the raw argmax.
+func dominantLag(ac []float64, threshold float64) int {
+	bestLag, bestSm := 0, threshold
+	for lag := 1; lag < len(ac); lag++ {
+		sm := ac[lag]
+		if lag-1 >= 1 {
+			sm += ac[lag-1]
+		}
+		if lag+1 < len(ac) {
+			sm += ac[lag+1]
+		}
+		if sm > bestSm {
+			bestLag, bestSm = lag, sm
+		}
+	}
+	if bestLag == 0 {
+		return 0
+	}
+	best := bestLag
+	for d := -1; d <= 1; d++ {
+		if l := bestLag + d; l >= 1 && l < len(ac) && ac[l] > ac[best] {
+			best = l
+		}
+	}
+	return best
+}
+
+// Profile is the offline characterisation of one signal: its class and the
+// robust level/spread statistics the outlier stage calibrates thresholds
+// from. Periodic signals additionally carry their per-phase baseline, so
+// the outlier stage scores deviations from the expected beat pattern
+// rather than from a global level — a normal beat is not an anomaly, and a
+// missing beat is (the paper's "lack of messages" syndrome).
+type Profile struct {
+	Event    int
+	Class    Class
+	Period   int       // samples; 0 unless periodic
+	Level    float64   // median sample value
+	Spread   float64   // MAD-based sigma estimate (of residuals if periodic)
+	Baseline []float64 // per-phase medians, length Period; periodic only
+}
+
+// Characterize computes the profile of s. For periodic signals the spread
+// is measured on the phase residuals and the baseline is retained.
+func Characterize(s *Signal, cfg ClassifyConfig) Profile {
+	class, period := Classify(s.Samples, cfg)
+	p := Profile{
+		Event:  s.Event,
+		Class:  class,
+		Period: period,
+		Level:  stats.Median(s.Samples),
+		Spread: robustSpread(s.Samples),
+	}
+	if class == Periodic && period > 0 {
+		p.Baseline = PeriodicBaseline(s.Samples, period)
+		p.Spread = robustSpread(Residual(s.Samples, p.Baseline))
+	}
+	return p
+}
+
+// robustSpread estimates the one-sided spread of a count series. The MAD
+// collapses to zero for sub-one-per-tick chatter (median 0, almost half
+// the samples non-zero), which would flag every message as an outlier; the
+// upper-quantile estimate keeps the threshold above the bulk of normal
+// traffic.
+func robustSpread(samples []float64) float64 {
+	mad := stats.MADSigma(stats.MAD(samples))
+	med := stats.Median(samples)
+	// 1.2816 is the standard normal's 90% quantile.
+	q := (stats.Quantile(samples, 0.9) - med) / 1.2816
+	if q > mad {
+		return q
+	}
+	return mad
+}
+
+// PeriodicBaseline folds samples at the period and returns the per-phase
+// median — the expected beat pattern of a periodic signal.
+func PeriodicBaseline(samples []float64, period int) []float64 {
+	if period <= 0 || len(samples) == 0 {
+		return nil
+	}
+	buckets := make([][]float64, period)
+	for i, v := range samples {
+		buckets[i%period] = append(buckets[i%period], v)
+	}
+	out := make([]float64, period)
+	for ph, b := range buckets {
+		out[ph] = stats.MedianInPlace(b)
+	}
+	return out
+}
+
+// Residual subtracts the phase baseline from each sample (phase 0 aligned
+// with the first sample).
+func Residual(samples, baseline []float64) []float64 {
+	if len(baseline) == 0 {
+		return append([]float64(nil), samples...)
+	}
+	out := make([]float64, len(samples))
+	for i, v := range samples {
+		out[i] = v - baseline[i%len(baseline)]
+	}
+	return out
+}

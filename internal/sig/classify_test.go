@@ -1,0 +1,186 @@
+package sig
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestClassNames(t *testing.T) {
+	if Noise.String() != "noise" || Periodic.String() != "periodic" || Silent.String() != "silent" {
+		t.Error("class names wrong")
+	}
+	if Class(9).String() != "invalid" {
+		t.Error("invalid class name wrong")
+	}
+}
+
+func TestClassifySilent(t *testing.T) {
+	cfg := DefaultClassifyConfig()
+	samples := make([]float64, 10000)
+	samples[1234] = 1 // one occurrence in ~28 hours
+	class, _ := Classify(samples, cfg)
+	if class != Silent {
+		t.Errorf("class = %v, want silent", class)
+	}
+	if c, _ := Classify(nil, cfg); c != Silent {
+		t.Errorf("empty signal class = %v, want silent", c)
+	}
+}
+
+func TestClassifyPeriodic(t *testing.T) {
+	cfg := DefaultClassifyConfig()
+	samples := make([]float64, 5000)
+	for i := range samples {
+		if i%30 == 0 { // every 5 minutes at 10 s sampling
+			samples[i] = 1
+		}
+	}
+	class, period := Classify(samples, cfg)
+	if class != Periodic {
+		t.Fatalf("class = %v, want periodic", class)
+	}
+	if period != 30 {
+		t.Errorf("period = %d, want 30", period)
+	}
+}
+
+func TestClassifyPeriodicWithJitter(t *testing.T) {
+	cfg := DefaultClassifyConfig()
+	rng := rand.New(rand.NewSource(41))
+	samples := make([]float64, 5000)
+	for i := 0; i < len(samples); i += 30 {
+		j := i + rng.Intn(3) - 1
+		if j >= 0 && j < len(samples) {
+			samples[j] = 1
+		}
+	}
+	class, period := Classify(samples, cfg)
+	if class != Periodic {
+		t.Fatalf("jittered class = %v, want periodic", class)
+	}
+	if period < 28 || period > 32 {
+		t.Errorf("period = %d, want ~30", period)
+	}
+}
+
+func TestClassifyNoise(t *testing.T) {
+	cfg := DefaultClassifyConfig()
+	rng := rand.New(rand.NewSource(42))
+	samples := make([]float64, 5000)
+	for i := range samples {
+		// Dense aperiodic chatter.
+		if rng.Float64() < 0.4 {
+			samples[i] = float64(1 + rng.Intn(3))
+		}
+	}
+	class, _ := Classify(samples, cfg)
+	if class != Noise {
+		t.Errorf("class = %v, want noise", class)
+	}
+}
+
+func TestClassifyShortSignal(t *testing.T) {
+	cfg := DefaultClassifyConfig()
+	if c, _ := Classify([]float64{1, 1}, cfg); c != Noise {
+		t.Errorf("short dense signal = %v, want noise", c)
+	}
+}
+
+func TestPeriodicBaseline(t *testing.T) {
+	samples := make([]float64, 90)
+	for i := 0; i < len(samples); i += 30 {
+		samples[i] = 1
+	}
+	base := PeriodicBaseline(samples, 30)
+	if len(base) != 30 {
+		t.Fatalf("baseline length = %d", len(base))
+	}
+	if base[0] != 1 {
+		t.Errorf("beat phase baseline = %v, want 1", base[0])
+	}
+	for ph := 1; ph < 30; ph++ {
+		if base[ph] != 0 {
+			t.Errorf("quiet phase %d baseline = %v", ph, base[ph])
+		}
+	}
+	if PeriodicBaseline(nil, 30) != nil || PeriodicBaseline(samples, 0) != nil {
+		t.Error("degenerate inputs should yield nil")
+	}
+}
+
+func TestResidualZeroOnPerfectPeriodic(t *testing.T) {
+	samples := make([]float64, 300)
+	for i := 0; i < len(samples); i += 30 {
+		samples[i] = 2
+	}
+	base := PeriodicBaseline(samples, 30)
+	res := Residual(samples, base)
+	for i, v := range res {
+		if v != 0 {
+			t.Fatalf("residual[%d] = %v, want 0", i, v)
+		}
+	}
+	// A missed beat shows as -2; an extra beat as +2.
+	samples[60] = 0
+	samples[75] = 2
+	res = Residual(samples, base)
+	if res[60] != -2 {
+		t.Errorf("missed beat residual = %v, want -2", res[60])
+	}
+	if res[75] != 2 {
+		t.Errorf("extra beat residual = %v, want 2", res[75])
+	}
+}
+
+func TestResidualNoBaseline(t *testing.T) {
+	samples := []float64{1, 2, 3}
+	res := Residual(samples, nil)
+	for i := range samples {
+		if res[i] != samples[i] {
+			t.Fatal("nil baseline should copy samples")
+		}
+	}
+	res[0] = 99
+	if samples[0] == 99 {
+		t.Error("Residual aliases its input")
+	}
+}
+
+func TestCharacterizePeriodicCarriesBaseline(t *testing.T) {
+	s := New(1, t0, t0.Add(5000*10*time.Second), 10*time.Second)
+	for i := 0; i < len(s.Samples); i += 30 {
+		s.Samples[i] = 1
+	}
+	p := Characterize(s, DefaultClassifyConfig())
+	if p.Class != Periodic {
+		t.Fatalf("class = %v", p.Class)
+	}
+	if len(p.Baseline) != p.Period {
+		t.Errorf("baseline length %d vs period %d", len(p.Baseline), p.Period)
+	}
+	if p.Spread != 0 {
+		t.Errorf("residual spread = %v, want 0 for perfect periodicity", p.Spread)
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	s := New(3, t0, t0.Add(10000*10*time.Second), 10*time.Second)
+	for i := range s.Samples {
+		s.Samples[i] = 4
+	}
+	s.Samples[17] = 100
+	p := Characterize(s, DefaultClassifyConfig())
+	if p.Event != 3 {
+		t.Errorf("Event = %d", p.Event)
+	}
+	if p.Level != 4 {
+		t.Errorf("Level = %v, want 4", p.Level)
+	}
+	if p.Spread != 0 {
+		t.Errorf("Spread = %v, want 0 for constant signal", p.Spread)
+	}
+	if p.Class != Noise {
+		t.Errorf("Class = %v, want noise for constant-with-spike", p.Class)
+	}
+}

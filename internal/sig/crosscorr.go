@@ -1,0 +1,215 @@
+package sig
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// PairCorrelation records that outliers on event A tend to be followed,
+// Delay samples later, by outliers on event B.
+type PairCorrelation struct {
+	A, B  int     // event ids
+	Delay int     // samples from A to B (>= 0)
+	Count int     // co-occurrence count at the chosen delay
+	Score float64 // normalised cross-correlation in [0, 1]
+}
+
+// CrossCorrConfig tunes the pair-correlation search.
+type CrossCorrConfig struct {
+	MaxLag   int     // largest delay considered, in samples
+	MinCount int     // minimum co-occurrences for a pair to be kept
+	MinScore float64 // minimum normalised score for a pair to be kept
+	// Tolerance widens the co-occurrence match: an outlier on B within
+	// +/-Tolerance samples of the nominal delay still counts. Sampling
+	// jitter makes exact alignment too strict.
+	Tolerance int
+	// Horizon is the total number of samples in the analysed window. When
+	// set, the directional-confidence acceptance path additionally
+	// requires a lift of at least MinLift over the random co-occurrence
+	// rate, killing spurious long-lag pairs whose wide matching windows
+	// would otherwise hit dense trains by chance.
+	Horizon int
+	// MinLift is the confidence-over-random factor required (default 4).
+	MinLift float64
+	// SymmetricOnly restricts acceptance to the classic normalised
+	// cross-correlation, dropping the directional-confidence path. The
+	// data-mining baseline uses it: association mining demands frequent
+	// symmetric co-occurrence, which is exactly why it misses
+	// rare-precursor correlations the signal view keeps.
+	SymmetricOnly bool
+}
+
+// DefaultCrossCorrConfig returns the settings used in the experiments: the
+// paper reports correlation delays from seconds to above an hour, so the
+// lag window is one hour of samples.
+func DefaultCrossCorrConfig() CrossCorrConfig {
+	return CrossCorrConfig{MaxLag: 360, MinCount: 3, MinScore: 0.35, Tolerance: 1}
+}
+
+// DelayTolerance returns the matching slack for a nominal delay: at least
+// base samples, growing to a quarter of the delay. Cascade gaps jitter
+// multiplicatively in real systems (a 25-minute service action varies by
+// minutes, a 20-second one by seconds), so every stage that matches delays
+// — seeding, mining, location replay, the online engine — uses this same
+// relative rule.
+func DelayTolerance(delay, base int) int {
+	if base < 0 {
+		base = 0
+	}
+	if t := delay / 4; t > base {
+		return t
+	}
+	return base
+}
+
+// CrossCorrelate finds the best delay in [0, MaxLag] from spike train a to
+// spike train b (sorted sample indices). It returns false when no delay
+// meets the thresholds.
+func CrossCorrelate(a, b []int, cfg CrossCorrConfig) (delay, count int, score float64, ok bool) {
+	if len(a) == 0 || len(b) == 0 || cfg.MaxLag < 0 {
+		return 0, 0, 0, false
+	}
+	hist := make([]int, cfg.MaxLag+1)
+	for _, t := range a {
+		lo := sort.SearchInts(b, t)
+		for j := lo; j < len(b) && b[j]-t <= cfg.MaxLag; j++ {
+			hist[b[j]-t]++
+		}
+	}
+	// Prefix sums let each candidate lag be scored over its own
+	// delay-proportional window (DelayTolerance), so long cascades with
+	// multiplicative jitter still accumulate their co-occurrence mass.
+	// Ties on the windowed count break toward the raw histogram peak, so
+	// an exact repeated delay is reported exactly.
+	prefix := make([]int, len(hist)+1)
+	for i, h := range hist {
+		prefix[i+1] = prefix[i] + h
+	}
+	window := func(lo, hi int) int {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > cfg.MaxLag {
+			hi = cfg.MaxLag
+		}
+		if lo > hi {
+			return 0
+		}
+		return prefix[hi+1] - prefix[lo]
+	}
+	// The winner is the lag with the highest co-occurrence *density*
+	// (count per window width): a raw-count argmax would always favour
+	// the widest windows on any regularly firing pair of trains.
+	best, bestCount, bestRaw := -1, 0, 0
+	bestDensity := 0.0
+	for lag := 0; lag <= cfg.MaxLag; lag++ {
+		tol := DelayTolerance(lag, cfg.Tolerance)
+		c := window(lag-tol, lag+tol)
+		if c == 0 {
+			continue
+		}
+		density := float64(c) / float64(2*tol+1)
+		if density > bestDensity || (density == bestDensity && hist[lag] > bestRaw) {
+			best, bestCount, bestRaw, bestDensity = lag, c, hist[lag], density
+		}
+	}
+	if best < 0 || bestCount < cfg.MinCount {
+		return 0, 0, 0, false
+	}
+	// Two acceptance views: the symmetric normalised cross-correlation,
+	// and the directional confidence (how often A is followed by B). The
+	// latter keeps rare-precursor -> common-failure pairs alive, which the
+	// symmetric norm would punish. Confidence acceptance demands a real
+	// lift over the random co-occurrence rate of the window, since wide
+	// long-lag windows hit dense trains by chance.
+	norm := math.Sqrt(float64(len(a)) * float64(len(b)))
+	sc := float64(bestCount) / norm
+	if conf := float64(bestCount) / float64(len(a)); !cfg.SymmetricOnly && conf > sc && liftOK(conf, best, len(b), cfg) {
+		sc = conf
+	}
+	if sc > 1 {
+		sc = 1
+	}
+	if sc < cfg.MinScore {
+		return 0, 0, 0, false
+	}
+	return best, bestCount, sc, true
+}
+
+// liftOK checks the confidence path's enrichment requirement.
+func liftOK(conf float64, lag, nb int, cfg CrossCorrConfig) bool {
+	if cfg.Horizon <= 0 {
+		return true
+	}
+	minLift := cfg.MinLift
+	if minLift <= 0 {
+		minLift = 4
+	}
+	width := float64(2*DelayTolerance(lag, cfg.Tolerance) + 1)
+	random := width * float64(nb) / float64(cfg.Horizon)
+	return conf >= minLift*random
+}
+
+// SpikeTrains maps event id to its sorted outlier sample indices.
+type SpikeTrains map[int][]int
+
+// AllPairs cross-correlates every ordered pair of spike trains in
+// parallel, returning the pairs that pass the thresholds sorted by (A, B).
+// Self-pairs are skipped. The zero-delay case is kept in only one
+// direction (smaller event id first) to avoid duplicate simultaneous
+// pairs.
+func AllPairs(trains SpikeTrains, cfg CrossCorrConfig) []PairCorrelation {
+	ids := make([]int, 0, len(trains))
+	for id := range trains {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	type job struct{ a, b int }
+	jobs := make(chan job, 256)
+	var mu sync.Mutex
+	var out []PairCorrelation
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]PairCorrelation, 0, 64)
+			for j := range jobs {
+				delay, count, score, ok := CrossCorrelate(trains[j.a], trains[j.b], cfg)
+				if !ok {
+					continue
+				}
+				if delay == 0 && j.a > j.b {
+					continue // keep simultaneous pairs once
+				}
+				local = append(local, PairCorrelation{A: j.a, B: j.b, Delay: delay, Count: count, Score: score})
+			}
+			mu.Lock()
+			out = append(out, local...)
+			mu.Unlock()
+		}()
+	}
+	for _, a := range ids {
+		for _, b := range ids {
+			if a != b {
+				jobs <- job{a, b}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

@@ -1,0 +1,130 @@
+// Package sig implements ELSA's signal view of an event log: every event
+// type becomes a discrete signal sampled at a fixed rate (the paper uses
+// 10 seconds), which is then characterised as periodic, noise or silent and
+// cross-correlated with other signals to seed the data-mining stage.
+package sig
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/logs"
+)
+
+// DefaultStep is the sampling period from the paper.
+const DefaultStep = 10 * time.Second
+
+// Signal is the occurrence-count series of one event type.
+type Signal struct {
+	Event   int           // event/template id
+	Start   time.Time     // time of sample 0
+	Step    time.Duration // sampling period
+	Samples []float64     // occurrence counts per period
+}
+
+// New returns a zeroed signal covering [start, end) at the given step.
+func New(event int, start, end time.Time, step time.Duration) *Signal {
+	if step <= 0 {
+		step = DefaultStep
+	}
+	n := int(end.Sub(start) / step)
+	if n < 0 {
+		n = 0
+	}
+	return &Signal{Event: event, Start: start, Step: step, Samples: make([]float64, n)}
+}
+
+// Len returns the number of samples.
+func (s *Signal) Len() int { return len(s.Samples) }
+
+// End returns the time just past the last sample.
+func (s *Signal) End() time.Time {
+	return s.Start.Add(time.Duration(len(s.Samples)) * s.Step)
+}
+
+// Index returns the sample index holding time t (floor division, so times
+// before Start map to negative indices). Callers check against Len.
+func (s *Signal) Index(t time.Time) int {
+	d := t.Sub(s.Start)
+	idx := int(d / s.Step)
+	if d < 0 && d%s.Step != 0 {
+		idx--
+	}
+	return idx
+}
+
+// TimeAt returns the start time of sample i.
+func (s *Signal) TimeAt(i int) time.Time {
+	return s.Start.Add(time.Duration(i) * s.Step)
+}
+
+// Add increments the sample containing t; occurrences outside the signal's
+// range are dropped (they belong to another window).
+func (s *Signal) Add(t time.Time) {
+	i := s.Index(t)
+	if i >= 0 && i < len(s.Samples) {
+		s.Samples[i]++
+	}
+}
+
+// Append extends the signal with additional samples (the online phase
+// concatenates freshly sampled data onto the stored signal).
+func (s *Signal) Append(samples ...float64) {
+	s.Samples = append(s.Samples, samples...)
+}
+
+// TrimTail keeps only the last max samples, advancing Start accordingly.
+// The online module trims signals to a bounded history (the paper keeps
+// two months) to meet its execution-time budget.
+func (s *Signal) TrimTail(max int) {
+	if max < 0 || len(s.Samples) <= max {
+		return
+	}
+	drop := len(s.Samples) - max
+	s.Start = s.Start.Add(time.Duration(drop) * s.Step)
+	s.Samples = append(s.Samples[:0], s.Samples[drop:]...)
+}
+
+// Clone returns a deep copy.
+func (s *Signal) Clone() *Signal {
+	return &Signal{Event: s.Event, Start: s.Start, Step: s.Step,
+		Samples: append([]float64(nil), s.Samples...)}
+}
+
+// String summarises the signal.
+func (s *Signal) String() string {
+	return fmt.Sprintf("signal{event=%d, n=%d, step=%s, start=%s}",
+		s.Event, len(s.Samples), s.Step, s.Start.Format(time.RFC3339))
+}
+
+// Extract builds one signal per event type found in recs over [start, end).
+// Records must already carry EventID (the HELO stage ran). The result maps
+// event id to signal.
+func Extract(recs []logs.Record, start, end time.Time, step time.Duration) map[int]*Signal {
+	out := make(map[int]*Signal)
+	for _, r := range recs {
+		if r.EventID < 0 {
+			continue
+		}
+		sg, ok := out[r.EventID]
+		if !ok {
+			sg = New(r.EventID, start, end, step)
+			out[r.EventID] = sg
+		}
+		sg.Add(r.Time)
+	}
+	return out
+}
+
+// OccurrenceIndices returns the sample indices with non-zero counts, in
+// order. Spike trains in this form feed the cross-correlation and mining
+// stages.
+func (s *Signal) OccurrenceIndices() []int {
+	var out []int
+	for i, v := range s.Samples {
+		if v != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package sig
+
+import (
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+var t0 = time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNewSignal(t *testing.T) {
+	s := New(7, t0, t0.Add(time.Hour), 10*time.Second)
+	if s.Len() != 360 {
+		t.Errorf("Len = %d, want 360", s.Len())
+	}
+	if !s.End().Equal(t0.Add(time.Hour)) {
+		t.Errorf("End = %v", s.End())
+	}
+	if s.Event != 7 {
+		t.Errorf("Event = %d", s.Event)
+	}
+}
+
+func TestNewSignalDefaults(t *testing.T) {
+	s := New(0, t0, t0.Add(time.Minute), 0)
+	if s.Step != DefaultStep {
+		t.Errorf("Step = %v, want default", s.Step)
+	}
+	if s.Len() != 6 {
+		t.Errorf("Len = %d, want 6", s.Len())
+	}
+	neg := New(0, t0, t0.Add(-time.Minute), 10*time.Second)
+	if neg.Len() != 0 {
+		t.Errorf("negative range Len = %d", neg.Len())
+	}
+}
+
+func TestAddAndIndex(t *testing.T) {
+	s := New(0, t0, t0.Add(time.Minute), 10*time.Second)
+	s.Add(t0)
+	s.Add(t0.Add(9 * time.Second))  // same bucket
+	s.Add(t0.Add(10 * time.Second)) // next bucket
+	s.Add(t0.Add(-time.Second))     // dropped
+	s.Add(t0.Add(2 * time.Minute))  // dropped
+	if s.Samples[0] != 2 || s.Samples[1] != 1 {
+		t.Errorf("Samples = %v", s.Samples)
+	}
+	if s.Index(t0.Add(35*time.Second)) != 3 {
+		t.Errorf("Index = %d", s.Index(t0.Add(35*time.Second)))
+	}
+	if !s.TimeAt(3).Equal(t0.Add(30 * time.Second)) {
+		t.Errorf("TimeAt(3) = %v", s.TimeAt(3))
+	}
+}
+
+func TestTrimTail(t *testing.T) {
+	s := New(0, t0, t0.Add(time.Minute), 10*time.Second)
+	for i := range s.Samples {
+		s.Samples[i] = float64(i)
+	}
+	s.TrimTail(2)
+	if s.Len() != 2 || s.Samples[0] != 4 || s.Samples[1] != 5 {
+		t.Errorf("after trim: %v", s.Samples)
+	}
+	if !s.Start.Equal(t0.Add(40 * time.Second)) {
+		t.Errorf("Start = %v", s.Start)
+	}
+	s.TrimTail(10) // no-op when already smaller
+	if s.Len() != 2 {
+		t.Error("TrimTail grew the signal")
+	}
+	s.TrimTail(-1) // negative max is a no-op
+	if s.Len() != 2 {
+		t.Error("negative TrimTail changed the signal")
+	}
+}
+
+func TestAppendKeepsIndexing(t *testing.T) {
+	s := New(0, t0, t0.Add(30*time.Second), 10*time.Second)
+	s.Append(1, 2, 3)
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.End().Equal(t0.Add(time.Minute)) {
+		t.Errorf("End = %v", s.End())
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := New(1, t0, t0.Add(time.Minute), 10*time.Second)
+	s.Samples[0] = 5
+	c := s.Clone()
+	c.Samples[0] = 9
+	if s.Samples[0] != 5 {
+		t.Error("Clone shares sample storage")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	recs := []logs.Record{
+		{Time: t0.Add(5 * time.Second), EventID: 0, Location: topology.System},
+		{Time: t0.Add(15 * time.Second), EventID: 0, Location: topology.System},
+		{Time: t0.Add(15 * time.Second), EventID: 1, Location: topology.System},
+		{Time: t0.Add(25 * time.Second), EventID: -1, Location: topology.System}, // unassigned
+	}
+	sigs := Extract(recs, t0, t0.Add(time.Minute), 10*time.Second)
+	if len(sigs) != 2 {
+		t.Fatalf("got %d signals", len(sigs))
+	}
+	if sigs[0].Samples[0] != 1 || sigs[0].Samples[1] != 1 {
+		t.Errorf("event 0 samples = %v", sigs[0].Samples)
+	}
+	if sigs[1].Samples[1] != 1 {
+		t.Errorf("event 1 samples = %v", sigs[1].Samples)
+	}
+}
+
+func TestOccurrenceIndices(t *testing.T) {
+	s := New(0, t0, t0.Add(time.Minute), 10*time.Second)
+	s.Samples[1] = 2
+	s.Samples[4] = 1
+	got := s.OccurrenceIndices()
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Errorf("OccurrenceIndices = %v", got)
+	}
+}

@@ -1,0 +1,148 @@
+// Package stats provides the statistical primitives the ELSA pipeline is
+// built on: descriptive statistics and robust estimators (median, MAD),
+// streaming moments, the Mann-Whitney U test used to accept correlations,
+// histograms for the distribution figures, and seeded random samplers for
+// the synthetic workload generator.
+//
+// Everything is deterministic given an explicit *rand.Rand; nothing reads
+// global randomness.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 when fewer than
+// two points).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs without modifying it (0 for empty input).
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// MedianInPlace sorts xs and returns its median; it avoids the copy Median
+// makes and is used in the hot outlier-detection path.
+func MedianInPlace(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q >= 1 {
+		q = 1
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return tmp[lo]
+	}
+	frac := pos - float64(lo)
+	return tmp[lo]*(1-frac) + tmp[hi]*frac
+}
+
+// MAD returns the median absolute deviation of xs about its median. It is
+// the robust spread estimator used to calibrate outlier thresholds.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return MedianInPlace(dev)
+}
+
+// MADSigma converts a MAD value to a standard-deviation-equivalent scale
+// assuming Gaussian data (sigma ~= 1.4826 * MAD).
+func MADSigma(mad float64) float64 { return 1.4826 * mad }
+
+// ZeroFraction returns the fraction of entries in xs equal to zero. Signal
+// classification uses it to recognise "silent" event types.
+func ZeroFraction(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	z := 0
+	for _, x := range xs {
+		if x == 0 {
+			z++
+		}
+	}
+	return float64(z) / float64(len(xs))
+}
+
+// MinMax returns the smallest and largest values in xs (0, 0 for empty
+// input).
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

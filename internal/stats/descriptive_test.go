@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample variance of this classic set is 32/7.
+	if got := Variance(xs); !almostEq(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); !almostEq(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Median(nil) != 0 ||
+		Quantile(nil, 0.5) != 0 || MAD(nil) != 0 {
+		t.Error("empty inputs should yield 0")
+	}
+	if ZeroFraction(nil) != 1 {
+		t.Error("ZeroFraction(nil) should be 1")
+	}
+	lo, hi := MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Error("MinMax(nil) should be (0,0)")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	// Median must not modify its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Error("Median modified its input")
+	}
+}
+
+func TestMedianInPlaceMatchesMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(n uint8) bool {
+		xs := make([]float64, int(n)%50+1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		want := Median(xs)
+		got := MedianInPlace(append([]float64(nil), xs...))
+		return almostEq(got, want, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); !almostEq(got, 1.5, 1e-12) {
+		t.Errorf("interpolated quantile = %v", got)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := Quantile(xs, q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestMAD(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 4, 6, 9}
+	// median = 2; deviations = 1,1,0,0,2,4,7; median deviation = 1.
+	if got := MAD(xs); got != 1 {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+	if got := MADSigma(1); !almostEq(got, 1.4826, 1e-9) {
+		t.Errorf("MADSigma = %v", got)
+	}
+}
+
+func TestMADRobustToOutliers(t *testing.T) {
+	base := make([]float64, 100)
+	for i := range base {
+		base[i] = 5
+	}
+	clean := MAD(base)
+	base[0] = 1e9 // one severe outlier
+	if got := MAD(base); got != clean {
+		t.Errorf("MAD moved from %v to %v after one outlier", clean, got)
+	}
+}
+
+func TestZeroFraction(t *testing.T) {
+	if got := ZeroFraction([]float64{0, 0, 1, 0}); got != 0.75 {
+		t.Errorf("ZeroFraction = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v, %v)", lo, hi)
+	}
+}
+
+func TestQuantileAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if got := Quantile(xs, 0); got != sorted[0] {
+		t.Errorf("q0 = %v, want min %v", got, sorted[0])
+	}
+	if got := Quantile(xs, 1); got != sorted[len(sorted)-1] {
+		t.Errorf("q1 = %v, want max %v", got, sorted[len(sorted)-1])
+	}
+}

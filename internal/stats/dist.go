@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Exponential draws an exponentially distributed value with the given mean
+// (scale). Failure inter-arrival times in the generator and the analytic
+// checkpoint model both assume exponential gaps, as the paper does.
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return rng.ExpFloat64() * mean
+}
+
+// Poisson draws a Poisson-distributed count with the given mean using
+// Knuth's method for small means and a normal approximation above 30 (the
+// generator samples per-tick message counts, where the mean is small).
+func Poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := rng.NormFloat64()*math.Sqrt(mean) + mean
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// LogNormal draws exp(N(mu, sigma^2)). Burst sizes and cascade delays use
+// lognormal spreads: most are short, a long tail reaches hours, matching
+// the delay distribution in the paper's Figure 6.
+func LogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(rng.NormFloat64()*sigma + mu)
+}
+
+// Weibull draws a Weibull(shape k, scale lambda) value; shape < 1 models
+// the infant-mortality hazard of hardware components.
+func Weibull(rng *rand.Rand, shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		return 0
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
+// Bernoulli reports true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	return rng.Float64() < p
+}
+
+// ClampedNormal draws N(mean, sd) truncated below at lo.
+func ClampedNormal(rng *rand.Rand, mean, sd, lo float64) float64 {
+	v := rng.NormFloat64()*sd + mean
+	if v < lo {
+		return lo
+	}
+	return v
+}

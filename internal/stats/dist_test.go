@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var o Online
+	for i := 0; i < 20000; i++ {
+		o.Add(Exponential(rng, 7.5))
+	}
+	if !almostEq(o.Mean(), 7.5, 0.2) {
+		t.Errorf("exponential mean = %v, want ~7.5", o.Mean())
+	}
+	if Exponential(rng, -1) != 0 {
+		t.Error("non-positive mean should yield 0")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, mean := range []float64{0.5, 3, 12, 50} {
+		var o Online
+		for i := 0; i < 20000; i++ {
+			o.Add(float64(Poisson(rng, mean)))
+		}
+		if !almostEq(o.Mean(), mean, 0.05*mean+0.1) {
+			t.Errorf("poisson(%v) mean = %v", mean, o.Mean())
+		}
+		if !almostEq(o.Variance(), mean, 0.15*mean+0.2) {
+			t.Errorf("poisson(%v) variance = %v", mean, o.Variance())
+		}
+	}
+	if Poisson(rng, 0) != 0 {
+		t.Error("Poisson(0) should be 0")
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float64, 20001)
+	for i := range xs {
+		xs[i] = LogNormal(rng, math.Log(30), 1.0)
+	}
+	// Median of a lognormal is exp(mu) = 30.
+	if got := Median(xs); !almostEq(got, 30, 2.5) {
+		t.Errorf("lognormal median = %v, want ~30", got)
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var o Online
+	// shape 1 reduces to exponential with the given scale.
+	for i := 0; i < 20000; i++ {
+		o.Add(Weibull(rng, 1, 4))
+	}
+	if !almostEq(o.Mean(), 4, 0.15) {
+		t.Errorf("weibull(1,4) mean = %v, want ~4", o.Mean())
+	}
+	if Weibull(rng, 0, 1) != 0 || Weibull(rng, 1, 0) != 0 {
+		t.Error("degenerate weibull should yield 0")
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if Bernoulli(rng, 0.3) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / 10000; !almostEq(rate, 0.3, 0.02) {
+		t.Errorf("bernoulli rate = %v", rate)
+	}
+}
+
+func TestClampedNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 1000; i++ {
+		if v := ClampedNormal(rng, 0, 5, 0); v < 0 {
+			t.Fatalf("clamped value %v below floor", v)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Histogram counts observations into fixed numeric bins. Edges must be
+// strictly increasing; values below the first edge land in an implicit
+// underflow bin and values at or above the last edge in an overflow bin.
+type Histogram struct {
+	edges  []float64
+	counts []int64 // len(edges)+1 buckets
+	total  int64
+}
+
+// NewHistogram builds a histogram over the given edges. It panics if fewer
+// than one edge is given or the edges are not strictly increasing.
+func NewHistogram(edges ...float64) *Histogram {
+	if len(edges) == 0 {
+		panic("stats: histogram needs at least one edge")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("stats: histogram edges must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		edges:  append([]float64(nil), edges...),
+		counts: make([]int64, len(edges)+1),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	i := sort.SearchFloat64s(h.edges, v)
+	// SearchFloat64s returns the first edge >= v; an exact hit on edge i
+	// belongs to bucket i+1 ("at or above the edge").
+	if i < len(h.edges) && h.edges[i] == v {
+		i++
+	}
+	h.counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Count returns the count in bucket i (0 = underflow, len(edges) =
+// overflow).
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// Buckets returns the number of buckets including under/overflow.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Fraction returns bucket i's share of all observations (0 when empty).
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// FractionAtOrAbove returns the share of observations in buckets >= i.
+func (h *Histogram) FractionAtOrAbove(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var c int64
+	for j := i; j < len(h.counts); j++ {
+		c += h.counts[j]
+	}
+	return float64(c) / float64(h.total)
+}
+
+// String renders the histogram one bucket per line with percentage shares.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, c := range h.counts {
+		var label string
+		switch {
+		case i == 0:
+			label = fmt.Sprintf("(-inf, %g)", h.edges[0])
+		case i == len(h.edges):
+			label = fmt.Sprintf("[%g, +inf)", h.edges[len(h.edges)-1])
+		default:
+			label = fmt.Sprintf("[%g, %g)", h.edges[i-1], h.edges[i])
+		}
+		fmt.Fprintf(&b, "%-20s %8d  %5.1f%%\n", label, c, 100*h.Fraction(i))
+	}
+	return b.String()
+}
+
+// DelayHistogram is the specific bucketing the paper uses for delay
+// distributions: <10 s, 10 s–1 min, 1–10 min, >10 min.
+type DelayHistogram struct{ h *Histogram }
+
+// NewDelayHistogram returns an empty paper-style delay histogram.
+func NewDelayHistogram() *DelayHistogram {
+	return &DelayHistogram{h: NewHistogram(10, 60, 600)}
+}
+
+// Add records one delay.
+func (d *DelayHistogram) Add(delay time.Duration) { d.h.Add(delay.Seconds()) }
+
+// Total returns the number of delays recorded.
+func (d *DelayHistogram) Total() int64 { return d.h.Total() }
+
+// Under10s returns the share of delays below ten seconds.
+func (d *DelayHistogram) Under10s() float64 { return d.h.Fraction(0) }
+
+// TenToMinute returns the share of delays in [10 s, 1 min).
+func (d *DelayHistogram) TenToMinute() float64 { return d.h.Fraction(1) }
+
+// MinuteToTen returns the share of delays in [1 min, 10 min).
+func (d *DelayHistogram) MinuteToTen() float64 { return d.h.Fraction(2) }
+
+// OverTenMin returns the share of delays of at least ten minutes.
+func (d *DelayHistogram) OverTenMin() float64 { return d.h.Fraction(3) }
+
+// String renders the four paper buckets.
+func (d *DelayHistogram) String() string {
+	return fmt.Sprintf("<10s %.1f%% | 10s-1min %.1f%% | 1-10min %.1f%% | >10min %.1f%% (n=%d)",
+		100*d.Under10s(), 100*d.TenToMinute(), 100*d.MinuteToTen(), 100*d.OverTenMin(), d.Total())
+}

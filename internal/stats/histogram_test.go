@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(10, 60, 600)
+	if h.Buckets() != 4 {
+		t.Fatalf("Buckets = %d, want 4", h.Buckets())
+	}
+	h.Add(5)    // bucket 0
+	h.Add(10)   // exactly on an edge -> bucket 1
+	h.Add(59.9) // bucket 1
+	h.Add(60)   // bucket 2
+	h.Add(700)  // bucket 3
+	h.Add(-3)   // bucket 0
+	wants := []int64{2, 2, 1, 1}
+	for i, w := range wants {
+		if got := h.Count(i); got != w {
+			t.Errorf("Count(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if got := h.Fraction(1); !almostEq(got, 2.0/6.0, 1e-12) {
+		t.Errorf("Fraction(1) = %v", got)
+	}
+	if got := h.FractionAtOrAbove(2); !almostEq(got, 2.0/6.0, 1e-12) {
+		t.Errorf("FractionAtOrAbove(2) = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1)
+	if h.Fraction(0) != 0 || h.FractionAtOrAbove(0) != 0 {
+		t.Error("empty histogram fractions should be 0")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no edges":       func() { NewHistogram() },
+		"unsorted edges": func() { NewHistogram(5, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(1)
+	s := h.String()
+	if !strings.Contains(s, "(-inf, 10)") || !strings.Contains(s, "[10, +inf)") {
+		t.Errorf("String missing bucket labels:\n%s", s)
+	}
+}
+
+func TestDelayHistogramPaperBuckets(t *testing.T) {
+	d := NewDelayHistogram()
+	d.Add(3 * time.Second)
+	d.Add(30 * time.Second)
+	d.Add(45 * time.Second)
+	d.Add(5 * time.Minute)
+	d.Add(time.Hour)
+	if d.Total() != 5 {
+		t.Fatalf("Total = %d", d.Total())
+	}
+	if !almostEq(d.Under10s(), 0.2, 1e-12) {
+		t.Errorf("Under10s = %v", d.Under10s())
+	}
+	if !almostEq(d.TenToMinute(), 0.4, 1e-12) {
+		t.Errorf("TenToMinute = %v", d.TenToMinute())
+	}
+	if !almostEq(d.MinuteToTen(), 0.2, 1e-12) {
+		t.Errorf("MinuteToTen = %v", d.MinuteToTen())
+	}
+	if !almostEq(d.OverTenMin(), 0.2, 1e-12) {
+		t.Errorf("OverTenMin = %v", d.OverTenMin())
+	}
+	if s := d.String(); !strings.Contains(s, "n=5") {
+		t.Errorf("String = %q", s)
+	}
+}

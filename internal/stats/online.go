@@ -1,0 +1,78 @@
+package stats
+
+import "math"
+
+// Online accumulates count, mean and variance of a stream using Welford's
+// algorithm. The zero value is ready to use. It is the building block for
+// per-signal behaviour models in the online phase, where storing the whole
+// history would violate the analysis-time budget.
+type Online struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of observations seen.
+func (o *Online) N() int64 { return o.n }
+
+// Mean returns the running mean (0 before any observation).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the running unbiased sample variance.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the running sample standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest observation (0 before any observation).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation (0 before any observation).
+func (o *Online) Max() float64 { return o.max }
+
+// Merge folds another accumulator into o (parallel reduction, Chan et al.).
+func (o *Online) Merge(other Online) {
+	if other.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = other
+		return
+	}
+	n := o.n + other.n
+	d := other.mean - o.mean
+	o.m2 += other.m2 + d*d*float64(o.n)*float64(other.n)/float64(n)
+	o.mean += d * float64(other.n) / float64(n)
+	if other.min < o.min {
+		o.min = other.min
+	}
+	if other.max > o.max {
+		o.max = other.max
+	}
+	o.n = n
+}

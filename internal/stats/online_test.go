@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var o Online
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		o.Add(xs[i])
+	}
+	if o.N() != 1000 {
+		t.Fatalf("N = %d", o.N())
+	}
+	if !almostEq(o.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("online mean %v vs batch %v", o.Mean(), Mean(xs))
+	}
+	if !almostEq(o.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("online var %v vs batch %v", o.Variance(), Variance(xs))
+	}
+	lo, hi := MinMax(xs)
+	if o.Min() != lo || o.Max() != hi {
+		t.Errorf("online min/max (%v,%v) vs batch (%v,%v)", o.Min(), o.Max(), lo, hi)
+	}
+}
+
+func TestOnlineZeroValue(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Variance() != 0 || o.N() != 0 {
+		t.Error("zero-value Online should report zeros")
+	}
+	o.Add(5)
+	if o.Variance() != 0 {
+		t.Error("single observation variance should be 0")
+	}
+	if o.Min() != 5 || o.Max() != 5 {
+		t.Error("single observation min/max should be the observation")
+	}
+}
+
+func TestOnlineMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(na, nb uint8) bool {
+		a := make([]float64, int(na)%100+1)
+		b := make([]float64, int(nb)%100+1)
+		var oa, ob, whole Online
+		for i := range a {
+			a[i] = rng.ExpFloat64()
+			oa.Add(a[i])
+			whole.Add(a[i])
+		}
+		for i := range b {
+			b[i] = rng.ExpFloat64() * 5
+			ob.Add(b[i])
+			whole.Add(b[i])
+		}
+		oa.Merge(ob)
+		return oa.N() == whole.N() &&
+			almostEq(oa.Mean(), whole.Mean(), 1e-9) &&
+			almostEq(oa.Variance(), whole.Variance(), 1e-6) &&
+			oa.Min() == whole.Min() && oa.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnlineMergeEmpty(t *testing.T) {
+	var a, b Online
+	a.Add(1)
+	a.Add(3)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Error("merging empty changed accumulator")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Error("merge into empty did not copy")
+	}
+}

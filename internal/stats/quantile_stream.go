@@ -1,0 +1,119 @@
+package stats
+
+import "sort"
+
+// StreamingQuantile estimates a fixed quantile of a stream in O(1) memory
+// using the P-square algorithm (Jain & Chlamtac, 1985). The prediction
+// engine uses one per chain to adapt the expected-failure window to the
+// delays actually observed online — the "dynamic time window" idea of the
+// authors' earlier SLAML 2011 work, which this paper builds on.
+type StreamingQuantile struct {
+	p       float64
+	n       int64
+	heights [5]float64
+	pos     [5]float64
+	want    [5]float64
+	incr    [5]float64
+	warm    []float64
+}
+
+// NewStreamingQuantile returns an estimator for quantile p in (0, 1).
+func NewStreamingQuantile(p float64) *StreamingQuantile {
+	if p <= 0 {
+		p = 0.01
+	}
+	if p >= 1 {
+		p = 0.99
+	}
+	return &StreamingQuantile{
+		p:    p,
+		want: [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5},
+		incr: [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+// N returns the number of observations seen.
+func (q *StreamingQuantile) N() int64 { return q.n }
+
+// Add folds one observation into the estimator.
+func (q *StreamingQuantile) Add(x float64) {
+	q.n++
+	if len(q.warm) < 5 {
+		q.warm = append(q.warm, x)
+		if len(q.warm) == 5 {
+			sort.Float64s(q.warm)
+			copy(q.heights[:], q.warm)
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+	// Find the cell x falls into and update extreme markers.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.incr[i]
+	}
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+// parabolic applies the P-square parabolic prediction for marker i.
+func (q *StreamingQuantile) parabolic(i int, sign float64) float64 {
+	num1 := q.pos[i] - q.pos[i-1] + sign
+	num2 := q.pos[i+1] - q.pos[i] - sign
+	den1 := q.heights[i+1] - q.heights[i]
+	den2 := q.heights[i] - q.heights[i-1]
+	return q.heights[i] + sign/(q.pos[i+1]-q.pos[i-1])*
+		(num1*den1/(q.pos[i+1]-q.pos[i])+num2*den2/(q.pos[i]-q.pos[i-1]))
+}
+
+// linear is the fallback piecewise-linear prediction.
+func (q *StreamingQuantile) linear(i int, sign float64) float64 {
+	j := i + int(sign)
+	return q.heights[i] + sign*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// Value returns the current quantile estimate. Before five observations it
+// falls back to the exact small-sample quantile (0 for an empty stream).
+func (q *StreamingQuantile) Value() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if len(q.warm) < 5 {
+		tmp := append([]float64(nil), q.warm...)
+		sort.Float64s(tmp)
+		return Quantile(tmp, q.p)
+	}
+	return q.heights[2]
+}

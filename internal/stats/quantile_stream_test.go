@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestStreamingQuantileUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for _, p := range []float64{0.25, 0.5, 0.9} {
+		q := NewStreamingQuantile(p)
+		for i := 0; i < 50000; i++ {
+			q.Add(rng.Float64())
+		}
+		if got := q.Value(); math.Abs(got-p) > 0.02 {
+			t.Errorf("p=%v: estimate %v", p, got)
+		}
+	}
+}
+
+func TestStreamingQuantileNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	q := NewStreamingQuantile(0.5)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 40
+		q.Add(xs[i])
+	}
+	sort.Float64s(xs)
+	exact := xs[len(xs)/2]
+	if got := q.Value(); math.Abs(got-exact) > 0.15 {
+		t.Errorf("median estimate %v vs exact %v", got, exact)
+	}
+}
+
+func TestStreamingQuantileLognormalTail(t *testing.T) {
+	// Skewed data is the intended workload (cascade delays).
+	rng := rand.New(rand.NewSource(113))
+	q := NewStreamingQuantile(0.9)
+	xs := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = LogNormal(rng, 3, 0.5)
+		q.Add(xs[i])
+	}
+	exact := Quantile(xs, 0.9)
+	if got := q.Value(); math.Abs(got-exact) > 0.08*exact {
+		t.Errorf("q90 estimate %v vs exact %v", got, exact)
+	}
+}
+
+func TestStreamingQuantileSmallSamples(t *testing.T) {
+	q := NewStreamingQuantile(0.5)
+	if q.Value() != 0 {
+		t.Error("empty estimator should return 0")
+	}
+	q.Add(7)
+	if q.Value() != 7 {
+		t.Errorf("single value estimate %v", q.Value())
+	}
+	q.Add(1)
+	q.Add(3)
+	// Exact median of {1,3,7} is 3.
+	if got := q.Value(); got != 3 {
+		t.Errorf("small-sample median %v, want 3", got)
+	}
+	if q.N() != 3 {
+		t.Errorf("N = %d", q.N())
+	}
+}
+
+func TestStreamingQuantileClampsP(t *testing.T) {
+	lo := NewStreamingQuantile(-1)
+	hi := NewStreamingQuantile(2)
+	rng := rand.New(rand.NewSource(114))
+	for i := 0; i < 1000; i++ {
+		v := rng.Float64()
+		lo.Add(v)
+		hi.Add(v)
+	}
+	if lo.Value() >= hi.Value() {
+		t.Errorf("clamped extremes inverted: %v vs %v", lo.Value(), hi.Value())
+	}
+}
+
+func TestStreamingQuantileMonotoneHeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(115))
+	q := NewStreamingQuantile(0.5)
+	for i := 0; i < 10000; i++ {
+		q.Add(rng.ExpFloat64())
+		if i > 5 {
+			for j := 1; j < 5; j++ {
+				if q.heights[j] < q.heights[j-1]-1e-9 {
+					t.Fatalf("marker heights not monotone at %d: %v", i, q.heights)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON encodes the location as its canonical code string.
+func (l Location) MarshalJSON() ([]byte, error) {
+	return json.Marshal(l.String())
+}
+
+// UnmarshalJSON decodes a canonical code string.
+func (l *Location) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("topology: location must be a string: %w", err)
+	}
+	loc, err := Parse(s)
+	if err != nil {
+		return err
+	}
+	*l = loc
+	return nil
+}

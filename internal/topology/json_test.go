@@ -1,0 +1,54 @@
+package topology
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestLocationJSONRoundTrip(t *testing.T) {
+	for _, s := range []string{"R00-M0-N0-C:J02-U01", "R05-M1", "SYSTEM", "tg-c042"} {
+		loc := MustParse(s)
+		data, err := json.Marshal(loc)
+		if err != nil {
+			t.Fatalf("marshal %q: %v", s, err)
+		}
+		var back Location
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %q: %v", data, err)
+		}
+		if back != loc {
+			t.Errorf("round trip %q -> %q", s, back)
+		}
+	}
+}
+
+func TestLocationJSONErrors(t *testing.T) {
+	var loc Location
+	if err := json.Unmarshal([]byte(`123`), &loc); err == nil {
+		t.Error("non-string accepted")
+	}
+	if err := json.Unmarshal([]byte(`"R0x-"`), &loc); err == nil {
+		t.Error("malformed code accepted")
+	}
+}
+
+func TestLocationJSONInStruct(t *testing.T) {
+	type wrapper struct {
+		Where Location `json:"where"`
+	}
+	w := wrapper{Where: MustParse("R22-M0-N0-I:J18-U01")}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"where":"R22-M0-N0-I:J18-U01"}` {
+		t.Errorf("encoded = %s", data)
+	}
+	var back wrapper
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Where != w.Where {
+		t.Error("struct round trip failed")
+	}
+}

@@ -1,0 +1,184 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Machine describes the physical shape of a system: how many racks,
+// midplanes per rack, node cards per midplane and compute nodes per node
+// card it has. A Machine with Racks == 0 and FlatNodes > 0 is a flat
+// cluster addressed by hostname.
+type Machine struct {
+	Name string
+
+	// Hierarchical shape (Blue Gene style).
+	Racks            int
+	MidplanesPerRack int
+	NodeCardsPerMP   int
+	NodesPerCard     int
+
+	// Flat shape (Mercury style).
+	FlatNodes  int
+	FlatPrefix string // hostname prefix, e.g. "tg-c"
+}
+
+// BlueGeneL returns the machine shape the paper evaluates on: 64 racks,
+// 2 midplanes per rack (the paper's "32 midplanes" groups racks in rows;
+// we keep the physical 2-per-rack layout), 16 node cards per midplane and
+// 32 compute nodes per node card.
+func BlueGeneL() Machine {
+	return Machine{
+		Name:             "BlueGene/L",
+		Racks:            64,
+		MidplanesPerRack: 2,
+		NodeCardsPerMP:   16,
+		NodesPerCard:     32,
+	}
+}
+
+// Mercury returns the NCSA Mercury cluster shape: 891 flat compute nodes
+// (256 original + 635 added during the logged period).
+func Mercury() Machine {
+	return Machine{Name: "Mercury", FlatNodes: 891, FlatPrefix: "tg-c"}
+}
+
+// IsFlat reports whether the machine uses flat hostname addressing.
+func (m Machine) IsFlat() bool { return m.Racks == 0 }
+
+// NumNodes returns the total number of compute nodes.
+func (m Machine) NumNodes() int {
+	if m.IsFlat() {
+		return m.FlatNodes
+	}
+	return m.Racks * m.MidplanesPerRack * m.NodeCardsPerMP * m.NodesPerCard
+}
+
+// NumNodeCards returns the total number of node cards (0 on flat machines).
+func (m Machine) NumNodeCards() int {
+	return m.Racks * m.MidplanesPerRack * m.NodeCardsPerMP
+}
+
+// NumMidplanes returns the total number of midplanes (0 on flat machines).
+func (m Machine) NumMidplanes() int { return m.Racks * m.MidplanesPerRack }
+
+// NodeByIndex returns the i-th node location in canonical enumeration
+// order. It panics when i is out of range.
+func (m Machine) NodeByIndex(i int) Location {
+	if i < 0 || i >= m.NumNodes() {
+		panic(fmt.Sprintf("topology: node index %d out of range [0,%d)", i, m.NumNodes()))
+	}
+	if m.IsFlat() {
+		return FlatNode(fmt.Sprintf("%s%03d", m.FlatPrefix, i))
+	}
+	node := i % m.NodesPerCard
+	i /= m.NodesPerCard
+	card := i % m.NodeCardsPerMP
+	i /= m.NodeCardsPerMP
+	mp := i % m.MidplanesPerRack
+	rack := i / m.MidplanesPerRack
+	return Node(rack, mp, card, node%32, node/32)
+}
+
+// RandomNode returns a uniformly random node location.
+func (m Machine) RandomNode(rng *rand.Rand) Location {
+	return m.NodeByIndex(rng.Intn(m.NumNodes()))
+}
+
+// RandomNodeCard returns a uniformly random node-card location. On flat
+// machines it falls back to a random node.
+func (m Machine) RandomNodeCard(rng *rand.Rand) Location {
+	if m.IsFlat() {
+		return m.RandomNode(rng)
+	}
+	i := rng.Intn(m.NumNodeCards())
+	card := i % m.NodeCardsPerMP
+	i /= m.NodeCardsPerMP
+	mp := i % m.MidplanesPerRack
+	rack := i / m.MidplanesPerRack
+	return Location{Rack: rack, Midplane: mp, NodeCard: card, Slot: -1, Unit: -1}
+}
+
+// NodesWithin returns up to max node locations contained in scope loc,
+// chosen deterministically (enumeration order starting at a hash of loc).
+// On flat machines a non-node loc yields nodes drawn from the whole
+// cluster.
+func (m Machine) NodesWithin(loc Location, max int) []Location {
+	if max <= 0 {
+		return nil
+	}
+	if loc.Level() == ScopeNode {
+		return []Location{loc}
+	}
+	out := make([]Location, 0, max)
+	if m.IsFlat() {
+		for i := 0; i < m.FlatNodes && len(out) < max; i++ {
+			out = append(out, m.NodeByIndex(i))
+		}
+		return out
+	}
+	rackLo, rackHi := 0, m.Racks
+	if loc.Rack >= 0 {
+		rackLo, rackHi = loc.Rack, loc.Rack+1
+	}
+	mpLo, mpHi := 0, m.MidplanesPerRack
+	if loc.Midplane >= 0 {
+		mpLo, mpHi = loc.Midplane, loc.Midplane+1
+	}
+	cardLo, cardHi := 0, m.NodeCardsPerMP
+	if loc.NodeCard >= 0 {
+		cardLo, cardHi = loc.NodeCard, loc.NodeCard+1
+	}
+	for r := rackLo; r < rackHi; r++ {
+		for p := mpLo; p < mpHi; p++ {
+			for c := cardLo; c < cardHi; c++ {
+				for n := 0; n < m.NodesPerCard; n++ {
+					if len(out) == max {
+						return out
+					}
+					out = append(out, Node(r, p, c, n%32, n/32))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RandomNodeWithin returns a uniformly random node contained in loc. On
+// flat machines any non-node loc draws from the whole cluster.
+func (m Machine) RandomNodeWithin(rng *rand.Rand, loc Location) Location {
+	if loc.Level() == ScopeNode {
+		return loc
+	}
+	if m.IsFlat() || loc.IsSystem() {
+		return m.RandomNode(rng)
+	}
+	rack := loc.Rack
+	if rack < 0 {
+		rack = rng.Intn(m.Racks)
+	}
+	mp := loc.Midplane
+	if mp < 0 {
+		mp = rng.Intn(m.MidplanesPerRack)
+	}
+	card := loc.NodeCard
+	if card < 0 {
+		card = rng.Intn(m.NodeCardsPerMP)
+	}
+	n := rng.Intn(m.NodesPerCard)
+	return Node(rack, mp, card, n%32, n/32)
+}
+
+// Validate reports an error when the machine shape is inconsistent.
+func (m Machine) Validate() error {
+	if m.IsFlat() {
+		if m.FlatNodes <= 0 {
+			return fmt.Errorf("topology: flat machine %q has no nodes", m.Name)
+		}
+		return nil
+	}
+	if m.Racks <= 0 || m.MidplanesPerRack <= 0 || m.NodeCardsPerMP <= 0 || m.NodesPerCard <= 0 {
+		return fmt.Errorf("topology: hierarchical machine %q has a non-positive dimension", m.Name)
+	}
+	return nil
+}

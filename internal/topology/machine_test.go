@@ -1,0 +1,131 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBlueGeneLShape(t *testing.T) {
+	m := BlueGeneL()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumNodes(); got != 64*2*16*32 {
+		t.Errorf("NumNodes = %d, want %d", got, 64*2*16*32)
+	}
+	if got := m.NumNodeCards(); got != 64*2*16 {
+		t.Errorf("NumNodeCards = %d, want %d", got, 64*2*16)
+	}
+	if got := m.NumMidplanes(); got != 128 {
+		t.Errorf("NumMidplanes = %d, want 128", got)
+	}
+}
+
+func TestMercuryShape(t *testing.T) {
+	m := Mercury()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsFlat() {
+		t.Error("Mercury should be flat")
+	}
+	if got := m.NumNodes(); got != 891 {
+		t.Errorf("NumNodes = %d, want 891", got)
+	}
+}
+
+func TestNodeByIndexBijective(t *testing.T) {
+	m := BlueGeneL()
+	seen := make(map[Location]int)
+	// Full enumeration is 64Ki nodes; check a stride plus the ends.
+	for i := 0; i < m.NumNodes(); i += 97 {
+		loc := m.NodeByIndex(i)
+		if loc.Level() != ScopeNode {
+			t.Fatalf("NodeByIndex(%d) = %v, not a node", i, loc)
+		}
+		if prev, dup := seen[loc]; dup {
+			t.Fatalf("NodeByIndex collision: %d and %d -> %v", prev, i, loc)
+		}
+		seen[loc] = i
+	}
+	last := m.NodeByIndex(m.NumNodes() - 1)
+	if last.Rack != 63 {
+		t.Errorf("last node rack = %d, want 63", last.Rack)
+	}
+}
+
+func TestNodeByIndexPanics(t *testing.T) {
+	m := Mercury()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range index")
+		}
+	}()
+	m.NodeByIndex(m.NumNodes())
+}
+
+func TestNodesWithin(t *testing.T) {
+	m := BlueGeneL()
+	card := MustParse("R03-M1-N4")
+	nodes := m.NodesWithin(card, 1000)
+	if len(nodes) != m.NodesPerCard {
+		t.Fatalf("NodesWithin(card) = %d nodes, want %d", len(nodes), m.NodesPerCard)
+	}
+	for _, n := range nodes {
+		if !card.Contains(n) {
+			t.Errorf("node %v not inside %v", n, card)
+		}
+	}
+	mp := MustParse("R03-M1")
+	if got := len(m.NodesWithin(mp, 10)); got != 10 {
+		t.Errorf("NodesWithin(mp, 10) = %d nodes, want 10", got)
+	}
+	if got := m.NodesWithin(mp, 0); got != nil {
+		t.Errorf("NodesWithin(mp, 0) = %v, want nil", got)
+	}
+	node := MustParse("R00-M0-N0-C:J00-U00")
+	if got := m.NodesWithin(node, 5); len(got) != 1 || got[0] != node {
+		t.Errorf("NodesWithin(node) = %v", got)
+	}
+}
+
+func TestRandomNodeDeterministic(t *testing.T) {
+	m := BlueGeneL()
+	a := m.RandomNode(rand.New(rand.NewSource(42)))
+	b := m.RandomNode(rand.New(rand.NewSource(42)))
+	if a != b {
+		t.Errorf("same seed produced %v and %v", a, b)
+	}
+	if a.Level() != ScopeNode {
+		t.Errorf("RandomNode level = %v", a.Level())
+	}
+}
+
+func TestRandomNodeCard(t *testing.T) {
+	m := BlueGeneL()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		c := m.RandomNodeCard(rng)
+		if c.Level() != ScopeNodeCard {
+			t.Fatalf("RandomNodeCard level = %v (%v)", c.Level(), c)
+		}
+		if c.Rack >= m.Racks || c.Midplane >= m.MidplanesPerRack || c.NodeCard >= m.NodeCardsPerMP {
+			t.Fatalf("RandomNodeCard out of shape: %v", c)
+		}
+	}
+	flat := Mercury()
+	if got := flat.RandomNodeCard(rng); got.Level() != ScopeNode {
+		t.Errorf("flat RandomNodeCard should yield a node, got %v", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := Machine{Name: "bad", Racks: 4} // zero midplanes
+	if err := bad.Validate(); err == nil {
+		t.Error("expected validation error for zero midplanes")
+	}
+	badFlat := Machine{Name: "badflat"}
+	if err := badFlat.Validate(); err == nil {
+		t.Error("expected validation error for empty flat cluster")
+	}
+}

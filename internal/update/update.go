@@ -1,0 +1,187 @@
+// Package update implements the correlation-updating module the paper
+// describes but could not evaluate on its ten-month logs: production
+// systems drift (software upgrades, reconfigurations, new components), so
+// the chain set must follow. The Updater keeps a sliding window of recent
+// records, periodically retrains the correlation model on it, and merges
+// the fresh chain set into the live one — refreshing chains that are still
+// observed, admitting new ones, and retiring chains that have not been
+// re-mined for a configurable number of rounds.
+package update
+
+import (
+	"sort"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/correlate"
+	"github.com/elsa-hpc/elsa/internal/logs"
+)
+
+// Config tunes the updater.
+type Config struct {
+	// Window is the sliding training window (the paper keeps two months
+	// online).
+	Window time.Duration
+	// Interval is how often the model is retrained.
+	Interval time.Duration
+	// RetireAfter is how many consecutive retraining rounds a chain may
+	// go unconfirmed before it is retired.
+	RetireAfter int
+
+	// Mode and Correlation configure the retraining itself.
+	Mode        correlate.Mode
+	Correlation correlate.Config
+}
+
+// DefaultConfig returns a conservative updating policy: retrain daily on a
+// two-week window, retire after three silent rounds.
+func DefaultConfig() Config {
+	return Config{
+		Window:      14 * 24 * time.Hour,
+		Interval:    24 * time.Hour,
+		RetireAfter: 3,
+		Mode:        correlate.Hybrid,
+		Correlation: correlate.DefaultConfig(),
+	}
+}
+
+// Stats counts chain-set churn over the updater's lifetime.
+type Stats struct {
+	Rounds  int // retraining rounds executed
+	Added   int // chains admitted
+	Renewed int // chains re-confirmed
+	Retired int // chains aged out
+}
+
+// Updater maintains a live correlation model over a drifting system.
+// It is not safe for concurrent use.
+type Updater struct {
+	cfg   Config
+	model *correlate.Model
+	stats Stats
+
+	history     []logs.Record // sliding window, time-sorted
+	lastRetrain time.Time
+	unseen      map[string]int // chain key -> consecutive unconfirmed rounds
+}
+
+// New wraps an initial model (trained offline) with an updating policy.
+func New(initial *correlate.Model, cfg Config) *Updater {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultConfig().Window
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultConfig().Interval
+	}
+	if cfg.RetireAfter <= 0 {
+		cfg.RetireAfter = DefaultConfig().RetireAfter
+	}
+	u := &Updater{cfg: cfg, model: initial, unseen: make(map[string]int)}
+	for _, c := range initial.Chains {
+		u.unseen[c.Key()] = 0
+	}
+	return u
+}
+
+// Model returns the current live model.
+func (u *Updater) Model() *correlate.Model { return u.model }
+
+// Stats returns churn counters.
+func (u *Updater) Stats() Stats { return u.stats }
+
+// Ingest appends freshly observed, event-stamped records (time-sorted)
+// and retrains when the interval has elapsed. now is the stream's current
+// time; it returns true when the chain set changed.
+func (u *Updater) Ingest(recs []logs.Record, now time.Time) bool {
+	u.history = append(u.history, recs...)
+	u.trim(now)
+	if u.lastRetrain.IsZero() {
+		u.lastRetrain = now
+		return false
+	}
+	if now.Sub(u.lastRetrain) < u.cfg.Interval {
+		return false
+	}
+	u.lastRetrain = now
+	return u.retrain(now)
+}
+
+// trim drops history older than the window.
+func (u *Updater) trim(now time.Time) {
+	cut := now.Add(-u.cfg.Window)
+	i := sort.Search(len(u.history), func(k int) bool { return !u.history[k].Time.Before(cut) })
+	if i > 0 {
+		u.history = append(u.history[:0], u.history[i:]...)
+	}
+}
+
+// retrain mines the window and merges the result into the live model.
+func (u *Updater) retrain(now time.Time) bool {
+	u.stats.Rounds++
+	start := now.Add(-u.cfg.Window)
+	if len(u.history) > 0 && u.history[0].Time.After(start) {
+		start = u.history[0].Time
+	}
+	fresh := correlate.Train(u.history, start, now, u.cfg.Mode, u.cfg.Correlation)
+
+	freshKeys := make(map[string]int, len(fresh.Chains))
+	for i, c := range fresh.Chains {
+		freshKeys[c.Key()] = i
+	}
+
+	changed := false
+	// Keep live chains that are confirmed or not yet stale; refresh their
+	// statistics from the fresh mining.
+	var kept []correlate.Chain
+	for _, c := range u.model.Chains {
+		key := c.Key()
+		if i, ok := freshKeys[key]; ok {
+			u.unseen[key] = 0
+			u.stats.Renewed++
+			kept = append(kept, fresh.Chains[i])
+			delete(freshKeys, key)
+			continue
+		}
+		u.unseen[key]++
+		if u.unseen[key] >= u.cfg.RetireAfter {
+			u.stats.Retired++
+			delete(u.unseen, key)
+			changed = true
+			continue
+		}
+		kept = append(kept, c)
+	}
+	// Admit new chains.
+	newKeys := make([]string, 0, len(freshKeys))
+	for key := range freshKeys {
+		newKeys = append(newKeys, key)
+	}
+	sort.Strings(newKeys)
+	for _, key := range newKeys {
+		kept = append(kept, fresh.Chains[freshKeys[key]])
+		u.unseen[key] = 0
+		u.stats.Added++
+		changed = true
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Key() < kept[j].Key() })
+
+	// The live model adopts the fresh behaviour profiles (they follow the
+	// system's current regime) and the merged chain set.
+	merged := *fresh
+	merged.Chains = kept
+	merged.TrainStart = start
+	merged.TrainEnd = now
+	// Preserve severity knowledge for events absent from this window.
+	for ev, sev := range u.model.Severity {
+		if cur, ok := merged.Severity[ev]; !ok || sev > cur {
+			merged.Severity[ev] = sev
+		}
+	}
+	for ev, p := range u.model.Profiles {
+		if _, ok := merged.Profiles[ev]; !ok {
+			merged.Profiles[ev] = p
+			merged.Thresholds[ev] = u.model.Thresholds[ev]
+		}
+	}
+	u.model = &merged
+	return changed
+}

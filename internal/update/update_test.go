@@ -1,0 +1,193 @@
+package update
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/correlate"
+	"github.com/elsa-hpc/elsa/internal/gen"
+	"github.com/elsa-hpc/elsa/internal/helo"
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+var t0 = time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// phaseProfiles builds two BG/L variants: phase A without the disk-fault
+// archetype, phase B without the node-card archetype but with a new
+// disk-fault cascade — a software/hardware reconfiguration mid-life.
+func phaseProfiles() (a, b gen.Profile) {
+	a = gen.BlueGeneL()
+	b = gen.BlueGeneL()
+	diskArch := gen.FaultArchetype{
+		Name: "disk", Category: "storage", MTBF: 3 * time.Hour,
+		PrecursorProb: 0.9, IsFailure: true, OriginScope: topology.ScopeNode,
+		Precursors: []gen.EventSpec{
+			{Message: "sas phy error count d+ on enclosure d+", Component: "STORAGE",
+				Severity: logs.Warning, Delay: 0},
+			{Message: "raid rebuild started on array d+", Component: "STORAGE",
+				Severity: logs.Severe, Delay: 40 * time.Second, Jitter: 0.1},
+		},
+		Final: gen.EventSpec{Message: "raid array d+ failed unrecoverable", Component: "STORAGE",
+			Severity: logs.Failure, Delay: 50 * time.Second, Jitter: 0.1},
+	}
+	// Phase B: node card archetype replaced by the disk archetype.
+	var archB []gen.FaultArchetype
+	for _, ar := range b.Archetypes {
+		if ar.Name != "nodecard" {
+			archB = append(archB, ar)
+		}
+	}
+	b.Archetypes = append(archB, diskArch)
+	return a, b
+}
+
+func hasChainWith(model *correlate.Model, org *helo.Organizer, substr string) bool {
+	for _, c := range model.Chains {
+		for _, it := range c.Items {
+			ts := org.Templates()
+			if it.Event < len(ts) && strings.Contains(ts[it.Event].String(), substr) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestUpdaterAdmitsAndRetires(t *testing.T) {
+	profA, profB := phaseProfiles()
+	dur := 5 * 24 * time.Hour
+	a := gen.New(profA, 1).Generate(t0, dur)
+	boundary := t0.Add(dur)
+	b := gen.New(profB, 2).Generate(boundary, dur)
+	org := helo.New(0)
+	org.Assign(a.Records)
+	org.Assign(b.Records)
+
+	initial := correlate.Train(a.Records, t0, boundary, correlate.Hybrid, correlate.DefaultConfig())
+	if !hasChainWith(initial, org, "link card power module") {
+		t.Fatal("initial model missing node-card chain")
+	}
+	if hasChainWith(initial, org, "raid") {
+		t.Fatal("initial model already has disk chain")
+	}
+
+	cfg := DefaultConfig()
+	cfg.Window = 4 * 24 * time.Hour
+	cfg.Interval = 24 * time.Hour
+	cfg.RetireAfter = 2
+	u := New(initial, cfg)
+
+	// Feed phase B day by day.
+	for day := 0; day < 5; day++ {
+		dayStart := boundary.Add(time.Duration(day) * 24 * time.Hour)
+		dayEnd := dayStart.Add(24 * time.Hour)
+		u.Ingest(logs.Window(b.Records, dayStart, dayEnd), dayEnd)
+	}
+
+	st := u.Stats()
+	if st.Rounds == 0 {
+		t.Fatal("no retraining rounds ran")
+	}
+	if st.Added == 0 {
+		t.Error("no chains admitted despite new archetype")
+	}
+	if st.Retired == 0 {
+		t.Error("no chains retired despite archetype removal")
+	}
+	live := u.Model()
+	if !hasChainWith(live, org, "raid") {
+		t.Error("disk chain not admitted into live model")
+	}
+	if hasChainWith(live, org, "link card power module") {
+		t.Error("stale node-card chain not retired")
+	}
+}
+
+func TestUpdaterStableSystemNoChurn(t *testing.T) {
+	res := gen.New(gen.BlueGeneL(), 3).Generate(t0, 8*24*time.Hour)
+	org := helo.New(0)
+	org.Assign(res.Records)
+	cut := t0.Add(4 * 24 * time.Hour)
+	train, test, _ := res.Split(cut)
+	initial := correlate.Train(train, t0, cut, correlate.Hybrid, correlate.DefaultConfig())
+
+	cfg := DefaultConfig()
+	cfg.Window = 4 * 24 * time.Hour
+	cfg.Interval = 24 * time.Hour
+	cfg.RetireAfter = 3
+	u := New(initial, cfg)
+	for day := 0; day < 4; day++ {
+		dayStart := cut.Add(time.Duration(day) * 24 * time.Hour)
+		dayEnd := dayStart.Add(24 * time.Hour)
+		u.Ingest(logs.Window(test, dayStart, dayEnd), dayEnd)
+	}
+	st := u.Stats()
+	if st.Rounds == 0 {
+		t.Fatal("no rounds ran")
+	}
+	// A stable system renews its core chains; churn stays low relative to
+	// renewals.
+	if st.Renewed == 0 {
+		t.Error("no chains renewed on a stable system")
+	}
+	if st.Retired > st.Renewed {
+		t.Errorf("more retirements (%d) than renewals (%d) on a stable system",
+			st.Retired, st.Renewed)
+	}
+}
+
+func TestUpdaterIntervalRespected(t *testing.T) {
+	res := gen.New(gen.BlueGeneL(), 4).Generate(t0, 2*24*time.Hour)
+	org := helo.New(0)
+	org.Assign(res.Records)
+	initial := correlate.Train(res.Records, t0, res.End, correlate.Hybrid, correlate.DefaultConfig())
+
+	cfg := DefaultConfig()
+	cfg.Interval = 24 * time.Hour
+	u := New(initial, cfg)
+	// First ingest only arms the clock.
+	u.Ingest(nil, res.End)
+	if u.Stats().Rounds != 0 {
+		t.Error("retrained before interval elapsed")
+	}
+	u.Ingest(nil, res.End.Add(time.Hour))
+	if u.Stats().Rounds != 0 {
+		t.Error("retrained after one hour with a 24h interval")
+	}
+	u.Ingest(nil, res.End.Add(25*time.Hour))
+	if u.Stats().Rounds != 1 {
+		t.Errorf("rounds = %d after interval elapsed", u.Stats().Rounds)
+	}
+}
+
+func TestUpdaterPreservesSeverityKnowledge(t *testing.T) {
+	res := gen.New(gen.BlueGeneL(), 5).Generate(t0, 4*24*time.Hour)
+	org := helo.New(0)
+	org.Assign(res.Records)
+	initial := correlate.Train(res.Records, t0, res.End, correlate.Hybrid, correlate.DefaultConfig())
+
+	// Find an event known to be a failure.
+	failEv := -1
+	for ev, sev := range initial.Severity {
+		if sev == logs.Failure {
+			failEv = ev
+			break
+		}
+	}
+	if failEv < 0 {
+		t.Fatal("no failure-severity event in initial model")
+	}
+
+	cfg := DefaultConfig()
+	cfg.Interval = time.Hour
+	cfg.Window = 24 * time.Hour
+	u := New(initial, cfg)
+	// Retrain on an empty window: severity knowledge must persist.
+	u.Ingest(nil, res.End)
+	u.Ingest(nil, res.End.Add(2*time.Hour))
+	if got := u.Model().Severity[failEv]; got != logs.Failure {
+		t.Errorf("severity of event %d degraded to %v", failEv, got)
+	}
+}

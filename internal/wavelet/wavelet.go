@@ -1,0 +1,223 @@
+// Package wavelet implements the discrete wavelet transforms (Haar and
+// Daubechies-4) and threshold denoising that ELSA's preprocessing step uses
+// to characterise the normal behaviour of each event signal, following the
+// signal-analysis methodology of the authors' earlier work ("Taming of the
+// Shrew", IPDPS 2012) that this paper builds on.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind selects the wavelet family.
+type Kind int
+
+// Supported wavelet families.
+const (
+	Haar Kind = iota
+	Daubechies4
+)
+
+// String names the family.
+func (k Kind) String() string {
+	switch k {
+	case Haar:
+		return "haar"
+	case Daubechies4:
+		return "db4"
+	default:
+		return "unknown"
+	}
+}
+
+// filters returns the scaling (low-pass) coefficients for k.
+func (k Kind) filters() []float64 {
+	switch k {
+	case Haar:
+		s := 1 / math.Sqrt2
+		return []float64{s, s}
+	case Daubechies4:
+		// Standard D4 coefficients.
+		s := 4 * math.Sqrt2
+		r3 := math.Sqrt(3)
+		return []float64{(1 + r3) / s, (3 + r3) / s, (3 - r3) / s, (1 - r3) / s}
+	default:
+		return nil
+	}
+}
+
+// Forward computes a single-level DWT of xs (power-of-two length, >= filter
+// length), returning the approximation and detail halves. Boundaries wrap
+// periodically.
+func Forward(k Kind, xs []float64) (approx, detail []float64, err error) {
+	h := k.filters()
+	if h == nil {
+		return nil, nil, fmt.Errorf("wavelet: unknown kind %d", k)
+	}
+	n := len(xs)
+	if n < len(h) || n%2 != 0 {
+		return nil, nil, fmt.Errorf("wavelet: length %d invalid for %s (need even length >= %d)", n, k, len(h))
+	}
+	half := n / 2
+	approx = make([]float64, half)
+	detail = make([]float64, half)
+	for i := 0; i < half; i++ {
+		var a, d float64
+		for j, hc := range h {
+			idx := (2*i + j) % n
+			a += hc * xs[idx]
+			// Quadrature mirror: g[j] = (-1)^j h[len-1-j].
+			gc := h[len(h)-1-j]
+			if j%2 == 1 {
+				gc = -gc
+			}
+			d += gc * xs[idx]
+		}
+		approx[i] = a
+		detail[i] = d
+	}
+	return approx, detail, nil
+}
+
+// Inverse reconstructs a signal from single-level approximation and detail
+// coefficients produced by Forward.
+func Inverse(k Kind, approx, detail []float64) ([]float64, error) {
+	h := k.filters()
+	if h == nil {
+		return nil, fmt.Errorf("wavelet: unknown kind %d", k)
+	}
+	if len(approx) != len(detail) {
+		return nil, fmt.Errorf("wavelet: approx/detail length mismatch %d vs %d", len(approx), len(detail))
+	}
+	half := len(approx)
+	n := 2 * half
+	if n < len(h) {
+		return nil, fmt.Errorf("wavelet: length %d too short for %s", n, k)
+	}
+	out := make([]float64, n)
+	for i := 0; i < half; i++ {
+		for j, hc := range h {
+			idx := (2*i + j) % n
+			gc := h[len(h)-1-j]
+			if j%2 == 1 {
+				gc = -gc
+			}
+			out[idx] += hc*approx[i] + gc*detail[i]
+		}
+	}
+	return out, nil
+}
+
+// Decomposition holds a multi-level DWT: the final approximation plus the
+// detail bands from coarsest to finest.
+type Decomposition struct {
+	Kind    Kind
+	Approx  []float64
+	Details [][]float64 // Details[0] is the coarsest band
+	n       int
+}
+
+// Decompose performs a levels-deep DWT of xs. The input length must be even
+// and divisible by 2^levels down to at least the filter length.
+func Decompose(k Kind, xs []float64, levels int) (*Decomposition, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("wavelet: levels must be >= 1, got %d", levels)
+	}
+	cur := append([]float64(nil), xs...)
+	details := make([][]float64, 0, levels)
+	for l := 0; l < levels; l++ {
+		a, d, err := Forward(k, cur)
+		if err != nil {
+			return nil, fmt.Errorf("wavelet: level %d: %w", l, err)
+		}
+		details = append(details, d)
+		cur = a
+	}
+	// Store details coarsest-first.
+	for i, j := 0, len(details)-1; i < j; i, j = i+1, j-1 {
+		details[i], details[j] = details[j], details[i]
+	}
+	return &Decomposition{Kind: k, Approx: cur, Details: details, n: len(xs)}, nil
+}
+
+// Reconstruct inverts a Decomposition back into the time domain.
+func (d *Decomposition) Reconstruct() ([]float64, error) {
+	cur := append([]float64(nil), d.Approx...)
+	for _, det := range d.Details {
+		next, err := Inverse(d.Kind, cur, det)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// ThresholdMode selects how detail coefficients are shrunk during
+// denoising.
+type ThresholdMode int
+
+// Threshold modes.
+const (
+	Hard ThresholdMode = iota
+	Soft
+)
+
+// Denoise performs wavelet shrinkage: decompose, threshold the detail
+// bands with the universal threshold (sigma * sqrt(2 ln n), sigma estimated
+// from the finest band's median absolute deviation), reconstruct. It
+// returns the smoothed signal that ELSA treats as the event type's "normal
+// behaviour" curve.
+func Denoise(k Kind, xs []float64, levels int, mode ThresholdMode) ([]float64, error) {
+	dec, err := Decompose(k, xs, levels)
+	if err != nil {
+		return nil, err
+	}
+	finest := dec.Details[len(dec.Details)-1]
+	sigma := medianAbs(finest) / 0.6745
+	t := sigma * math.Sqrt(2*math.Log(float64(len(xs))+1))
+	for _, band := range dec.Details {
+		for i, c := range band {
+			band[i] = shrink(c, t, mode)
+		}
+	}
+	return dec.Reconstruct()
+}
+
+func shrink(c, t float64, mode ThresholdMode) float64 {
+	a := math.Abs(c)
+	if a <= t {
+		return 0
+	}
+	if mode == Hard {
+		return c
+	}
+	if c > 0 {
+		return a - t
+	}
+	return -(a - t)
+}
+
+// medianAbs returns the median of |xs|; local helper kept here to avoid a
+// dependency cycle with the stats package in either direction.
+func medianAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(xs))
+	for i, x := range xs {
+		tmp[i] = math.Abs(x)
+	}
+	// Insertion-free selection via sort; detail bands are short.
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j] < tmp[j-1]; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}

@@ -1,0 +1,209 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestKindString(t *testing.T) {
+	if Haar.String() != "haar" || Daubechies4.String() != "db4" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("unknown kind name wrong")
+	}
+}
+
+func TestForwardRejectsBadLength(t *testing.T) {
+	if _, _, err := Forward(Haar, []float64{1}); err == nil {
+		t.Error("expected error for length 1")
+	}
+	if _, _, err := Forward(Daubechies4, []float64{1, 2}); err == nil {
+		t.Error("expected error for length < filter")
+	}
+	if _, _, err := Forward(Kind(99), make([]float64, 8)); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}
+
+func TestHaarKnownValues(t *testing.T) {
+	a, d, err := Forward(Haar, []float64{4, 6, 10, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := math.Sqrt2
+	// Haar approx = (x0+x1)/sqrt2: (4+6)/s, (10+12)/s.
+	if math.Abs(a[0]-10/s) > 1e-12 || math.Abs(a[1]-22/s) > 1e-12 {
+		t.Errorf("approx = %v", a)
+	}
+	// Haar detail with g = [h1, -h0] = (x0 - x1)/s.
+	if math.Abs(math.Abs(d[0])-2/s) > 1e-12 || math.Abs(math.Abs(d[1])-2/s) > 1e-12 {
+		t.Errorf("detail = %v", d)
+	}
+}
+
+func TestRoundTripSingleLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, k := range []Kind{Haar, Daubechies4} {
+		xs := make([]float64, 64)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		a, d, err := Forward(k, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Inverse(k, a, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := maxAbsDiff(xs, back); diff > 1e-9 {
+			t.Errorf("%s round trip error %v", k, diff)
+		}
+	}
+}
+
+func TestRoundTripMultiLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		xs := make([]float64, 128)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		for _, k := range []Kind{Haar, Daubechies4} {
+			dec, err := Decompose(k, xs, 3)
+			if err != nil {
+				return false
+			}
+			back, err := dec.Reconstruct()
+			if err != nil {
+				return false
+			}
+			if maxAbsDiff(xs, back) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyPreservation(t *testing.T) {
+	// Orthonormal transforms preserve energy.
+	rng := rand.New(rand.NewSource(33))
+	xs := make([]float64, 256)
+	e := 0.0
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		e += xs[i] * xs[i]
+	}
+	for _, k := range []Kind{Haar, Daubechies4} {
+		a, d, err := Forward(k, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2 := 0.0
+		for i := range a {
+			e2 += a[i]*a[i] + d[i]*d[i]
+		}
+		if math.Abs(e-e2) > 1e-8*e {
+			t.Errorf("%s energy %v -> %v", k, e, e2)
+		}
+	}
+}
+
+func TestDecomposeValidation(t *testing.T) {
+	if _, err := Decompose(Haar, make([]float64, 16), 0); err == nil {
+		t.Error("expected error for levels < 1")
+	}
+	// 6 -> 3: second level has odd length.
+	if _, err := Decompose(Haar, make([]float64, 6), 2); err == nil {
+		t.Error("expected error when a level has odd length")
+	}
+}
+
+func TestInverseValidation(t *testing.T) {
+	if _, err := Inverse(Haar, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("expected mismatch error")
+	}
+	if _, err := Inverse(Kind(99), []float64{1}, []float64{1}); err == nil {
+		t.Error("expected unknown-kind error")
+	}
+}
+
+func TestDenoiseRemovesNoiseKeepsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	n := 512
+	clean := make([]float64, n)
+	noisy := make([]float64, n)
+	for i := range clean {
+		clean[i] = 10 * math.Sin(2*math.Pi*float64(i)/64)
+		noisy[i] = clean[i] + rng.NormFloat64()*0.8
+	}
+	den, err := Denoise(Daubechies4, noisy, 4, Hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mseNoisy, mseDen := 0.0, 0.0
+	for i := range clean {
+		dn := noisy[i] - clean[i]
+		dd := den[i] - clean[i]
+		mseNoisy += dn * dn
+		mseDen += dd * dd
+	}
+	if mseDen >= mseNoisy {
+		t.Errorf("denoising did not reduce error: %v >= %v", mseDen, mseNoisy)
+	}
+}
+
+func TestDenoiseHardVsSoft(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	xs := make([]float64, 128)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	// A strong transient guarantees some detail coefficients survive the
+	// threshold, where hard and soft shrinkage must disagree.
+	xs[40] += 50
+	hard, err := Denoise(Haar, xs, 2, Hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := Denoise(Haar, xs, 2, Soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxAbsDiff(hard, soft) == 0 {
+		t.Error("hard and soft thresholding should differ on noise")
+	}
+}
+
+func TestShrink(t *testing.T) {
+	if shrink(0.5, 1, Hard) != 0 || shrink(0.5, 1, Soft) != 0 {
+		t.Error("values under threshold should vanish")
+	}
+	if shrink(2, 1, Hard) != 2 {
+		t.Error("hard shrink should keep value")
+	}
+	if shrink(2, 1, Soft) != 1 {
+		t.Error("soft shrink should subtract threshold")
+	}
+	if shrink(-2, 1, Soft) != -1 {
+		t.Error("soft shrink should be odd-symmetric")
+	}
+}

@@ -1,0 +1,49 @@
+package elsa
+
+import (
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/predict"
+)
+
+// Monitor is the incremental form of Predict: records are fed one at a
+// time (a daemon tailing the live log), and predictions surface as soon
+// as their sampling tick closes. New message shapes are learned online by
+// the model's template organizer, as HELO does.
+type Monitor struct {
+	model  *Model
+	stream *predict.Stream
+}
+
+// NewMonitor arms the model for incremental prediction, with the first
+// sampling tick starting at start.
+func (m *Model) NewMonitor(start time.Time) *Monitor {
+	return m.NewMonitorWith(start, DefaultPredictConfig())
+}
+
+// NewMonitorWith is NewMonitor with an explicit engine configuration.
+func (m *Model) NewMonitorWith(start time.Time, cfg PredictConfig) *Monitor {
+	engine := predict.NewEngine(m.inner, m.profiles, cfg)
+	return &Monitor{model: m, stream: predict.NewStream(engine, start)}
+}
+
+// Feed ingests one record (records must arrive in time order) and returns
+// any predictions that became visible.
+func (mo *Monitor) Feed(rec Record) []Prediction {
+	if rec.EventID < 0 {
+		rec.EventID = mo.model.organizer.Learn(rec.Message, rec.Severity).ID
+	}
+	return mo.stream.Feed(rec)
+}
+
+// AdvanceTo closes sampling ticks up to now; call it periodically during
+// quiet spells so chain expiry keeps pace with the clock.
+func (mo *Monitor) AdvanceTo(now time.Time) []Prediction {
+	return mo.stream.AdvanceTo(now)
+}
+
+// Close flushes the open tick and returns the accumulated run result.
+func (mo *Monitor) Close() *PredictResult { return mo.stream.Close() }
+
+// Result returns the accumulated result so far without closing.
+func (mo *Monitor) Result() *PredictResult { return mo.stream.Result() }

@@ -1,0 +1,70 @@
+package elsa
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/elsa-hpc/elsa/internal/correlate"
+	"github.com/elsa-hpc/elsa/internal/helo"
+	"github.com/elsa-hpc/elsa/internal/location"
+)
+
+// modelEnvelope is the on-disk form of a trained model. The format is
+// versioned JSON: small enough to inspect by hand, stable enough to ship
+// between the training host and the online monitor.
+type modelEnvelope struct {
+	Version   int                          `json:"version"`
+	HELO      heloEnvelope                 `json:"helo"`
+	Model     *correlate.Model             `json:"model"`
+	Locations map[string]*location.Profile `json:"locations"`
+}
+
+type heloEnvelope struct {
+	Threshold float64          `json:"threshold"`
+	Templates []*helo.Template `json:"templates"`
+}
+
+// modelFormatVersion increments on breaking changes to the envelope.
+const modelFormatVersion = 1
+
+// Save serialises the model as versioned JSON.
+func (m *Model) Save(w io.Writer) error {
+	env := modelEnvelope{
+		Version: modelFormatVersion,
+		HELO: heloEnvelope{
+			Threshold: m.organizer.Threshold(),
+			Templates: m.organizer.Templates(),
+		},
+		Model:     m.inner,
+		Locations: m.profiles,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(env); err != nil {
+		return fmt.Errorf("elsa: save model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel deserialises a model written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var env modelEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("elsa: load model: %w", err)
+	}
+	if env.Version != modelFormatVersion {
+		return nil, fmt.Errorf("elsa: model format version %d, want %d", env.Version, modelFormatVersion)
+	}
+	if env.Model == nil {
+		return nil, fmt.Errorf("elsa: model envelope missing model")
+	}
+	if env.Model.Profiles == nil || env.Model.Thresholds == nil || env.Model.Severity == nil {
+		return nil, fmt.Errorf("elsa: model envelope incomplete")
+	}
+	return &Model{
+		inner:     env.Model,
+		profiles:  env.Locations,
+		organizer: helo.Restore(env.HELO.Threshold, env.HELO.Templates),
+	}, nil
+}

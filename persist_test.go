@@ -1,0 +1,92 @@
+package elsa
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func trainSmallModel(t *testing.T, seed int64) (*Model, *SyntheticLog, time.Time) {
+	t.Helper()
+	log := GenerateBGL(seed, apiStart, 5*24*time.Hour)
+	cut := apiStart.Add(2 * 24 * time.Hour)
+	train, _, _ := log.Split(cut)
+	return Train(train, apiStart, cut, DefaultTrainConfig()), log, cut
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	model, log, cut := trainSmallModel(t, 60)
+	var sb strings.Builder
+	if err := model.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mode() != model.Mode() {
+		t.Errorf("mode %v vs %v", back.Mode(), model.Mode())
+	}
+	if back.EventCount() != model.EventCount() {
+		t.Errorf("events %d vs %d", back.EventCount(), model.EventCount())
+	}
+	if len(back.Chains()) != len(model.Chains()) {
+		t.Fatalf("chains %d vs %d", len(back.Chains()), len(model.Chains()))
+	}
+	for i, c := range model.Chains() {
+		if back.Chains()[i].Key() != c.Key() {
+			t.Errorf("chain %d key %q vs %q", i, back.Chains()[i].Key(), c.Key())
+		}
+	}
+	// Template text must survive.
+	for id := 0; id < model.EventCount(); id++ {
+		if back.EventTemplate(id) != model.EventTemplate(id) {
+			t.Fatalf("template %d differs", id)
+		}
+	}
+	// The reloaded model must predict identically.
+	_, test, _ := log.Split(cut)
+	a := model.Predict(test, cut, log.End)
+	b := back.Predict(test, cut, log.End)
+	if len(a.Predictions) != len(b.Predictions) {
+		t.Fatalf("prediction counts differ after reload: %d vs %d",
+			len(a.Predictions), len(b.Predictions))
+	}
+	for i := range a.Predictions {
+		if a.Predictions[i] != b.Predictions[i] {
+			t.Fatalf("prediction %d differs after reload", i)
+		}
+	}
+}
+
+func TestLoadModelRejectsBadInput(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("{broken")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"version": 1}`)); err == nil {
+		t.Error("missing model accepted")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"version":1,"model":{}}`)); err == nil {
+		t.Error("incomplete model accepted")
+	}
+}
+
+func TestSavedModelIsStableJSON(t *testing.T) {
+	model, _, _ := trainSmallModel(t, 61)
+	var a, b strings.Builder
+	if err := model.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Save is not deterministic")
+	}
+	if !strings.Contains(a.String(), `"version"`) {
+		t.Error("envelope missing version field")
+	}
+}

@@ -1,0 +1,36 @@
+package elsa
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WritePredictions encodes predictions as JSON lines, the handoff format
+// for downstream fault-tolerance tooling (schedulers, checkpoint
+// managers).
+func WritePredictions(w io.Writer, preds []Prediction) error {
+	enc := json.NewEncoder(w)
+	for i, p := range preds {
+		if err := enc.Encode(p); err != nil {
+			return fmt.Errorf("elsa: prediction %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadPredictions decodes JSON-lines predictions written by
+// WritePredictions.
+func ReadPredictions(r io.Reader) ([]Prediction, error) {
+	dec := json.NewDecoder(r)
+	var out []Prediction
+	for {
+		var p Prediction
+		if err := dec.Decode(&p); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("elsa: prediction %d: %w", len(out), err)
+		}
+		out = append(out, p)
+	}
+}

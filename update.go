@@ -1,0 +1,59 @@
+package elsa
+
+import (
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/update"
+)
+
+// UpdateConfig tunes the correlation-updating policy: how much history to
+// retrain on, how often, and how quickly unconfirmed chains are retired.
+type UpdateConfig = update.Config
+
+// UpdateStats counts chain-set churn (rounds, added, renewed, retired).
+type UpdateStats = update.Stats
+
+// DefaultUpdateConfig returns a conservative policy: daily retraining on a
+// two-week window, retirement after three unconfirmed rounds.
+func DefaultUpdateConfig() UpdateConfig { return update.DefaultConfig() }
+
+// Updater keeps a model current on a drifting system: it retrains on a
+// sliding window and merges the result into the live chain set, so
+// software upgrades and reconfigurations neither strand stale chains nor
+// hide new failure modes. This implements the correlation-updating module
+// the paper describes as untested future work.
+type Updater struct {
+	inner *update.Updater
+	model *Model
+}
+
+// NewUpdater wraps a trained model with an updating policy.
+func (m *Model) NewUpdater(cfg UpdateConfig) *Updater {
+	return &Updater{inner: update.New(m.inner, cfg), model: m}
+}
+
+// Ingest feeds newly observed records (the updater stamps event ids via
+// the model's template organizer) and retrains when the interval elapses.
+// It reports whether the chain set changed.
+func (u *Updater) Ingest(records []Record, now time.Time) bool {
+	recs := append([]Record(nil), records...)
+	for i := range recs {
+		if recs[i].EventID < 0 {
+			recs[i].EventID = u.model.organizer.Learn(recs[i].Message, recs[i].Severity).ID
+		}
+	}
+	changed := u.inner.Ingest(recs, now)
+	if changed {
+		u.model.inner = u.inner.Model()
+	}
+	return changed
+}
+
+// Model returns the live model (shared with the wrapped *Model).
+func (u *Updater) Model() *Model {
+	u.model.inner = u.inner.Model()
+	return u.model
+}
+
+// Stats returns churn counters.
+func (u *Updater) Stats() UpdateStats { return u.inner.Stats() }

@@ -1,0 +1,66 @@
+package elsa
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUpdaterFacade(t *testing.T) {
+	log := GenerateBGL(70, apiStart, 8*24*time.Hour)
+	cut := apiStart.Add(4 * 24 * time.Hour)
+	train, test, _ := log.Split(cut)
+	model := Train(train, apiStart, cut, DefaultTrainConfig())
+	before := len(model.Chains())
+
+	cfg := DefaultUpdateConfig()
+	cfg.Window = 4 * 24 * time.Hour
+	cfg.Interval = 24 * time.Hour
+	u := model.NewUpdater(cfg)
+
+	for day := 0; day < 4; day++ {
+		dayStart := cut.Add(time.Duration(day) * 24 * time.Hour)
+		dayEnd := dayStart.Add(24 * time.Hour)
+		var window []Record
+		for _, r := range test {
+			if !r.Time.Before(dayStart) && r.Time.Before(dayEnd) {
+				window = append(window, r)
+			}
+		}
+		u.Ingest(window, dayEnd)
+	}
+	st := u.Stats()
+	if st.Rounds == 0 {
+		t.Fatal("no retraining rounds")
+	}
+	if st.Renewed == 0 {
+		t.Error("stable system renewed nothing")
+	}
+	live := u.Model()
+	if len(live.Chains()) == 0 {
+		t.Error("live model lost all chains")
+	}
+	_ = before
+	// The live model must still predict.
+	result := live.Predict(test, cut, log.End)
+	if len(result.Predictions) == 0 {
+		t.Error("updated model emits no predictions")
+	}
+}
+
+func TestUpdaterStampsNewTemplates(t *testing.T) {
+	log := GenerateBGL(71, apiStart, 3*24*time.Hour)
+	model := Train(log.Records, apiStart, log.End, DefaultTrainConfig())
+	u := model.NewUpdater(DefaultUpdateConfig())
+	before := model.EventCount()
+	// A message shape never seen in training.
+	novel := []Record{{
+		Time:     log.End.Add(time.Minute),
+		Severity: Severe,
+		Message:  "entirely new subsystem reported fault code 77",
+		EventID:  -1,
+	}}
+	u.Ingest(novel, log.End.Add(2*time.Minute))
+	if model.EventCount() != before+1 {
+		t.Errorf("event count %d, want %d (online template learning)", model.EventCount(), before+1)
+	}
+}
