@@ -142,6 +142,12 @@ func run() error {
 	fmt.Printf("online: %d predictions (%d late), %d/%d chains used, mean analysis %.1fms, worst %s\n",
 		len(result.Predictions), st.LatePreds, len(st.ChainsUsed), st.ChainsLoaded,
 		1000*st.Analysis.Mean(), st.MaxAnalysis.Round(time.Millisecond))
+	// Batch prediction replays the streaming stage graph; show what each
+	// stage saw.
+	for _, sg := range st.Stages {
+		fmt.Printf("  stage %-9s in=%-8d out=%-8d dropped=%-6d maxqueue=%-5d wall=%s\n",
+			sg.Name, sg.In, sg.Out, sg.Dropped, sg.MaxQueue, sg.Wall.Round(time.Microsecond))
+	}
 
 	if *showPreds {
 		for _, p := range result.Predictions {

@@ -90,9 +90,19 @@ func run() error {
 	}
 	res := monitor.Close()
 	st := res.Stats
-	fmt.Fprintf(os.Stderr, "elsamon: %d records over %d ticks, %d predictions (%d late), %d undecodable lines\n",
-		st.Messages, st.Ticks, len(res.Predictions), st.LatePreds, dropped)
+	fmt.Fprintf(os.Stderr, "elsamon: %d records over %d ticks, %d predictions (%d late), %d undecodable lines, %d stragglers dropped\n",
+		st.Messages, st.Ticks, len(res.Predictions), st.LatePreds, dropped, st.LateRecords)
+	printStages(st.Stages)
 	return nil
+}
+
+// printStages renders the pipeline's per-stage counters, one line per
+// stage in graph order.
+func printStages(stages []elsa.StageStats) {
+	for _, sg := range stages {
+		fmt.Fprintf(os.Stderr, "elsamon: stage %-9s in=%-8d out=%-8d dropped=%-6d maxqueue=%-5d wall=%s\n",
+			sg.Name, sg.In, sg.Out, sg.Dropped, sg.MaxQueue, sg.Wall.Round(time.Microsecond))
+	}
 }
 
 func decode(line string, format elsa.LogFormat, year int) (elsa.Record, error) {

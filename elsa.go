@@ -25,6 +25,7 @@
 package elsa
 
 import (
+	"context"
 	"time"
 
 	"github.com/elsa-hpc/elsa/internal/correlate"
@@ -33,6 +34,7 @@ import (
 	"github.com/elsa-hpc/elsa/internal/helo"
 	"github.com/elsa-hpc/elsa/internal/location"
 	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/pipeline"
 	"github.com/elsa-hpc/elsa/internal/predict"
 	"github.com/elsa-hpc/elsa/internal/topology"
 )
@@ -51,6 +53,14 @@ type (
 	Prediction = predict.Prediction
 	// PredictResult bundles predictions with run statistics.
 	PredictResult = predict.Result
+	// StageStats is one pipeline stage's counter snapshot (records in and
+	// out, drops, max queue depth, wall time); a run's stage counters are
+	// in PredictResult.Stats.Stages.
+	StageStats = predict.StageStats
+	// RecordSource is a pull-based record iterator: PredictSource and the
+	// pipeline consume sources, so callers never need the whole log in
+	// memory.
+	RecordSource = logs.RecordSource
 	// Failure is a ground-truth fault instance (from the generator or an
 	// annotated real log).
 	Failure = gen.FailureRecord
@@ -155,6 +165,10 @@ func DefaultPredictConfig() PredictConfig { return predict.DefaultConfig() }
 // the default engine configuration. Records without event ids are stamped
 // by the model's template organizer (which keeps learning new templates,
 // as HELO does online).
+//
+// Batch prediction is a replay: the records run through the same
+// internal/pipeline stage graph a live Monitor executes, driven from an
+// in-memory source. The per-stage counters land in Stats.Stages.
 func (m *Model) Predict(records []Record, start, end time.Time) *PredictResult {
 	return m.PredictWith(records, start, end, DefaultPredictConfig())
 }
@@ -163,13 +177,22 @@ func (m *Model) Predict(records []Record, start, end time.Time) *PredictResult {
 func (m *Model) PredictWith(records []Record, start, end time.Time, cfg PredictConfig) *PredictResult {
 	recs := append([]Record(nil), records...)
 	logs.SortByTime(recs)
-	for i := range recs {
-		if recs[i].EventID < 0 {
-			recs[i].EventID = m.organizer.Learn(recs[i].Message, recs[i].Severity).ID
-		}
-	}
+	// A slice source cannot fail and the background context never
+	// cancels, so the replay always completes.
+	res, _ := m.PredictSource(context.Background(), logs.NewSliceSource(recs), start, end, cfg)
+	return res
+}
+
+// PredictSource streams records pulled from src through the online phase
+// over [start, end) without materialising the log in memory. Records must
+// arrive roughly in time order (the pipeline tolerates one sampling tick
+// of lateness; older records are dropped and counted). On context
+// cancellation or a source failure the partial result is returned
+// alongside the error.
+func (m *Model) PredictSource(ctx context.Context, src RecordSource, start, end time.Time, cfg PredictConfig) (*PredictResult, error) {
 	engine := predict.NewEngine(m.inner, m.profiles, cfg)
-	return engine.Run(recs, start, end)
+	p := pipeline.New(engine, m.organizer, pipeline.DefaultConfig())
+	return p.Run(ctx, src, start, end)
 }
 
 // DefaultMatchConfig returns the evaluation matching rule used in the

@@ -1,0 +1,95 @@
+package logs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sourceRecords(n int) []Record {
+	base := time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Record{
+			Time:     base.Add(time.Duration(i) * time.Second),
+			Severity: Info,
+			Message:  "heartbeat",
+			EventID:  -1,
+		}
+	}
+	return out
+}
+
+func TestSliceSourceDrains(t *testing.T) {
+	recs := sourceRecords(5)
+	src := NewSliceSource(recs)
+	got, err := Drain(src)
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("drained %d records, want %d", len(got), len(recs))
+	}
+	if src.Remaining() != 0 {
+		t.Errorf("Remaining = %d after drain", src.Remaining())
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("exhausted source yielded a record")
+	}
+}
+
+func TestReaderSourceDecodes(t *testing.T) {
+	recs := sourceRecords(3)
+	var sb strings.Builder
+	if err := WriteAll(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Drain(NewReaderSource(strings.NewReader(sb.String())))
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if !got[i].Time.Equal(recs[i].Time) || got[i].Message != recs[i].Message {
+			t.Errorf("record %d = %v, want %v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReaderSourceSurfacesDecodeError(t *testing.T) {
+	src := NewReaderSource(strings.NewReader("not a record\n"))
+	if _, ok := src.Next(); ok {
+		t.Fatal("malformed line yielded a record")
+	}
+	if src.Err() == nil {
+		t.Fatal("Err = nil after malformed line")
+	}
+	// The source stays ended.
+	if _, ok := src.Next(); ok {
+		t.Error("source continued after error")
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	recs := sourceRecords(2)
+	i := 0
+	wantErr := errors.New("tail broke")
+	src := NewFuncSource(func() (Record, bool, error) {
+		if i < len(recs) {
+			r := recs[i]
+			i++
+			return r, true, nil
+		}
+		return Record{}, false, wantErr
+	})
+	got, err := Drain(src)
+	if len(got) != 2 {
+		t.Fatalf("drained %d records, want 2", len(got))
+	}
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Err = %v, want %v", err, wantErr)
+	}
+}

@@ -1,0 +1,277 @@
+// Package pipeline is the streaming core of ELSA's online phase: a typed,
+// staged graph
+//
+//	Source → TemplateAssign (helo) → Sample/Signal (sig) → OutlierFilter → ChainMatch → PredictionSink
+//
+// with context cancellation, bounded-channel backpressure and per-stage
+// counters (records in/out, drops, max queue depth, wall time). The hot
+// filtering stage shards its per-event-type signal state across workers.
+//
+// The graph has exactly one set of stage bodies and two drivers:
+//
+//   - Run pulls records from a logs.RecordSource and pushes them through
+//     goroutine-per-stage bounded channels — the batch path. Batch
+//     prediction is therefore a replay of the same stage graph the live
+//     monitor runs, not a separate code path.
+//   - Session executes the same stage bodies synchronously, one record
+//     per Feed call — the deployment shape of a monitor daemon tailing a
+//     live log.
+//
+// Tick mechanics (sampling, outlier observation, chain matching, the
+// analysis-time model) live in internal/predict as exported stage steps;
+// this package owns ingest, ordering, concurrency and accounting.
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/helo"
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/predict"
+)
+
+// Stage indices, in graph order.
+const (
+	stageSource = iota
+	stageTemplate
+	stageSample
+	stageFilter
+	stageMatch
+	stageSink
+	numStages
+)
+
+var stageNames = [numStages]string{"source", "template", "sample", "filter", "match", "sink"}
+
+// TemplateLearner is the online-learning slice of *helo.Organizer the
+// TemplateAssign stage needs: match a message against the template set,
+// merging or creating as HELO does online, and return the template.
+type TemplateLearner interface {
+	Learn(msg string, sev logs.Severity) *helo.Template
+}
+
+// StampEventID is the single ingest point shared by batch replay and the
+// live monitor: a record without an event id is stamped by the model's
+// template organizer (which keeps learning new message shapes online).
+// Records arriving with an id — replayed from an already-stamped log —
+// pass through untouched.
+func StampEventID(rec *logs.Record, org TemplateLearner) {
+	if rec.EventID < 0 && org != nil {
+		rec.EventID = org.Learn(rec.Message, rec.Severity).ID
+	}
+}
+
+// Config tunes the pipeline drivers. The engine-level parameters (step,
+// tolerance, analysis-cost model) stay in predict.Config.
+type Config struct {
+	// Buffer is the capacity of each inter-stage channel in the async
+	// driver; it bounds how far any stage can run ahead (backpressure).
+	// <= 0 selects DefaultBuffer.
+	Buffer int
+
+	// Workers caps the filter stage's fan-out across detector shards.
+	// <= 0 selects runtime.NumCPU(). The effective width also never
+	// exceeds one worker per minShardSize detectors, so small models run
+	// sequentially.
+	Workers int
+
+	// GraceTicks is how many sampling ticks a record may lag the newest
+	// record seen and still be accepted into its (still open) tick.
+	// Records older than that are dropped and counted. Wall-clock
+	// advancement (Session.AdvanceTo) is authoritative and ignores the
+	// grace. Negative values are treated as 0.
+	GraceTicks int
+
+	// OnPrediction, when set, is invoked from the sink stage for every
+	// prediction as soon as its tick closes (both drivers).
+	OnPrediction func(predict.Prediction)
+}
+
+// DefaultBuffer is the default inter-stage channel capacity.
+const DefaultBuffer = 256
+
+// DefaultGraceTicks is the default out-of-order tolerance: one sampling
+// tick, per the monitor's documented ingest contract.
+const DefaultGraceTicks = 1
+
+// minShardSize is the fewest detectors worth giving a filter worker.
+const minShardSize = 16
+
+// DefaultConfig returns the standard driver configuration.
+func DefaultConfig() Config {
+	return Config{
+		Buffer:     DefaultBuffer,
+		Workers:    runtime.NumCPU(),
+		GraceTicks: DefaultGraceTicks,
+	}
+}
+
+// Pipeline binds an armed prediction engine, a template organizer and a
+// driver configuration into a runnable stage graph. A Pipeline carries
+// the engine's (stateful) signal and chain state: use one Pipeline per
+// run — either a single Run call or a single Session.
+type Pipeline struct {
+	eng *predict.Engine
+	org TemplateLearner
+	cfg Config
+
+	ids    []int   // all dense-detector event ids, ascending
+	shards [][]int // ids partitioned for the filter fan-out
+
+	counters [numStages]stageCounter
+}
+
+// New builds a pipeline over an engine. org may be nil when every record
+// arrives pre-stamped with an event id.
+func New(eng *predict.Engine, org TemplateLearner, cfg Config) *Pipeline {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = DefaultBuffer
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.GraceTicks < 0 {
+		cfg.GraceTicks = 0
+	}
+	p := &Pipeline{eng: eng, org: org, cfg: cfg, ids: eng.DetectorIDs()}
+	w := cfg.Workers
+	if max := len(p.ids) / minShardSize; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	p.shards = make([][]int, w)
+	for i, id := range p.ids {
+		p.shards[i%w] = append(p.shards[i%w], id)
+	}
+	return p
+}
+
+// Engine returns the wrapped prediction engine.
+func (p *Pipeline) Engine() *predict.Engine { return p.eng }
+
+// FilterWorkers returns the filter stage's effective fan-out width.
+func (p *Pipeline) FilterWorkers() int { return len(p.shards) }
+
+// Stats returns a point-in-time snapshot of the per-stage counters, in
+// graph order. Safe to call concurrently with a running driver.
+func (p *Pipeline) Stats() []predict.StageStats {
+	out := make([]predict.StageStats, numStages)
+	for i := range p.counters {
+		out[i] = p.counters[i].snapshot(stageNames[i])
+	}
+	return out
+}
+
+// stageCounter tracks one stage's throughput; all fields are atomics so
+// the async driver's goroutines and Stats snapshots never race.
+type stageCounter struct {
+	in, out, dropped atomic.Int64
+	maxQueue         atomic.Int64
+	wallNanos        atomic.Int64
+}
+
+func (c *stageCounter) observeQueue(depth int) {
+	d := int64(depth)
+	for {
+		cur := c.maxQueue.Load()
+		if d <= cur || c.maxQueue.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+func (c *stageCounter) addWall(d time.Duration) { c.wallNanos.Add(int64(d)) }
+
+func (c *stageCounter) snapshot(name string) predict.StageStats {
+	return predict.StageStats{
+		Name:     name,
+		In:       c.in.Load(),
+		Out:      c.out.Load(),
+		Dropped:  c.dropped.Load(),
+		MaxQueue: int(c.maxQueue.Load()),
+		Wall:     time.Duration(c.wallNanos.Load()),
+	}
+}
+
+// stamp runs the TemplateAssign stage body for one record.
+func (p *Pipeline) stamp(rec *logs.Record) {
+	c := &p.counters[stageTemplate]
+	c.in.Add(1)
+	t := time.Now()
+	StampEventID(rec, p.org)
+	c.addWall(time.Since(t))
+	c.out.Add(1)
+}
+
+// detect runs the OutlierFilter stage body for one tick: every dense
+// detector observes its sampled value (sharded across the filter workers
+// when the model is wide enough), sparse events pass straight through,
+// and the merged hit set is sorted for deterministic matching. The
+// result is identical to Engine.DetectOutliers.
+func (p *Pipeline) detect(t *predict.Tick, tickStart time.Time) []predict.Hit {
+	c := &p.counters[stageFilter]
+	c.in.Add(1)
+	start := time.Now()
+	var hits []predict.Hit
+	if len(p.shards) <= 1 {
+		for _, id := range p.ids {
+			if h, ok := p.eng.ObserveDetector(id, t, tickStart); ok {
+				hits = append(hits, h)
+			}
+		}
+	} else {
+		partial := make([][]predict.Hit, len(p.shards))
+		var wg sync.WaitGroup
+		for w := range p.shards {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var hs []predict.Hit
+				for _, id := range p.shards[w] {
+					if h, ok := p.eng.ObserveDetector(id, t, tickStart); ok {
+						hs = append(hs, h)
+					}
+				}
+				partial[w] = hs
+			}(w)
+		}
+		wg.Wait()
+		for _, hs := range partial {
+			hits = append(hits, hs...)
+		}
+	}
+	hits = p.eng.SparseHits(t, hits)
+	predict.SortHits(hits)
+	c.addWall(time.Since(start))
+	c.out.Add(int64(len(hits)))
+	return hits
+}
+
+// match runs the ChainMatch + PredictionSink stage bodies for one closed
+// tick, appending into res and returning the predictions the tick fired.
+func (p *Pipeline) match(b tickBatch, hits []predict.Hit, res *predict.Result) []predict.Prediction {
+	cm := &p.counters[stageMatch]
+	cm.in.Add(1)
+	start := time.Now()
+	checks := p.eng.MatchChains(hits, b.idx)
+	before := len(res.Predictions)
+	p.eng.FinishTick(b.sample, checks, b.idx, b.end, res)
+	cm.addWall(time.Since(start))
+	fired := res.Predictions[before:]
+	cm.out.Add(int64(len(fired)))
+
+	cs := &p.counters[stageSink]
+	cs.in.Add(int64(len(fired)))
+	if p.cfg.OnPrediction != nil {
+		for _, pr := range fired {
+			p.cfg.OnPrediction(pr)
+		}
+	}
+	cs.out.Add(int64(len(fired)))
+	return fired
+}

@@ -1,0 +1,190 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/predict"
+)
+
+// filteredTick carries a closed tick plus its outlier hits from the
+// filter stage to the match/sink stage.
+type filteredTick struct {
+	batch tickBatch
+	hits  []predict.Hit
+}
+
+// Run drives the full stage graph over a record source covering
+// [start, end): one goroutine per stage, bounded channels between them,
+// cancellation via ctx. It blocks until the source is exhausted and all
+// ticks in the window are processed (trailing empty ticks included, so a
+// replay is tick-for-tick identical to the live monitor), the context is
+// cancelled, or the source fails.
+//
+// The returned result is complete on nil error and partial otherwise;
+// its Stats.Stages carry the per-stage counters either way. All stage
+// goroutines are joined before Run returns — cancellation never leaks.
+func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end time.Time) (*predict.Result, error) {
+	res := p.eng.NewResult()
+	step := p.eng.Step()
+	nTicks := 0
+	if end.After(start) {
+		nTicks = int(end.Sub(start) / step)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	recCh := make(chan logs.Record, p.cfg.Buffer)     // source → template
+	stampedCh := make(chan logs.Record, p.cfg.Buffer) // template → sample
+	tickCh := make(chan tickBatch, p.cfg.Buffer)      // sample → filter
+	hitCh := make(chan filteredTick, p.cfg.Buffer)    // filter → match/sink
+
+	var wg sync.WaitGroup
+
+	// Source: pull records and feed the graph.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(recCh)
+		c := &p.counters[stageSource]
+		for {
+			rec, ok := src.Next()
+			if !ok {
+				return
+			}
+			c.in.Add(1)
+			select {
+			case recCh <- rec:
+				c.out.Add(1)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// TemplateAssign: stamp event ids via the organizer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stampedCh)
+		c := &p.counters[stageTemplate]
+		for {
+			select {
+			case rec, ok := <-recCh:
+				if !ok {
+					return
+				}
+				c.observeQueue(len(recCh) + 1)
+				p.stamp(&rec)
+				select {
+				case stampedCh <- rec:
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Sample: fold records into ticks, closing them in order.
+	smp := newSampler(start, step, p.cfg.GraceTicks, nTicks)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(tickCh)
+		c := &p.counters[stageSample]
+		send := func(batches []tickBatch) bool {
+			for _, b := range batches {
+				select {
+				case tickCh <- b:
+					c.out.Add(1)
+				case <-ctx.Done():
+					return false
+				}
+			}
+			return true
+		}
+		for {
+			select {
+			case rec, ok := <-stampedCh:
+				if !ok {
+					// Input done: seal the remaining window.
+					if send(smp.flush()) {
+						c.dropped.Store(smp.late + smp.outside)
+					}
+					return
+				}
+				c.observeQueue(len(stampedCh) + 1)
+				c.in.Add(1)
+				batches, accepted := smp.add(rec)
+				if !accepted {
+					c.dropped.Store(smp.late + smp.outside)
+				}
+				if !send(batches) {
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// OutlierFilter: sharded signal filtering per tick.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(hitCh)
+		fc := &p.counters[stageFilter]
+		for {
+			select {
+			case b, ok := <-tickCh:
+				if !ok {
+					return
+				}
+				fc.observeQueue(len(tickCh) + 1)
+				hits := p.detect(b.sample, b.start)
+				select {
+				case hitCh <- filteredTick{batch: b, hits: hits}:
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// ChainMatch + PredictionSink: strictly ordered, accumulates res.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := &p.counters[stageMatch]
+		for {
+			select {
+			case ft, ok := <-hitCh:
+				if !ok {
+					return
+				}
+				c.observeQueue(len(hitCh) + 1)
+				p.match(ft.batch, ft.hits, res)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	res.Stats.LateRecords += int(smp.late)
+	res.Stats.Stages = p.Stats()
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if err := src.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

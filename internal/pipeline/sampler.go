@@ -1,0 +1,140 @@
+package pipeline
+
+import (
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/predict"
+)
+
+// tickBatch is one closed sampling tick flowing from the Sample stage to
+// the OutlierFilter stage.
+type tickBatch struct {
+	idx        int
+	start, end time.Time
+	sample     *predict.Tick
+}
+
+// sampler is the Sample/Signal stage body: it folds records into
+// per-tick aggregates and decides when a tick is closed.
+//
+// Ordering contract: record timestamps are treated as an unreliable
+// clock. A tick closes only once a record stamped at least GraceTicks
+// full steps past its end has been seen (high-water mark), so records up
+// to GraceTicks late still land in their open tick. Records older than
+// the newest closed tick are dropped and counted — they can no longer be
+// sampled without corrupting already-filtered signal state. Explicit
+// wall-clock advancement (advanceTo) is authoritative and closes ticks
+// without grace.
+type sampler struct {
+	origin time.Time
+	step   time.Duration
+	grace  int
+	limit  int // ticks in the run window; < 0 means unbounded (live session)
+
+	next    int // next tick index to close
+	hw      time.Time
+	open    map[int]*predict.Tick
+	buffered int // records currently held in open ticks
+
+	late    int64 // dropped: older than the newest closed tick
+	outside int64 // dropped: outside the [start, end) run window
+}
+
+func newSampler(origin time.Time, step time.Duration, grace, limit int) *sampler {
+	return &sampler{
+		origin: origin,
+		step:   step,
+		grace:  grace,
+		limit:  limit,
+		open:   make(map[int]*predict.Tick),
+	}
+}
+
+func (s *sampler) tickStart(idx int) time.Time {
+	return s.origin.Add(time.Duration(idx) * s.step)
+}
+
+// add folds one record in and returns the ticks its arrival closed, in
+// order. ok is false when the record was dropped.
+func (s *sampler) add(rec logs.Record) (ready []tickBatch, ok bool) {
+	if rec.Time.Before(s.origin) {
+		s.outside++
+		return nil, false
+	}
+	idx := int(rec.Time.Sub(s.origin) / s.step)
+	if s.limit >= 0 && idx >= s.limit {
+		s.outside++
+		return nil, false
+	}
+	if idx < s.next {
+		s.late++
+		return nil, false
+	}
+	t := s.open[idx]
+	if t == nil {
+		t = predict.NewTick()
+		s.open[idx] = t
+	}
+	n0 := t.N
+	t.Add(rec)
+	s.buffered += t.N - n0
+	if rec.Time.After(s.hw) {
+		s.hw = rec.Time
+	}
+	// Close every tick whose grace window the high-water mark has passed:
+	// tick i closes once hw >= end(i) + grace*step.
+	for !s.hw.Before(s.tickStart(s.next + 1 + s.grace)) {
+		ready = append(ready, s.closeNext())
+	}
+	return ready, true
+}
+
+// advanceTo closes every tick that ends at or before now — the wall
+// clock is authoritative, so no grace applies. Call it periodically
+// during quiet spells so chain expiry keeps pace with real time.
+func (s *sampler) advanceTo(now time.Time) (ready []tickBatch) {
+	for {
+		if s.limit >= 0 && s.next >= s.limit {
+			return ready
+		}
+		if now.Before(s.tickStart(s.next + 1)) {
+			return ready
+		}
+		ready = append(ready, s.closeNext())
+	}
+}
+
+// flush closes everything still pending: through the run window's end
+// when bounded (emitting trailing empty ticks so signal state evolves
+// exactly as a full replay), or through the last tick holding records
+// when unbounded.
+func (s *sampler) flush() (ready []tickBatch) {
+	target := s.limit
+	if s.limit < 0 {
+		target = s.next
+		for idx := range s.open {
+			if idx >= target {
+				target = idx + 1
+			}
+		}
+	}
+	for s.next < target {
+		ready = append(ready, s.closeNext())
+	}
+	return ready
+}
+
+// closeNext seals the next tick (empty if no records landed in it).
+func (s *sampler) closeNext() tickBatch {
+	idx := s.next
+	t := s.open[idx]
+	if t == nil {
+		t = predict.NewTick()
+	} else {
+		delete(s.open, idx)
+		s.buffered -= t.N
+	}
+	s.next++
+	return tickBatch{idx: idx, start: s.tickStart(idx), end: s.tickStart(idx + 1), sample: t}
+}

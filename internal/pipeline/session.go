@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/predict"
+)
+
+// Session is the incremental driver of the stage graph: the same stage
+// bodies Run executes across goroutines, executed synchronously one
+// record per Feed call. It is the deployment shape of a monitor daemon
+// tailing a live log, and the backing of the public Monitor API.
+//
+// Ingest contract: records should arrive roughly in time order. A record
+// up to Config.GraceTicks sampling ticks older than the newest record
+// seen is still accepted into its (still open) tick; older records are
+// dropped and counted in the sample stage's Dropped counter and the
+// result's LateRecords. AdvanceTo is wall-clock-authoritative: ticks it
+// closes are final regardless of grace. A Session is not safe for
+// concurrent use.
+type Session struct {
+	p      *Pipeline
+	smp    *sampler
+	res    *predict.Result
+	closed bool
+}
+
+// NewSession arms the pipeline for incremental feeding, with tick 0
+// starting at start.
+func (p *Pipeline) NewSession(start time.Time) *Session {
+	return &Session{
+		p:   p,
+		smp: newSampler(start, p.eng.Step(), p.cfg.GraceTicks, -1),
+		res: p.eng.NewResult(),
+	}
+}
+
+// Feed ingests one record and returns any predictions that became
+// visible by closing ticks.
+func (s *Session) Feed(rec logs.Record) []predict.Prediction {
+	if s.closed {
+		return nil
+	}
+	src := &s.p.counters[stageSource]
+	src.in.Add(1)
+	src.out.Add(1)
+	s.p.stamp(&rec)
+	c := &s.p.counters[stageSample]
+	c.in.Add(1)
+	batches, accepted := s.smp.add(rec)
+	if !accepted {
+		c.dropped.Add(1)
+		s.res.Stats.LateRecords++
+	}
+	c.observeQueue(s.smp.buffered)
+	return s.runBatches(batches)
+}
+
+// AdvanceTo closes every tick that ends at or before now, returning the
+// predictions they emitted. Call it periodically even without records so
+// tick processing and chain expiry keep pace with the clock during quiet
+// spells.
+func (s *Session) AdvanceTo(now time.Time) []predict.Prediction {
+	if s.closed {
+		return nil
+	}
+	return s.runBatches(s.smp.advanceTo(now))
+}
+
+// Close flushes every still-open tick and returns the accumulated
+// result, with the per-stage counters in Stats.Stages. The session
+// cannot be fed afterwards; Close is idempotent.
+func (s *Session) Close() *predict.Result {
+	if !s.closed {
+		s.runBatches(s.smp.flush())
+		s.closed = true
+		s.res.Stats.Stages = s.p.Stats()
+	}
+	return s.res
+}
+
+// Result returns the accumulated result so far without closing, with a
+// current snapshot of the stage counters.
+func (s *Session) Result() *predict.Result {
+	s.res.Stats.Stages = s.p.Stats()
+	return s.res
+}
+
+// runBatches pushes closed ticks through the filter and match stages.
+func (s *Session) runBatches(batches []tickBatch) []predict.Prediction {
+	var out []predict.Prediction
+	for _, b := range batches {
+		s.p.counters[stageSample].out.Add(1)
+		hits := s.p.detect(b.sample, b.start)
+		out = append(out, s.p.match(b, hits, s.res)...)
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/correlate"
+	"github.com/elsa-hpc/elsa/internal/gradual"
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/predict"
+	"github.com/elsa-hpc/elsa/internal/sig"
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+func TestSessionMatchesRun(t *testing.T) {
+	model, profiles, test, cut, end := trained(t, 501)
+
+	batch, err := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig()).
+		Run(context.Background(), logs.NewSliceSource(test), cut, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(cut)
+	var streamed []predict.Prediction
+	for _, r := range test {
+		streamed = append(streamed, s.Feed(r)...)
+	}
+	streamed = append(streamed, s.AdvanceTo(end)...)
+	final := s.Close()
+
+	samePredictions(t, streamed, batch.Predictions, "session", "batch")
+	if final.Stats.Messages != batch.Stats.Messages {
+		t.Errorf("message counts differ: %d vs %d", final.Stats.Messages, batch.Stats.Messages)
+	}
+	if len(final.Stats.ChainsUsed) != len(batch.Stats.ChainsUsed) {
+		t.Errorf("chains used differ: %d vs %d", len(final.Stats.ChainsUsed), len(batch.Stats.ChainsUsed))
+	}
+	if len(final.Stats.Stages) != numStages {
+		t.Errorf("stage counters missing: %d rows", len(final.Stats.Stages))
+	}
+}
+
+func TestSessionIncrementalDelivery(t *testing.T) {
+	model, profiles, test, cut, _ := trained(t, 501)
+	s := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(cut)
+
+	sawMidRun := false
+	half := len(test) / 2
+	for i, r := range test {
+		if preds := s.Feed(r); len(preds) > 0 && i < half {
+			sawMidRun = true
+		}
+	}
+	s.Close()
+	if !sawMidRun {
+		t.Error("no prediction delivered before the stream ended")
+	}
+}
+
+func TestSessionDropsStragglersBehindWallClock(t *testing.T) {
+	model, profiles, _, _, _ := trained(t, 501)
+	s := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(t0)
+	// The wall clock is authoritative: after AdvanceTo closed a tick, a
+	// record from it is a straggler even within the grace.
+	s.AdvanceTo(t0.Add(time.Minute))
+	s.Feed(logs.Record{Time: t0.Add(time.Second), EventID: 0, Location: topology.System})
+	if got := s.Result().Stats.LateRecords; got != 1 {
+		t.Errorf("LateRecords = %d, want 1", got)
+	}
+}
+
+func TestSessionClosedIsInert(t *testing.T) {
+	model, profiles, _, _, _ := trained(t, 501)
+	s := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(t0)
+	res1 := s.Close()
+	if preds := s.AdvanceTo(t0.Add(time.Hour)); preds != nil {
+		t.Error("closed session advanced")
+	}
+	if preds := s.Feed(logs.Record{Time: t0, EventID: 0}); preds != nil {
+		t.Error("closed session accepted a record")
+	}
+	res2 := s.Close()
+	if res1 != res2 {
+		t.Error("Close not idempotent")
+	}
+}
+
+func TestSessionQuietAdvance(t *testing.T) {
+	model, profiles, _, _, _ := trained(t, 501)
+	s := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(t0)
+	// An hour of silence: ticks must still close.
+	s.AdvanceTo(t0.Add(time.Hour))
+	if got := s.Result().Stats.Ticks; got != 360 {
+		t.Errorf("Ticks = %d, want 360", got)
+	}
+}
+
+// pairModel is a minimal hand-built model (one pair chain 1 → 2, silent
+// signals, 10 s step) for targeted ingest-contract tests.
+func pairModel() *correlate.Model {
+	return &correlate.Model{
+		Mode: correlate.Hybrid,
+		Step: 10 * time.Second,
+		Chains: []correlate.Chain{{
+			Itemset: gradual.Itemset{Items: []gradual.Item{
+				{Event: 1, Delay: 0}, {Event: 2, Delay: 6},
+			}},
+			Predictive:  true,
+			MaxSeverity: logs.Failure,
+		}},
+		Profiles:   map[int]sig.Profile{1: {Class: sig.Silent}, 2: {Class: sig.Silent}},
+		Thresholds: map[int]float64{1: 0.5, 2: 0.5},
+		Severity:   map[int]logs.Severity{1: logs.Warning, 2: logs.Failure},
+	}
+}
+
+func TestSessionToleratesOneTickLateRecord(t *testing.T) {
+	node := topology.MustParse("R00-M0-N0-C:J02-U01")
+	s := New(predict.NewEngine(pairModel(), nil, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(t0)
+
+	// A record at tick 4 arrives first, then a straggler from tick 3 —
+	// one tick late, within the default grace. Both must be sampled.
+	s.Feed(logs.Record{Time: t0.Add(45 * time.Second), EventID: 0, Location: node})
+	s.Feed(logs.Record{Time: t0.Add(35 * time.Second), EventID: 1, Location: node})
+	res := s.Close()
+	if res.Stats.LateRecords != 0 {
+		t.Errorf("LateRecords = %d, want 0 (straggler within grace)", res.Stats.LateRecords)
+	}
+	if res.Stats.Messages != 2 {
+		t.Errorf("Messages = %d, want 2", res.Stats.Messages)
+	}
+	// The straggler landed in its own tick, so the pair chain fired from
+	// tick 3 and forecasts the start of tick 3+6.
+	if len(res.Predictions) != 1 {
+		t.Fatalf("predictions = %d, want 1", len(res.Predictions))
+	}
+	want := t0.Add(90 * time.Second)
+	if got := res.Predictions[0].ExpectedAt; !got.Equal(want) {
+		t.Errorf("ExpectedAt = %v, want %v", got, want)
+	}
+}
+
+func TestSessionDropsRecordsBeyondGrace(t *testing.T) {
+	node := topology.MustParse("R00-M0-N0-C:J02-U01")
+	s := New(predict.NewEngine(pairModel(), nil, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(t0)
+
+	// A record at tick 5 closes ticks 0..3 (grace 1 keeps tick 4 and 5
+	// open); a straggler from tick 2 is beyond the grace and must be
+	// dropped and counted, not corrupt closed-tick state.
+	s.Feed(logs.Record{Time: t0.Add(55 * time.Second), EventID: 0, Location: node})
+	preds := s.Feed(logs.Record{Time: t0.Add(25 * time.Second), EventID: 1, Location: node})
+	if len(preds) != 0 {
+		t.Errorf("dropped straggler fired %d predictions", len(preds))
+	}
+	res := s.Close()
+	if res.Stats.LateRecords != 1 {
+		t.Errorf("LateRecords = %d, want 1", res.Stats.LateRecords)
+	}
+	if res.Stats.Messages != 1 {
+		t.Errorf("Messages = %d, want 1 (straggler excluded)", res.Stats.Messages)
+	}
+	if len(res.Predictions) != 0 {
+		t.Errorf("predictions = %d, want 0", len(res.Predictions))
+	}
+}
+
+func TestSessionOutOfOrderWithinGraceMatchesSorted(t *testing.T) {
+	model, profiles, test, cut, end := trained(t, 501)
+
+	ref, err := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig()).
+		Run(context.Background(), logs.NewSliceSource(test), cut, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb arrival order: swap adjacent records whenever the pair is
+	// at most one tick apart, so every record stays within the one-tick
+	// grace the ingest contract promises to absorb.
+	step := predict.DefaultConfig().Step
+	shuffled := append([]logs.Record(nil), test...)
+	for i := 0; i+1 < len(shuffled); i += 2 {
+		ta := int(shuffled[i].Time.Sub(cut) / step)
+		tb := int(shuffled[i+1].Time.Sub(cut) / step)
+		if tb-ta <= 1 {
+			shuffled[i], shuffled[i+1] = shuffled[i+1], shuffled[i]
+		}
+	}
+	s := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(cut)
+	var streamed []predict.Prediction
+	for _, r := range shuffled {
+		streamed = append(streamed, s.Feed(r)...)
+	}
+	streamed = append(streamed, s.AdvanceTo(end)...)
+	res := s.Close()
+	if res.Stats.LateRecords != 0 {
+		t.Fatalf("LateRecords = %d, want 0", res.Stats.LateRecords)
+	}
+	samePredictions(t, streamed, ref.Predictions, "out-of-order", "sorted")
+}

@@ -9,6 +9,7 @@
 package predict
 
 import (
+	"sort"
 	"time"
 
 	"github.com/elsa-hpc/elsa/internal/correlate"
@@ -108,6 +109,22 @@ type Stats struct {
 	ChainsUsed   map[string]int // chain key -> predictions fired
 	LatePreds    int
 	LateRecords  int // stream stragglers older than their tick, dropped
+
+	// Stages holds per-stage pipeline counters when the run was driven
+	// through internal/pipeline (nil for direct Engine.Run calls).
+	Stages []StageStats
+}
+
+// StageStats is one pipeline stage's counter snapshot: records (or tick
+// batches) in and out, drops, the deepest queue observed on the stage's
+// input edge, and wall time spent inside the stage body.
+type StageStats struct {
+	Name     string
+	In       int64
+	Out      int64
+	Dropped  int64
+	MaxQueue int
+	Wall     time.Duration
 }
 
 // Result is the outcome of an online run.
@@ -122,10 +139,52 @@ type chainRef struct {
 	idx   int
 }
 
-// hit is one outlier observation within a tick.
-type hit struct {
-	event int
-	loc   topology.Location
+// Hit is one outlier observation within a tick: the sampling/filtering
+// stages reduce a tick's records to a set of Hits, which is all the
+// chain-matching stage consumes.
+type Hit struct {
+	Event int
+	Loc   topology.Location
+}
+
+// Tick is one sampling interval's aggregate: per-event counts, the first
+// location seen per event, and the number of stamped records. It is the
+// unit of work flowing between the sampling and filtering stages.
+type Tick struct {
+	Counts   map[int]int
+	FirstLoc map[int]topology.Location
+	N        int
+}
+
+// NewTick returns an empty tick sample.
+func NewTick() *Tick {
+	return &Tick{Counts: make(map[int]int), FirstLoc: make(map[int]topology.Location)}
+}
+
+// Add folds one record into the tick. Records without an event id are
+// ignored (they carry no signal).
+func (t *Tick) Add(r logs.Record) {
+	if r.EventID < 0 {
+		return
+	}
+	t.N++
+	t.Counts[r.EventID]++
+	if _, ok := t.FirstLoc[r.EventID]; !ok {
+		t.FirstLoc[r.EventID] = r.Location
+	}
+}
+
+// SampleTick aggregates the records of one tick, skipping records that
+// precede tickStart (stragglers from before the run window).
+func SampleTick(recs []logs.Record, tickStart time.Time) *Tick {
+	t := NewTick()
+	for _, r := range recs {
+		if r.Time.Before(tickStart) {
+			continue
+		}
+		t.Add(r)
+	}
+	return t
 }
 
 // instance is a partially matched chain occurrence.
@@ -212,13 +271,25 @@ func NewEngine(model *correlate.Model, profiles map[string]*location.Profile, cf
 	return e
 }
 
-// Run streams the time-sorted, event-stamped records through the engine
-// tick by tick over [start, end).
-func (e *Engine) Run(recs []logs.Record, start, end time.Time) *Result {
-	res := &Result{Stats: Stats{
+// Step returns the engine's sampling interval (normalised to the model's
+// step when the config left it unset).
+func (e *Engine) Step() time.Duration { return e.cfg.Step }
+
+// NewResult returns an empty result primed with the engine's chain
+// inventory; drivers accumulate ticks into it via FinishTick.
+func (e *Engine) NewResult() *Result {
+	return &Result{Stats: Stats{
 		ChainsLoaded: len(e.chains),
 		ChainsUsed:   make(map[string]int),
 	}}
+}
+
+// Run streams the time-sorted, event-stamped records through the engine
+// tick by tick over [start, end). It is the in-process reference driver:
+// internal/pipeline composes exactly the same stage steps (SampleTick,
+// DetectOutliers, MatchChains, FinishTick) across channels.
+func (e *Engine) Run(recs []logs.Record, start, end time.Time) *Result {
+	res := e.NewResult()
 	nTicks := int(end.Sub(start) / e.cfg.Step)
 	ri := 0
 	for tick := 0; tick < nTicks; tick++ {
@@ -233,70 +304,104 @@ func (e *Engine) Run(recs []logs.Record, start, end time.Time) *Result {
 	return res
 }
 
-// processTick runs one sampling tick: count events, filter outliers, match
-// chains, account analysis time, fire and expire. It is shared by the
-// batch Run and the incremental Stream.
+// processTick runs one sampling tick end to end: sample, filter, match,
+// account analysis time, fire and expire.
 func (e *Engine) processTick(cur []logs.Record, tick int, tickStart, tickEnd time.Time, res *Result) {
-	counts := make(map[int]int)
-	firstLoc := make(map[int]topology.Location)
-	n := 0
-	for _, r := range cur {
-		if r.EventID < 0 || r.Time.Before(tickStart) {
-			continue
-		}
-		n++
-		counts[r.EventID]++
-		if _, ok := firstLoc[r.EventID]; !ok {
-			firstLoc[r.EventID] = r.Location
-		}
-	}
-	res.Stats.Ticks++
-	res.Stats.Messages += n
-	if n > res.Stats.MaxTickMessages {
-		res.Stats.MaxTickMessages = n
-	}
+	t := SampleTick(cur, tickStart)
+	hits := e.DetectOutliers(t, tickStart)
+	checks := e.MatchChains(hits, tick)
+	e.FinishTick(t, checks, tick, tickEnd, res)
+}
 
-	// Outlier determination. Periodic signals are scored on their phase
-	// residual, anchored to the training epoch, so scheduled beats pass.
-	var outliers []hit
-	for id, det := range e.detectors {
-		v := float64(counts[id])
-		if p := e.model.Profiles[id]; p.Class == sig.Periodic && len(p.Baseline) > 0 {
-			phase := int(tickStart.Sub(e.model.TrainStart)/e.cfg.Step) % len(p.Baseline)
-			if phase < 0 {
-				phase += len(p.Baseline)
-			}
-			v -= p.Baseline[phase]
-		}
-		obs := det.Observe(v)
-		if obs.Outlier && counts[id] > 0 {
-			outliers = append(outliers, hit{event: id, loc: firstLoc[id]})
-		}
+// DetectorIDs returns the event ids that carry a dense online filter, in
+// ascending order. Detector state per id is independent, so a caller may
+// partition the ids into shards and observe each shard from its own
+// worker — the basis of the pipeline's filter fan-out.
+func (e *Engine) DetectorIDs() []int {
+	ids := make([]int, 0, len(e.detectors))
+	for id := range e.detectors {
+		ids = append(ids, id)
 	}
-	checks := 0
-	for id := range counts {
+	sort.Ints(ids)
+	return ids
+}
+
+// ObserveDetector feeds one dense event's tick value to its online
+// filter, returning a Hit when the tick is an outlier occurrence.
+// Every detector must be observed exactly once per tick, in tick order,
+// so its window state evolves; concurrent calls are safe only across
+// distinct ids. Periodic signals are scored on their phase residual,
+// anchored to the training epoch, so scheduled beats pass.
+func (e *Engine) ObserveDetector(id int, t *Tick, tickStart time.Time) (Hit, bool) {
+	det := e.detectors[id]
+	v := float64(t.Counts[id])
+	if p := e.model.Profiles[id]; p.Class == sig.Periodic && len(p.Baseline) > 0 {
+		phase := int(tickStart.Sub(e.model.TrainStart)/e.cfg.Step) % len(p.Baseline)
+		if phase < 0 {
+			phase += len(p.Baseline)
+		}
+		v -= p.Baseline[phase]
+	}
+	obs := det.Observe(v)
+	if obs.Outlier && t.Counts[id] > 0 {
+		return Hit{Event: id, Loc: t.FirstLoc[id]}, true
+	}
+	return Hit{}, false
+}
+
+// SparseHits appends the tick's sparse-path outliers to hits: events
+// without a dense filter (silent signals and event types never seen in
+// training) count any occurrence as an outlier.
+func (e *Engine) SparseHits(t *Tick, hits []Hit) []Hit {
+	for id := range t.Counts {
 		if _, dense := e.detectors[id]; dense {
 			continue
 		}
-		// Sparse/silent path: any occurrence is an outlier. Event types
-		// never seen in training take this path too.
-		outliers = append(outliers, hit{event: id, loc: firstLoc[id]})
+		hits = append(hits, Hit{Event: id, Loc: t.FirstLoc[id]})
 	}
+	return hits
+}
 
-	// Chain matching. Spawns run before advances so chains whose items
-	// share one tick (simultaneous sequences like CIODB) match within it,
-	// and outliers are ordered for determinism.
-	sortHits(outliers)
-	for _, h := range outliers {
-		checks += e.spawn(h.event, h.loc, tick)
+// DetectOutliers runs the full filtering stage for one tick: every dense
+// detector observes its value, sparse events pass through, and the hit
+// set is sorted for deterministic matching.
+func (e *Engine) DetectOutliers(t *Tick, tickStart time.Time) []Hit {
+	var hits []Hit
+	for _, id := range e.DetectorIDs() {
+		if h, ok := e.ObserveDetector(id, t, tickStart); ok {
+			hits = append(hits, h)
+		}
 	}
-	for _, h := range outliers {
-		checks += e.advance(h.event, tick)
-	}
+	hits = e.SparseHits(t, hits)
+	SortHits(hits)
+	return hits
+}
 
-	// Fire and expire.
+// MatchChains advances the chain-matching stage by one tick's sorted hit
+// set and returns the number of chain checks performed (the analysis-time
+// model's currency). Spawns run before advances so chains whose items
+// share one tick (simultaneous sequences like CIODB) match within it.
+func (e *Engine) MatchChains(hits []Hit, tick int) (checks int) {
+	for _, h := range hits {
+		checks += e.spawn(h.Event, h.Loc, tick)
+	}
+	for _, h := range hits {
+		checks += e.advance(h.Event, tick)
+	}
+	return checks
+}
+
+// FinishTick accounts one tick into res: message counters, the modelled
+// analysis time for n messages and checks chain lookups, then firing and
+// expiry of active chain instances.
+func (e *Engine) FinishTick(t *Tick, checks, tick int, tickEnd time.Time, res *Result) {
+	res.Stats.Ticks++
+	res.Stats.Messages += t.N
+	if t.N > res.Stats.MaxTickMessages {
+		res.Stats.MaxTickMessages = t.N
+	}
 	cost := e.cfg.BaseCost +
-		time.Duration(n)*e.cfg.PerMessageCost +
+		time.Duration(t.N)*e.cfg.PerMessageCost +
 		time.Duration(checks)*e.cfg.PerCheckCost
 	if e.model.Mode == correlate.SignalOnly && e.cfg.LegacyFilterFactor > 1 {
 		cost = time.Duration(float64(cost) * e.cfg.LegacyFilterFactor)
@@ -464,11 +569,12 @@ func abs(x int) int {
 	return x
 }
 
-// sortHits orders outlier hits by event id (insertion sort; outlier sets
-// per tick are tiny).
-func sortHits(hits []hit) {
+// SortHits orders outlier hits by event id (insertion sort; outlier sets
+// per tick are tiny). Hits within one tick never share an event id, so
+// the order is total and matching is deterministic.
+func SortHits(hits []Hit) {
 	for i := 1; i < len(hits); i++ {
-		for j := i; j > 0 && hits[j].event < hits[j-1].event; j-- {
+		for j := i; j > 0 && hits[j].Event < hits[j-1].Event; j-- {
 			hits[j], hits[j-1] = hits[j-1], hits[j]
 		}
 	}

@@ -3,16 +3,26 @@ package elsa
 import (
 	"time"
 
+	"github.com/elsa-hpc/elsa/internal/pipeline"
 	"github.com/elsa-hpc/elsa/internal/predict"
 )
 
 // Monitor is the incremental form of Predict: records are fed one at a
 // time (a daemon tailing the live log), and predictions surface as soon
 // as their sampling tick closes. New message shapes are learned online by
-// the model's template organizer, as HELO does.
+// the model's template organizer, as HELO does. It runs the same
+// internal/pipeline stage graph batch Predict replays, driven
+// synchronously.
+//
+// Ingest contract: records should arrive roughly in time order. A record
+// up to one sampling tick older than the newest record seen is still
+// accepted into its (still open) tick; older records are dropped and
+// counted (Stats.LateRecords and the sample stage's Dropped counter)
+// rather than corrupting tick state. AdvanceTo is wall-clock
+// authoritative: ticks it closes are final.
 type Monitor struct {
-	model  *Model
-	stream *predict.Stream
+	model   *Model
+	session *pipeline.Session
 }
 
 // NewMonitor arms the model for incremental prediction, with the first
@@ -24,26 +34,25 @@ func (m *Model) NewMonitor(start time.Time) *Monitor {
 // NewMonitorWith is NewMonitor with an explicit engine configuration.
 func (m *Model) NewMonitorWith(start time.Time, cfg PredictConfig) *Monitor {
 	engine := predict.NewEngine(m.inner, m.profiles, cfg)
-	return &Monitor{model: m, stream: predict.NewStream(engine, start)}
+	p := pipeline.New(engine, m.organizer, pipeline.DefaultConfig())
+	return &Monitor{model: m, session: p.NewSession(start)}
 }
 
-// Feed ingests one record (records must arrive in time order) and returns
-// any predictions that became visible.
+// Feed ingests one record and returns any predictions that became
+// visible. See the Monitor type docs for the out-of-order tolerance.
 func (mo *Monitor) Feed(rec Record) []Prediction {
-	if rec.EventID < 0 {
-		rec.EventID = mo.model.organizer.Learn(rec.Message, rec.Severity).ID
-	}
-	return mo.stream.Feed(rec)
+	return mo.session.Feed(rec)
 }
 
 // AdvanceTo closes sampling ticks up to now; call it periodically during
 // quiet spells so chain expiry keeps pace with the clock.
 func (mo *Monitor) AdvanceTo(now time.Time) []Prediction {
-	return mo.stream.AdvanceTo(now)
+	return mo.session.AdvanceTo(now)
 }
 
-// Close flushes the open tick and returns the accumulated run result.
-func (mo *Monitor) Close() *PredictResult { return mo.stream.Close() }
+// Close flushes the open ticks and returns the accumulated run result,
+// including the per-stage pipeline counters in Stats.Stages.
+func (mo *Monitor) Close() *PredictResult { return mo.session.Close() }
 
 // Result returns the accumulated result so far without closing.
-func (mo *Monitor) Result() *PredictResult { return mo.stream.Result() }
+func (mo *Monitor) Result() *PredictResult { return mo.session.Result() }
