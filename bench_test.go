@@ -192,9 +192,14 @@ func BenchmarkTrainHybrid(b *testing.B) {
 	log := benchLog()
 	recs := append([]Record(nil), log.Records...)
 	helo.New(0).Assign(recs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var model *correlate.Model
 	for i := 0; i < b.N; i++ {
-		correlate.Train(recs, log.Start, log.End, correlate.Hybrid, correlate.DefaultConfig())
+		model = correlate.Train(recs, log.Start, log.End, correlate.Hybrid, correlate.DefaultConfig())
 	}
+	b.ReportMetric(float64(model.Stats.Pairs.Scored), "pairs-scored")
+	b.ReportMetric(float64(model.Stats.Pairs.Pruned()), "pairs-pruned")
 }
 
 func BenchmarkOnlineEngine(b *testing.B) {
@@ -394,12 +399,17 @@ func BenchmarkAllPairs(b *testing.B) {
 		}
 	}
 	cfg := sig.DefaultCrossCorrConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var pairs int
+	var st sig.PairStats
 	for i := 0; i < b.N; i++ {
-		pairs = len(sig.AllPairs(trains, cfg))
+		var out []sig.PairCorrelation
+		out, st = sig.AllPairsStats(trains, cfg)
+		pairs = len(out)
 	}
 	b.ReportMetric(float64(pairs), "pairs")
+	b.ReportMetric(float64(st.Pruned()), "pairs-pruned")
 }
 
 // BenchmarkAblationHistoryTrim compares the online filter cost at the

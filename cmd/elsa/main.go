@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	elsa "github.com/elsa-hpc/elsa"
@@ -36,10 +38,37 @@ func run() error {
 		modelPath  = flag.String("model", "", "load a trained model instead of training")
 		formatS    = flag.String("format", "canonical", "log format: canonical, bgl (CFDR RAS) or syslog")
 		year       = flag.Int("year", 0, "year completing syslog timestamps (0 = current)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	if *logPath == "" {
 		return fmt.Errorf("-log is required")
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "elsa: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "elsa: memprofile:", err)
+			}
+		}()
 	}
 
 	cfg := elsa.DefaultTrainConfig()

@@ -1,0 +1,62 @@
+// Command elsabench runs the training-path benchmark suite on a generated
+// BG/L-profile log and writes the perf-trajectory point BENCH_train.json:
+// ns/op, allocs/op and pair-space pruning for the seeding, mining,
+// training and pipeline stages.
+//
+// Usage:
+//
+//	elsabench [-out BENCH_train.json] [-events 200] [-hours 24] [-seed 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elsabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out    = flag.String("out", "BENCH_train.json", "write the JSON report to this path (- for stdout)")
+		events = flag.Int("events", 200, "target number of distinct event types")
+		hours  = flag.Int("hours", 24, "generated log length in hours")
+		seed   = flag.Int64("seed", 0, "log generator seed")
+	)
+	flag.Parse()
+
+	rep, err := bench.Run(bench.Options{
+		EventTypes: *events,
+		Duration:   time.Duration(*hours) * time.Hour,
+		Seed:       *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Summary())
+
+	if *out == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	err = rep.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", *out)
+	return nil
+}

@@ -87,12 +87,26 @@ func DefaultConfig() Config {
 	}
 }
 
+// TrainStats reports what the training fast path did: how much of the
+// pair space the co-occurrence prefilter pruned before the
+// cross-correlation kernel ran, and where the wall-clock went. It is
+// diagnostic output, not part of the persisted model.
+type TrainStats struct {
+	Pairs        sig.PairStats
+	Characterize time.Duration
+	Seed         time.Duration
+	Mine         time.Duration
+}
+
 // Model is the trained correlation model the online predictor loads.
 type Model struct {
 	Mode       Mode
 	Step       time.Duration
 	TrainStart time.Time
 	TrainEnd   time.Time
+
+	// Stats describes the most recent training run; it is not persisted.
+	Stats TrainStats `json:"-"`
 
 	// Chains holds every extracted sequence; PredictiveChains indexes the
 	// usable subset.
@@ -154,37 +168,44 @@ func Train(recs []logs.Record, start, end time.Time, mode Mode, cfg Config) *Mod
 		}
 	}
 
+	mark := time.Now()
 	trains := characterize(occ, horizon, mode, cfg, model)
+	model.Stats.Characterize = time.Since(mark)
 
 	cc := cfg.CrossCorr
 	cc.Horizon = horizon
 	mining := cfg.Mining
 	mining.Horizon = horizon
-	switch mode {
-	case Hybrid:
-		seeds := sig.AllPairs(trains, cc)
-		for _, s := range gradual.Mine(trains, seeds, mining) {
-			model.Chains = append(model.Chains, model.newChain(s))
-		}
-	case SignalOnly:
-		// Pure signal analysis: the cross-correlation pairs are the
-		// final sequences; no multi-event consolidation happens.
-		seeds := sig.AllPairs(trains, cc)
-		for _, s := range pairItemsets(trains, seeds, mining) {
-			model.Chains = append(model.Chains, model.newChain(s))
-		}
-	case DataMiningOnly:
+	if mode == DataMiningOnly {
 		// Fixed small window, stricter support, raw trains, and the
 		// classic symmetric co-occurrence criterion only.
 		cc.MaxLag = 6 // the classic fixed 60 s window at 10 s sampling
 		cc.SymmetricOnly = true
 		mining.MinSupport *= 2
 		mining.MinConfidence = 0.5
-		seeds := sig.AllPairs(trains, cc)
+	}
+	// All three modes seed from the prefiltered pair scan; the pruning
+	// stats land on the model so operators can see how much of the E^2
+	// space the fast path skipped.
+	mark = time.Now()
+	seeds, pairStats := sig.AllPairsStats(trains, cc)
+	model.Stats.Pairs = pairStats
+	model.Stats.Seed = time.Since(mark)
+
+	mark = time.Now()
+	switch mode {
+	case Hybrid, DataMiningOnly:
 		for _, s := range gradual.Mine(trains, seeds, mining) {
 			model.Chains = append(model.Chains, model.newChain(s))
 		}
+	case SignalOnly:
+		// Pure signal analysis: the cross-correlation pairs are the
+		// final sequences; no multi-event consolidation happens.
+		for _, s := range pairItemsets(trains, seeds, mining) {
+			model.Chains = append(model.Chains, model.newChain(s))
+		}
 	}
+	model.Stats.Mine = time.Since(mark)
 	sort.Slice(model.Chains, func(i, j int) bool { return model.Chains[i].Key() < model.Chains[j].Key() })
 	return model
 }

@@ -1,0 +1,129 @@
+package correlate
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/gen"
+	"github.com/elsa-hpc/elsa/internal/gradual"
+	"github.com/elsa-hpc/elsa/internal/helo"
+	"github.com/elsa-hpc/elsa/internal/sig"
+)
+
+// referenceSeeds reproduces the pre-change seeding stage: a blind
+// sequential enumeration of every ordered spike-train pair through the
+// exported cross-correlation kernel, with no prefiltering. Together with
+// the kernel- and miner-level equivalence tests (internal/sig,
+// internal/gradual) this pins the whole fast path to the pre-change
+// behaviour.
+func referenceSeeds(trains sig.SpikeTrains, cfg sig.CrossCorrConfig) []sig.PairCorrelation {
+	ids := make([]int, 0, len(trains))
+	for id := range trains {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var out []sig.PairCorrelation
+	for _, a := range ids {
+		for _, b := range ids {
+			if a == b {
+				continue
+			}
+			delay, count, score, ok := sig.CrossCorrelate(trains[a], trains[b], cfg)
+			if !ok {
+				continue
+			}
+			if delay == 0 && a > b {
+				continue
+			}
+			out = append(out, sig.PairCorrelation{A: a, B: b, Delay: delay, Count: count, Score: score})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// TestTrainEquivalentToReference trains on a generated BG/L-profile log
+// in all three modes and requires the fast path (prefilter + scratch
+// kernels + parallel mining) to produce bit-identical chains to a
+// reference pass whose seeds come from the blind pair enumeration.
+func TestTrainEquivalentToReference(t *testing.T) {
+	dur := 24 * time.Hour
+	res := gen.New(gen.BlueGeneL(), 3).Generate(t0, dur)
+	helo.New(0).Assign(res.Records)
+	end := t0.Add(dur)
+	cfg := DefaultConfig()
+	horizon := int(end.Sub(t0) / cfg.Step)
+
+	for _, mode := range []Mode{Hybrid, SignalOnly, DataMiningOnly} {
+		model := Train(res.Records, t0, end, mode, cfg)
+
+		// Rebuild the reference chains from the same characterised trains.
+		ref := &Model{
+			Profiles:   make(map[int]sig.Profile),
+			Thresholds: make(map[int]float64),
+			Severity:   model.Severity,
+		}
+		occ := make(map[int][]int)
+		for _, r := range res.Records {
+			if r.EventID < 0 {
+				continue
+			}
+			i := int(r.Time.Sub(t0) / cfg.Step)
+			if i < 0 || i >= horizon {
+				continue
+			}
+			train := occ[r.EventID]
+			if len(train) == 0 || train[len(train)-1] != i {
+				occ[r.EventID] = append(train, i)
+			}
+		}
+		trains := characterize(occ, horizon, mode, cfg, ref)
+
+		cc := cfg.CrossCorr
+		cc.Horizon = horizon
+		mining := cfg.Mining
+		mining.Horizon = horizon
+		if mode == DataMiningOnly {
+			cc.MaxLag = 6
+			cc.SymmetricOnly = true
+			mining.MinSupport *= 2
+			mining.MinConfidence = 0.5
+		}
+		seeds := referenceSeeds(trains, cc)
+
+		// The prefiltered seed stage must match the blind enumeration
+		// exactly.
+		fastSeeds := sig.AllPairs(trains, cc)
+		if !reflect.DeepEqual(fastSeeds, seeds) {
+			t.Fatalf("mode %s: AllPairs diverged from reference enumeration", mode)
+		}
+
+		var want []Chain
+		switch mode {
+		case Hybrid, DataMiningOnly:
+			for _, s := range gradual.Mine(trains, seeds, mining) {
+				want = append(want, model.newChain(s))
+			}
+		case SignalOnly:
+			for _, s := range pairItemsets(trains, seeds, mining) {
+				want = append(want, model.newChain(s))
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i].Key() < want[j].Key() })
+
+		if !reflect.DeepEqual(model.Chains, want) {
+			t.Fatalf("mode %s: Train chains diverged from reference path\n got %d chains\nwant %d chains",
+				mode, len(model.Chains), len(want))
+		}
+		if model.Stats.Pairs.Candidates > 0 && model.Stats.Pairs.Scored > model.Stats.Pairs.Candidates {
+			t.Fatalf("mode %s: incoherent pair stats %+v", mode, model.Stats.Pairs)
+		}
+	}
+}

@@ -114,20 +114,42 @@ func Mine(trains sig.SpikeTrains, seeds []sig.PairCorrelation, cfg Config) []Ite
 	return refineAll(trains, maximal(kept, cfg.DelayTolerance), cfg)
 }
 
+// evalScratch holds the per-worker reusable buffers for candidate scoring
+// and delay refinement: the hit/background indicator vectors of the
+// Mann-Whitney test and the offset scan's working slice. Scoring thousands
+// of candidates recycles three allocations instead of making three per
+// candidate. Not safe for concurrent use; each worker owns one. The zero
+// value is ready to use.
+type evalScratch struct {
+	hits    []float64
+	bg      []float64
+	offsets []int
+}
+
 // refineAll re-estimates every itemset's delays as the median observed
 // offset and re-scores it. The cross-correlation seeding is density-based
 // and biased low on skewed delay distributions; anchoring each item at the
 // empirical median recentres both the online match window and the forecast
-// failure time.
+// failure time. Itemsets are independent, so they refine on parallel
+// workers; results land in per-input slots and are merged in input order,
+// keeping the output bit-identical to a sequential pass.
 func refineAll(trains sig.SpikeTrains, sets []Itemset, cfg Config) []Itemset {
-	out := make([]Itemset, 0, len(sets))
-	for _, s := range sets {
-		items := refineDelays(trains, s.Items, cfg.DelayTolerance)
-		if r, ok := score(trains, items, cfg); ok {
-			out = append(out, r)
-		} else if r, ok := score(trains, s.Items, cfg); ok {
+	refined := make([]Itemset, len(sets))
+	keep := make([]bool, len(sets))
+	parallelEach(len(sets), func(i int, sc *evalScratch) {
+		s := sets[i]
+		items := refineDelays(trains, s.Items, cfg.DelayTolerance, sc)
+		if r, ok := score(trains, items, cfg, sc); ok {
+			refined[i], keep[i] = r, true
+		} else if r, ok := score(trains, s.Items, cfg, sc); ok {
 			// Refinement degraded the pattern (rare); keep the original.
-			out = append(out, r)
+			refined[i], keep[i] = r, true
+		}
+	})
+	out := make([]Itemset, 0, len(sets))
+	for i, ok := range keep {
+		if ok {
+			out = append(out, refined[i])
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -139,16 +161,49 @@ func refineAll(trains sig.SpikeTrains, sets []Itemset, cfg Config) []Itemset {
 	return out
 }
 
+// parallelEach runs fn(i) for i in [0, n) on NumCPU workers, each owning
+// one evalScratch for the duration.
+func parallelEach(n int, fn func(i int, sc *evalScratch)) {
+	if n == 0 {
+		return
+	}
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc evalScratch
+			for i := range next {
+				fn(i, &sc)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // refineDelays returns a copy of items with each delay replaced by the
-// median offset observed from the first event's occurrences.
-func refineDelays(trains sig.SpikeTrains, items []Item, tol int) []Item {
+// median offset observed from the first event's occurrences. The offset
+// scan reuses the scratch's working slice across items.
+func refineDelays(trains sig.SpikeTrains, items []Item, tol int, sc *evalScratch) []Item {
 	first := trains[items[0].Event]
 	refined := append([]Item(nil), items...)
 	for k := 1; k < len(refined); k++ {
 		it := refined[k]
 		train := trains[it.Event]
 		w := sig.DelayTolerance(it.Delay, tol)
-		var offsets []int
+		offsets := sc.offsets[:0]
 		for _, t := range first {
 			want := t + it.Delay
 			i := sort.SearchInts(train, want-w)
@@ -166,6 +221,7 @@ func refineDelays(trains sig.SpikeTrains, items []Item, tol int) []Item {
 			sort.Ints(offsets)
 			refined[k].Delay = offsets[len(offsets)/2]
 		}
+		sc.offsets = offsets[:0]
 	}
 	sort.Slice(refined, func(i, j int) bool {
 		if refined[i].Delay != refined[j].Delay {
@@ -298,32 +354,12 @@ func Evaluate(trains sig.SpikeTrains, cands [][]Item, cfg Config) []Itemset {
 	}
 	out := make([]Itemset, len(cands))
 	keep := make([]bool, len(cands))
-	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
-	if workers > len(cands) {
-		workers = len(cands)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	next := make(chan int, len(cands))
-	for i := range cands {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if s, ok := score(trains, cands[i], cfg); ok {
-					out[i] = s
-					keep[i] = true
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	parallelEach(len(cands), func(i int, sc *evalScratch) {
+		if s, ok := score(trains, cands[i], cfg, sc); ok {
+			out[i] = s
+			keep[i] = true
+		}
+	})
 	var kept []Itemset
 	for i, ok := range keep {
 		if ok {
@@ -334,14 +370,16 @@ func Evaluate(trains sig.SpikeTrains, cands [][]Item, cfg Config) []Itemset {
 }
 
 // score evaluates one candidate: support, confidence and Mann-Whitney
-// significance against background probes.
-func score(trains sig.SpikeTrains, items []Item, cfg Config) (Itemset, bool) {
+// significance against background probes. The hit and background
+// indicator vectors come from the worker's scratch; MannWhitney copies
+// what it needs, so reuse across candidates is safe.
+func score(trains sig.SpikeTrains, items []Item, cfg Config, sc *evalScratch) (Itemset, bool) {
 	first := trains[items[0].Event]
 	if len(first) == 0 {
 		return Itemset{}, false
 	}
 	support := 0
-	hits := make([]float64, 0, len(first))
+	hits := sc.hits[:0]
 	for _, t := range first {
 		if matchesAt(trains, items, t, cfg.DelayTolerance) {
 			support++
@@ -350,6 +388,7 @@ func score(trains sig.SpikeTrains, items []Item, cfg Config) (Itemset, bool) {
 			hits = append(hits, 0)
 		}
 	}
+	sc.hits = hits[:0]
 	if support < cfg.MinSupport {
 		return Itemset{}, false
 	}
@@ -357,7 +396,7 @@ func score(trains sig.SpikeTrains, items []Item, cfg Config) (Itemset, bool) {
 	if conf < cfg.MinConfidence {
 		return Itemset{}, false
 	}
-	p, bg := significance(trains, items, hits, cfg)
+	p, bg := significance(trains, items, hits, cfg, sc)
 	if p >= cfg.Alpha {
 		return Itemset{}, false
 	}
@@ -394,7 +433,7 @@ func matchesAt(trains sig.SpikeTrains, items []Item, t, tol int) bool {
 // background probe times, returning the p-value and the background match
 // rate. A low p-value means followers co-occur with the trigger far more
 // often than with arbitrary instants.
-func significance(trains sig.SpikeTrains, items []Item, hits []float64, cfg Config) (p, background float64) {
+func significance(trains sig.SpikeTrains, items []Item, hits []float64, cfg Config, sc *evalScratch) (p, background float64) {
 	if cfg.Horizon <= 0 {
 		return 0, 0 // no background to compare against; accept
 	}
@@ -409,7 +448,7 @@ func significance(trains sig.SpikeTrains, items []Item, hits []float64, cfg Conf
 	if stride < 1 {
 		stride = 1
 	}
-	bg := make([]float64, 0, probes)
+	bg := sc.bg[:0]
 	bgHits := 0.0
 	for t := stride / 2; t < cfg.Horizon; t += stride {
 		if matchesAt(trains, items, t, cfg.DelayTolerance) {
@@ -419,6 +458,7 @@ func significance(trains sig.SpikeTrains, items []Item, hits []float64, cfg Conf
 			bg = append(bg, 0)
 		}
 	}
+	sc.bg = bg[:0]
 	rate := 0.0
 	if len(bg) > 0 {
 		rate = bgHits / float64(len(bg))

@@ -1,0 +1,239 @@
+package gradual
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/elsa-hpc/elsa/internal/sig"
+	"github.com/elsa-hpc/elsa/internal/stats"
+)
+
+// The functions below are frozen, allocation-per-call copies of the
+// refinement/scoring path as it stood before the parallel fast path. The
+// equivalence tests compare the scratch-reusing parallel implementations
+// against them bit for bit.
+
+func referenceRefineAll(trains sig.SpikeTrains, sets []Itemset, cfg Config) []Itemset {
+	out := make([]Itemset, 0, len(sets))
+	for _, s := range sets {
+		items := referenceRefineDelays(trains, s.Items, cfg.DelayTolerance)
+		if r, ok := referenceScore(trains, items, cfg); ok {
+			out = append(out, r)
+		} else if r, ok := referenceScore(trains, s.Items, cfg); ok {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
+func referenceRefineDelays(trains sig.SpikeTrains, items []Item, tol int) []Item {
+	first := trains[items[0].Event]
+	refined := append([]Item(nil), items...)
+	for k := 1; k < len(refined); k++ {
+		it := refined[k]
+		train := trains[it.Event]
+		w := sig.DelayTolerance(it.Delay, tol)
+		var offsets []int
+		for _, t := range first {
+			want := t + it.Delay
+			i := sort.SearchInts(train, want-w)
+			best, bestDist, found := 0, w+1, false
+			for ; i < len(train) && train[i] <= want+w; i++ {
+				if d := abs(train[i] - want); d < bestDist {
+					best, bestDist, found = train[i]-t, d, true
+				}
+			}
+			if found {
+				offsets = append(offsets, best)
+			}
+		}
+		if len(offsets) > 0 {
+			sort.Ints(offsets)
+			refined[k].Delay = offsets[len(offsets)/2]
+		}
+	}
+	sort.Slice(refined, func(i, j int) bool {
+		if refined[i].Delay != refined[j].Delay {
+			return refined[i].Delay < refined[j].Delay
+		}
+		return refined[i].Event < refined[j].Event
+	})
+	if base := refined[0].Delay; base != 0 {
+		for i := range refined {
+			refined[i].Delay -= base
+		}
+	}
+	return refined
+}
+
+func referenceScore(trains sig.SpikeTrains, items []Item, cfg Config) (Itemset, bool) {
+	first := trains[items[0].Event]
+	if len(first) == 0 {
+		return Itemset{}, false
+	}
+	support := 0
+	hits := make([]float64, 0, len(first))
+	for _, t := range first {
+		if matchesAt(trains, items, t, cfg.DelayTolerance) {
+			support++
+			hits = append(hits, 1)
+		} else {
+			hits = append(hits, 0)
+		}
+	}
+	if support < cfg.MinSupport {
+		return Itemset{}, false
+	}
+	conf := float64(support) / float64(len(first))
+	if conf < cfg.MinConfidence {
+		return Itemset{}, false
+	}
+	p, bg := referenceSignificance(trains, items, hits, cfg)
+	if p >= cfg.Alpha {
+		return Itemset{}, false
+	}
+	if bg > 0 && conf < 2*bg {
+		return Itemset{}, false
+	}
+	return Itemset{
+		Items:      append([]Item(nil), items...),
+		Support:    support,
+		Confidence: conf,
+		PValue:     p,
+	}, true
+}
+
+func referenceSignificance(trains sig.SpikeTrains, items []Item, hits []float64, cfg Config) (p, background float64) {
+	if cfg.Horizon <= 0 {
+		return 0, 0
+	}
+	probes := 4 * len(hits)
+	if probes < 40 {
+		probes = 40
+	}
+	if probes > 400 {
+		probes = 400
+	}
+	stride := cfg.Horizon / probes
+	if stride < 1 {
+		stride = 1
+	}
+	bg := make([]float64, 0, probes)
+	bgHits := 0.0
+	for t := stride / 2; t < cfg.Horizon; t += stride {
+		if matchesAt(trains, items, t, cfg.DelayTolerance) {
+			bg = append(bg, 1)
+			bgHits++
+		} else {
+			bg = append(bg, 0)
+		}
+	}
+	rate := 0.0
+	if len(bg) > 0 {
+		rate = bgHits / float64(len(bg))
+	}
+	return stats.MannWhitney(hits, bg).P, rate
+}
+
+// randomMiningTrains builds spike trains with a few genuine cascades over
+// background noise, so the refinement path sees both keepers and rejects.
+func randomMiningTrains(rng *rand.Rand) (sig.SpikeTrains, int) {
+	horizon := 5000 + rng.Intn(5000)
+	n := 4 + rng.Intn(8)
+	trains := make(sig.SpikeTrains, n)
+	var anchors []int
+	for t := rng.Intn(400); t < horizon; t += 200 + rng.Intn(400) {
+		anchors = append(anchors, t)
+	}
+	for id := 1; id <= n; id++ {
+		set := map[int]bool{}
+		delay := (id - 1) * (3 + rng.Intn(4))
+		for _, a := range anchors {
+			if rng.Intn(5) == 0 {
+				continue // drop some occurrences
+			}
+			t := a + delay + rng.Intn(3) - 1
+			if t >= 0 && t < horizon {
+				set[t] = true
+			}
+		}
+		for k := 0; k < 5+rng.Intn(10); k++ {
+			set[rng.Intn(horizon)] = true
+		}
+		train := make([]int, 0, len(set))
+		for t := range set {
+			train = append(train, t)
+		}
+		sort.Ints(train)
+		trains[id] = train
+	}
+	return trains, horizon
+}
+
+// TestRefineAllMatchesReference proves the parallel scratch-reusing
+// refinement produces bit-identical output to the frozen sequential
+// pre-change implementation; under -race it also checks the worker pool.
+func TestRefineAllMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 15; trial++ {
+		trains, horizon := randomMiningTrains(rng)
+		cfg := DefaultConfig(horizon)
+		seeds := sig.AllPairs(trains, sig.CrossCorrConfig{
+			MaxLag: 60, MinCount: 2, MinScore: 0.1, Tolerance: 1,
+		})
+		sets := seedLevel(trains, seeds, cfg)
+		if cands := join(sets, cfg); len(cands) > 0 {
+			sets = append(sets, Evaluate(trains, cands, cfg)...)
+		}
+		got := refineAll(trains, sets, cfg)
+		want := referenceRefineAll(trains, sets, cfg)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: refineAll diverged\n got=%v\nwant=%v", trial, got, want)
+		}
+	}
+}
+
+// TestEvaluateMatchesReference checks the scratch-reusing Evaluate against
+// per-candidate reference scoring, in candidate order.
+func TestEvaluateMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(977))
+	for trial := 0; trial < 15; trial++ {
+		trains, horizon := randomMiningTrains(rng)
+		cfg := DefaultConfig(horizon)
+		var cands [][]Item
+		ids := make([]int, 0, len(trains))
+		for id := range trains {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for i := 0; i < len(ids); i++ {
+			for j := 0; j < len(ids); j++ {
+				if i == j {
+					continue
+				}
+				cands = append(cands, []Item{
+					{Event: ids[i], Delay: 0},
+					{Event: ids[j], Delay: 3 + rng.Intn(20)},
+				})
+			}
+		}
+		got := Evaluate(trains, cands, cfg)
+		var want []Itemset
+		for _, c := range cands {
+			if s, ok := referenceScore(trains, c, cfg); ok {
+				want = append(want, s)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Evaluate diverged\n got=%v\nwant=%v", trial, got, want)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package sig
 
 import (
-	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -66,76 +65,12 @@ func DelayTolerance(delay, base int) int {
 
 // CrossCorrelate finds the best delay in [0, MaxLag] from spike train a to
 // spike train b (sorted sample indices). It returns false when no delay
-// meets the thresholds.
+// meets the thresholds. It is a convenience wrapper over the
+// zero-allocation Scratch kernel; callers scoring many pairs should hold
+// a Scratch and call its method directly.
 func CrossCorrelate(a, b []int, cfg CrossCorrConfig) (delay, count int, score float64, ok bool) {
-	if len(a) == 0 || len(b) == 0 || cfg.MaxLag < 0 {
-		return 0, 0, 0, false
-	}
-	hist := make([]int, cfg.MaxLag+1)
-	for _, t := range a {
-		lo := sort.SearchInts(b, t)
-		for j := lo; j < len(b) && b[j]-t <= cfg.MaxLag; j++ {
-			hist[b[j]-t]++
-		}
-	}
-	// Prefix sums let each candidate lag be scored over its own
-	// delay-proportional window (DelayTolerance), so long cascades with
-	// multiplicative jitter still accumulate their co-occurrence mass.
-	// Ties on the windowed count break toward the raw histogram peak, so
-	// an exact repeated delay is reported exactly.
-	prefix := make([]int, len(hist)+1)
-	for i, h := range hist {
-		prefix[i+1] = prefix[i] + h
-	}
-	window := func(lo, hi int) int {
-		if lo < 0 {
-			lo = 0
-		}
-		if hi > cfg.MaxLag {
-			hi = cfg.MaxLag
-		}
-		if lo > hi {
-			return 0
-		}
-		return prefix[hi+1] - prefix[lo]
-	}
-	// The winner is the lag with the highest co-occurrence *density*
-	// (count per window width): a raw-count argmax would always favour
-	// the widest windows on any regularly firing pair of trains.
-	best, bestCount, bestRaw := -1, 0, 0
-	bestDensity := 0.0
-	for lag := 0; lag <= cfg.MaxLag; lag++ {
-		tol := DelayTolerance(lag, cfg.Tolerance)
-		c := window(lag-tol, lag+tol)
-		if c == 0 {
-			continue
-		}
-		density := float64(c) / float64(2*tol+1)
-		if density > bestDensity || (density == bestDensity && hist[lag] > bestRaw) {
-			best, bestCount, bestRaw, bestDensity = lag, c, hist[lag], density
-		}
-	}
-	if best < 0 || bestCount < cfg.MinCount {
-		return 0, 0, 0, false
-	}
-	// Two acceptance views: the symmetric normalised cross-correlation,
-	// and the directional confidence (how often A is followed by B). The
-	// latter keeps rare-precursor -> common-failure pairs alive, which the
-	// symmetric norm would punish. Confidence acceptance demands a real
-	// lift over the random co-occurrence rate of the window, since wide
-	// long-lag windows hit dense trains by chance.
-	norm := math.Sqrt(float64(len(a)) * float64(len(b)))
-	sc := float64(bestCount) / norm
-	if conf := float64(bestCount) / float64(len(a)); !cfg.SymmetricOnly && conf > sc && liftOK(conf, best, len(b), cfg) {
-		sc = conf
-	}
-	if sc > 1 {
-		sc = 1
-	}
-	if sc < cfg.MinScore {
-		return 0, 0, 0, false
-	}
-	return best, bestCount, sc, true
+	var s Scratch
+	return s.CrossCorrelate(a, b, cfg)
 }
 
 // liftOK checks the confidence path's enrichment requirement.
@@ -155,24 +90,44 @@ func liftOK(conf float64, lag, nb int, cfg CrossCorrConfig) bool {
 // SpikeTrains maps event id to its sorted outlier sample indices.
 type SpikeTrains map[int][]int
 
-// AllPairs cross-correlates every ordered pair of spike trains in
-// parallel, returning the pairs that pass the thresholds sorted by (A, B).
-// Self-pairs are skipped. The zero-delay case is kept in only one
-// direction (smaller event id first) to avoid duplicate simultaneous
-// pairs.
+// AllPairs cross-correlates the spike trains and returns the pairs that
+// pass the thresholds sorted by (A, B). Self-pairs are skipped. The
+// zero-delay case is kept in only one direction (smaller event id first)
+// to avoid duplicate simultaneous pairs.
+//
+// Instead of blindly enumerating every ordered pair (E^2 kernel calls), a
+// one-pass sliding-window prefilter over the merged spike timeline feeds
+// the kernel only the pairs whose total co-occurrence count can meet
+// MinCount; the result is identical to the full enumeration.
 func AllPairs(trains SpikeTrains, cfg CrossCorrConfig) []PairCorrelation {
+	out, _ := AllPairsStats(trains, cfg)
+	return out
+}
+
+// AllPairsStats is AllPairs plus a report of how much of the pair space
+// the prefilter pruned versus scored.
+func AllPairsStats(trains SpikeTrains, cfg CrossCorrConfig) ([]PairCorrelation, PairStats) {
 	ids := make([]int, 0, len(trains))
 	for id := range trains {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
 
-	type job struct{ a, b int }
-	jobs := make(chan job, 256)
+	stats := PairStats{Events: len(ids), Candidates: len(ids) * (len(ids) - 1)}
+	cands := prefilterPairs(trains, ids, cfg)
+	stats.Scored = len(cands)
+	if len(cands) == 0 {
+		return nil, stats
+	}
+
+	jobs := make(chan [2]int32, 256)
 	var mu sync.Mutex
 	var out []PairCorrelation
 	var wg sync.WaitGroup
 	workers := runtime.NumCPU()
+	if workers > len(cands) {
+		workers = len(cands)
+	}
 	if workers < 1 {
 		workers = 1
 	}
@@ -180,28 +135,26 @@ func AllPairs(trains SpikeTrains, cfg CrossCorrConfig) []PairCorrelation {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var scratch Scratch
 			local := make([]PairCorrelation, 0, 64)
 			for j := range jobs {
-				delay, count, score, ok := CrossCorrelate(trains[j.a], trains[j.b], cfg)
+				a, b := ids[j[0]], ids[j[1]]
+				delay, count, score, ok := scratch.CrossCorrelate(trains[a], trains[b], cfg)
 				if !ok {
 					continue
 				}
-				if delay == 0 && j.a > j.b {
+				if delay == 0 && a > b {
 					continue // keep simultaneous pairs once
 				}
-				local = append(local, PairCorrelation{A: j.a, B: j.b, Delay: delay, Count: count, Score: score})
+				local = append(local, PairCorrelation{A: a, B: b, Delay: delay, Count: count, Score: score})
 			}
 			mu.Lock()
 			out = append(out, local...)
 			mu.Unlock()
 		}()
 	}
-	for _, a := range ids {
-		for _, b := range ids {
-			if a != b {
-				jobs <- job{a, b}
-			}
-		}
+	for _, c := range cands {
+		jobs <- c
 	}
 	close(jobs)
 	wg.Wait()
@@ -211,5 +164,6 @@ func AllPairs(trains SpikeTrains, cfg CrossCorrConfig) []PairCorrelation {
 		}
 		return out[i].B < out[j].B
 	})
-	return out
+	stats.Kept = len(out)
+	return out, stats
 }

@@ -1,0 +1,300 @@
+package sig
+
+import "sort"
+
+// PairStats reports how much of the ordered pair space AllPairs actually
+// had to score. Candidates is the blind E*(E-1) enumeration the naive path
+// would walk; Scored is how many pairs survived the co-occurrence
+// prefilter and ran the cross-correlation kernel; Kept is how many passed
+// the acceptance thresholds.
+type PairStats struct {
+	Events     int `json:"events"`
+	Candidates int `json:"candidates"`
+	Scored     int `json:"scored"`
+	Kept       int `json:"kept"`
+}
+
+// Pruned returns the number of ordered pairs the prefilter discarded
+// without running the kernel.
+func (s PairStats) Pruned() int { return s.Candidates - s.Scored }
+
+// spike is one entry of the merged timeline: a sample index plus the dense
+// index (into the sorted id list) of the train it belongs to.
+type spike struct {
+	t  int
+	id int32
+}
+
+// exactSweepBudget caps the co-occurrence mass (total number of ordered
+// spike pairs within MaxLag of each other) the exact per-instance sweep is
+// allowed to count. Above it the prefilter switches to the block-bucket
+// upper-bound sweep, whose cost depends on the number of events per block,
+// not on how often they fire. A package variable so tests can force either
+// regime.
+var exactSweepBudget = 1 << 22
+
+// denseCounterMax is the largest event count for which pair counts live in
+// a flat E*E array (E=2048 -> 16 MiB of int32) instead of a hash map.
+const denseCounterMax = 2048
+
+// pairCounter accumulates per-ordered-pair co-occurrence counts, dense
+// when the event universe is small enough, hashed otherwise.
+type pairCounter struct {
+	e     int32
+	dense []int32
+	m     map[uint64]int32
+}
+
+func newPairCounter(e int) *pairCounter {
+	c := &pairCounter{e: int32(e)}
+	if e <= denseCounterMax {
+		c.dense = make([]int32, e*e)
+	} else {
+		c.m = make(map[uint64]int32)
+	}
+	return c
+}
+
+// add accumulates n co-occurrences for the ordered pair (a, b), saturating
+// far above any usable MinCount instead of overflowing.
+func (c *pairCounter) add(a, b, n int32) {
+	if c.dense != nil {
+		k := a*c.e + b
+		if v := c.dense[k]; v <= 1<<30 {
+			c.dense[k] = v + n
+		}
+		return
+	}
+	k := uint64(uint32(a))<<32 | uint64(uint32(b))
+	if v := c.m[k]; v <= 1<<30 {
+		c.m[k] = v + n
+	}
+}
+
+// emit returns the ordered pairs whose accumulated count reaches need, in
+// (a, b) order for the dense counter.
+func (c *pairCounter) emit(need int32) [][2]int32 {
+	var cands [][2]int32
+	if c.dense != nil {
+		for a := int32(0); a < c.e; a++ {
+			row := c.dense[a*c.e : (a+1)*c.e]
+			for b, v := range row {
+				if v >= need {
+					cands = append(cands, [2]int32{a, int32(b)})
+				}
+			}
+		}
+		return cands
+	}
+	cands = make([][2]int32, 0, len(c.m))
+	for k, v := range c.m {
+		if v >= need {
+			cands = append(cands, [2]int32{int32(k >> 32), int32(uint32(k))})
+		}
+	}
+	return cands
+}
+
+// prefilterPairs prunes the ordered pair space before the kernel runs: it
+// returns only the pairs (A, B) whose total number of co-occurrences with
+// 0 <= t_B - t_A <= MaxLag can reach MinCount. Every windowed count the
+// kernel considers is a subset of that total, so dropping the rest cannot
+// change the result. Simultaneous spikes count toward both orders, exactly
+// as the kernel's delay-0 bin does.
+//
+// Two sweeps implement the bound, picked by the co-occurrence mass of the
+// merged timeline (measured with one cheap two-pointer pass):
+//
+//   - exact: slide a MaxLag window over the merged timeline and count each
+//     in-window ordered pair once. O(mass) increments — ideal for the
+//     sparse outlier-filtered trains the hybrid pipeline feeds in, where
+//     most pairs never co-occur at all.
+//   - block upper bound: bucket the timeline into blocks of width MaxLag+1;
+//     any co-occurrence within MaxLag lands in the same block or the next,
+//     so sum-of-block-count-products over adjacent blocks is >= the true
+//     total, and pruning on it stays conservative. O(sum_i S_i*(S_i+S_{i+1}))
+//     for S_i distinct events per block — independent of how densely the
+//     trains fire, which keeps raw unfiltered trains from blowing the
+//     sweep up past the kernel cost it is trying to save.
+func prefilterPairs(trains SpikeTrains, ids []int, cfg CrossCorrConfig) [][2]int32 {
+	if cfg.MaxLag < 0 || len(ids) < 2 {
+		return nil
+	}
+	tl := mergeTimeline(trains, ids)
+	if len(tl) == 0 {
+		return nil
+	}
+
+	// One two-pointer pass measures the mass before committing to pay it.
+	mass, j := 0, 0
+	for i := range tl {
+		if j < i+1 {
+			j = i + 1
+		}
+		for j < len(tl) && tl[j].t-tl[i].t <= cfg.MaxLag {
+			j++
+		}
+		mass += j - i - 1
+		if mass > exactSweepBudget {
+			break
+		}
+	}
+
+	counts := newPairCounter(len(ids))
+	if mass <= exactSweepBudget {
+		exactSweep(tl, cfg.MaxLag, counts)
+	} else {
+		blockSweep(tl, cfg.MaxLag, len(ids), counts)
+	}
+
+	need := int32(cfg.MinCount)
+	if need < 1 {
+		need = 1
+	}
+	return counts.emit(need)
+}
+
+// mergeTimeline flattens the trains into one (t, id)-sorted slice. Sample
+// indices are near-dense in practice, so a stable counting sort by t does
+// the job in O(N + range) without comparison-sort overhead; wild ranges
+// fall back to sort.Slice.
+func mergeTimeline(trains SpikeTrains, ids []int) []spike {
+	total := 0
+	minT, maxT := int(^uint(0)>>1), -int(^uint(0)>>1)-1
+	for _, id := range ids {
+		tr := trains[id]
+		total += len(tr)
+		if len(tr) > 0 {
+			if tr[0] < minT {
+				minT = tr[0]
+			}
+			if tr[len(tr)-1] > maxT {
+				maxT = tr[len(tr)-1]
+			}
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	if span := maxT - minT + 1; span >= 0 && span <= 4*total+1024 {
+		// Counting sort: tally per t, prefix to offsets, then place spikes
+		// iterating ids in ascending dense order so equal-t entries stay
+		// id-sorted (the tally pass is per-train, placement is stable).
+		off := make([]int32, span+1)
+		for _, id := range ids {
+			for _, t := range trains[id] {
+				off[t-minT+1]++
+			}
+		}
+		for i := 1; i <= span; i++ {
+			off[i] += off[i-1]
+		}
+		tl := make([]spike, total)
+		for idx, id := range ids {
+			for _, t := range trains[id] {
+				p := t - minT
+				tl[off[p]] = spike{t: t, id: int32(idx)}
+				off[p]++
+			}
+		}
+		return tl
+	}
+	tl := make([]spike, 0, total)
+	for idx, id := range ids {
+		for _, t := range trains[id] {
+			tl = append(tl, spike{t: t, id: int32(idx)})
+		}
+	}
+	sort.Slice(tl, func(i, j int) bool {
+		if tl[i].t != tl[j].t {
+			return tl[i].t < tl[j].t
+		}
+		return tl[i].id < tl[j].id
+	})
+	return tl
+}
+
+// exactSweep counts every ordered co-occurrence within maxLag once.
+func exactSweep(tl []spike, maxLag int, counts *pairCounter) {
+	j := 0
+	for i := range tl {
+		if j < i+1 {
+			j = i + 1
+		}
+		for j < len(tl) && tl[j].t-tl[i].t <= maxLag {
+			j++
+		}
+		for k := i + 1; k < j; k++ {
+			if tl[k].id == tl[i].id {
+				continue
+			}
+			counts.add(tl[i].id, tl[k].id, 1)
+			if tl[k].t == tl[i].t {
+				// Simultaneous: the reverse order sees the same delay-0 hit.
+				counts.add(tl[k].id, tl[i].id, 1)
+			}
+		}
+	}
+}
+
+// blockSweep accumulates, for each ordered pair, an upper bound on its
+// total co-occurrence count: with blocks of width maxLag+1, a spike pair
+// within maxLag spans at most one block boundary, so every true
+// co-occurrence (a, b) is covered by the count product of a's block with
+// b's block (itself or the successor). The i-with-i product also covers
+// the reverse order of simultaneous spikes, matching exactSweep's
+// double-count of delay-0 hits.
+func blockSweep(tl []spike, maxLag, events int, counts *pairCounter) {
+	g := maxLag + 1
+	base := tl[0].t
+	nb := (tl[len(tl)-1].t-base)/g + 1
+
+	type occ struct{ id, n int32 }
+	blocks := make([][]occ, nb)
+	cnt := make([]int32, events)
+	touched := make([]int32, 0, events)
+	lo := 0
+	for b := 0; b < nb; b++ {
+		hi := lo
+		for hi < len(tl) && (tl[hi].t-base)/g == b {
+			if cnt[tl[hi].id] == 0 {
+				touched = append(touched, tl[hi].id)
+			}
+			cnt[tl[hi].id]++
+			hi++
+		}
+		if len(touched) > 0 {
+			bl := make([]occ, len(touched))
+			for i, id := range touched {
+				bl[i] = occ{id: id, n: cnt[id]}
+				cnt[id] = 0
+			}
+			blocks[b] = bl
+			touched = touched[:0]
+		}
+		lo = hi
+	}
+
+	for b := 0; b < nb; b++ {
+		cur := blocks[b]
+		if len(cur) == 0 {
+			continue
+		}
+		var next []occ
+		if b+1 < nb {
+			next = blocks[b+1]
+		}
+		for _, a := range cur {
+			for _, o := range cur {
+				if o.id != a.id {
+					counts.add(a.id, o.id, a.n*o.n)
+				}
+			}
+			for _, o := range next {
+				if o.id != a.id {
+					counts.add(a.id, o.id, a.n*o.n)
+				}
+			}
+		}
+	}
+}

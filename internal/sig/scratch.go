@@ -1,0 +1,151 @@
+package sig
+
+import "math"
+
+// Scratch holds the reusable buffers one cross-correlation worker needs.
+// The kernel's histogram and prefix-sum arrays are sized by MaxLag, not by
+// the trains, so a worker that scores thousands of pairs can recycle the
+// same two allocations for all of them. A Scratch is not safe for
+// concurrent use; give each goroutine its own. The zero value is ready to
+// use.
+type Scratch struct {
+	hist   []int
+	prefix []int
+}
+
+// grow resizes the scratch buffers for a MaxLag+1-bin histogram. hist is
+// returned zeroed; prefix is fully overwritten by the kernel so it is only
+// resized.
+func (s *Scratch) grow(n int) (hist, prefix []int) {
+	if cap(s.hist) < n {
+		s.hist = make([]int, n)
+	} else {
+		s.hist = s.hist[:n]
+		for i := range s.hist {
+			s.hist[i] = 0
+		}
+	}
+	if cap(s.prefix) < n+1 {
+		s.prefix = make([]int, n+1)
+	} else {
+		s.prefix = s.prefix[:n+1]
+	}
+	return s.hist, s.prefix
+}
+
+// CrossCorrelate finds the best delay in [0, MaxLag] from spike train a to
+// spike train b (sorted sample indices), reusing the scratch buffers. It
+// returns false when no delay meets the thresholds. This is the
+// zero-allocation kernel behind the package-level CrossCorrelate.
+func (s *Scratch) CrossCorrelate(a, b []int, cfg CrossCorrConfig) (delay, count int, score float64, ok bool) {
+	if len(a) == 0 || len(b) == 0 || cfg.MaxLag < 0 {
+		return 0, 0, 0, false
+	}
+	hist, prefix := s.grow(cfg.MaxLag + 1)
+	// Both trains are sorted, so the start of each window [t, t+MaxLag]
+	// advances monotonically: one shared pointer replaces a binary search
+	// per spike, leaving only one increment per actual co-occurrence.
+	lo := 0
+	for _, t := range a {
+		for lo < len(b) && b[lo] < t {
+			lo++
+		}
+		for j := lo; j < len(b); j++ {
+			d := b[j] - t
+			if d > cfg.MaxLag {
+				break
+			}
+			hist[d]++
+		}
+	}
+	// Prefix sums let each candidate lag be scored over its own
+	// delay-proportional window (DelayTolerance), so long cascades with
+	// multiplicative jitter still accumulate their co-occurrence mass.
+	// Ties on the windowed count break toward the raw histogram peak, so
+	// an exact repeated delay is reported exactly.
+	prefix[0] = 0
+	first, last := -1, -1
+	for i, h := range hist {
+		prefix[i+1] = prefix[i] + h
+		if h != 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		return 0, 0, 0, false
+	}
+	// The winner is the lag with the highest co-occurrence *density*
+	// (count per window width): a raw-count argmax would always favour
+	// the widest windows on any regularly firing pair of trains.
+	//
+	// Only lags whose tolerance window [lag-tol, lag+tol] can reach the
+	// populated bin range [first, last] can score non-zero, and with
+	// tol = max(base, lag/4) both window edges are monotone in lag, so the
+	// scan is clipped to a conservative superset of that range (every
+	// skipped lag provably sums to zero and would be skipped by the c == 0
+	// test anyway).
+	bse := cfg.Tolerance
+	if bse < 0 {
+		bse = 0
+	}
+	lagLo := min(first-bse, (4*first)/5-1)
+	if lagLo < 0 {
+		lagLo = 0
+	}
+	lagHi := max(last+bse, (4*last)/3+2)
+	if lagHi > cfg.MaxLag {
+		lagHi = cfg.MaxLag
+	}
+	best, bestCount, bestRaw := -1, 0, 0
+	bestDensity := 0.0
+	for lag := lagLo; lag <= lagHi; lag++ {
+		tol := DelayTolerance(lag, cfg.Tolerance)
+		c := windowSum(prefix, lag-tol, lag+tol, cfg.MaxLag)
+		if c == 0 {
+			continue
+		}
+		density := float64(c) / float64(2*tol+1)
+		if density > bestDensity || (density == bestDensity && hist[lag] > bestRaw) {
+			best, bestCount, bestRaw, bestDensity = lag, c, hist[lag], density
+		}
+	}
+	if best < 0 || bestCount < cfg.MinCount {
+		return 0, 0, 0, false
+	}
+	// Two acceptance views: the symmetric normalised cross-correlation,
+	// and the directional confidence (how often A is followed by B). The
+	// latter keeps rare-precursor -> common-failure pairs alive, which the
+	// symmetric norm would punish. Confidence acceptance demands a real
+	// lift over the random co-occurrence rate of the window, since wide
+	// long-lag windows hit dense trains by chance.
+	norm := math.Sqrt(float64(len(a)) * float64(len(b)))
+	sc := float64(bestCount) / norm
+	if conf := float64(bestCount) / float64(len(a)); !cfg.SymmetricOnly && conf > sc && liftOK(conf, best, len(b), cfg) {
+		sc = conf
+	}
+	if sc > 1 {
+		sc = 1
+	}
+	if sc < cfg.MinScore {
+		return 0, 0, 0, false
+	}
+	return best, bestCount, sc, true
+}
+
+// windowSum sums hist over [lo, hi] clamped to [0, maxLag], via the
+// prefix-sum array.
+func windowSum(prefix []int, lo, hi, maxLag int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > maxLag {
+		hi = maxLag
+	}
+	if lo > hi {
+		return 0
+	}
+	return prefix[hi+1] - prefix[lo]
+}
