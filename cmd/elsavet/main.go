@@ -1,0 +1,20 @@
+// Command elsavet is the project's vettool: the internal/lint analyzer
+// suite packaged as a unitchecker so the standard go vet driver runs it
+// over the whole module with full type information and caching:
+//
+//	go build -o bin/elsavet ./cmd/elsavet
+//	go vet -vettool=$PWD/bin/elsavet ./...
+//
+// See internal/lint for the contracts the suite enforces and DESIGN.md
+// §10 for the annotation and suppression conventions.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"github.com/elsa-hpc/elsa/internal/lint"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers...)
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// HotPathAnalyzer enforces the //elsa:hotpath contract: the annotated
+// function must not contain syntax that allocates per call. The training
+// fast path (PR 2) earned its 0 allocs/op the hard way — scratch reuse,
+// two-pointer sweeps, prefix-sum scoring — and this analyzer keeps any
+// future edit from quietly paying them back.
+var HotPathAnalyzer = &analysis.Analyzer{
+	Name: "elsahotpath",
+	Doc: "report allocating constructs (append, make, slice/map/pointer literals, closures, fmt calls, " +
+		"interface conversions, string<->[]byte conversions) inside functions marked //elsa:hotpath",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runHotPath,
+}
+
+func runHotPath(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	rep := newReporter(pass)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if !isHotPath(fn) || fn.Body == nil {
+			return
+		}
+		checkHotBody(pass, rep, fn)
+	})
+	return nil, nil
+}
+
+func checkHotBody(pass *analysis.Pass, rep *reporter, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, rep, n)
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				rep.reportf(n.Pos(), "hotpath: slice literal allocates")
+			case *types.Map:
+				rep.reportf(n.Pos(), "hotpath: map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					rep.reportf(n.Pos(), "hotpath: &composite literal allocates (escapes to heap)")
+				}
+			}
+		case *ast.FuncLit:
+			rep.reportf(n.Pos(), "hotpath: closure allocates (and may capture by reference)")
+			return false // its body is not part of the annotated function's per-call cost
+		case *ast.GoStmt:
+			rep.reportf(n.Pos(), "hotpath: goroutine launch allocates a stack")
+		}
+		checkIfaceConv(pass, rep, n)
+		return true
+	})
+}
+
+// checkHotCall flags builtin and fmt calls that allocate.
+func checkHotCall(pass *analysis.Pass, rep *reporter, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				rep.reportf(call.Pos(), "hotpath: append may grow and allocate; preallocate in a scratch buffer")
+			case "make":
+				rep.reportf(call.Pos(), "hotpath: make allocates")
+			case "new":
+				rep.reportf(call.Pos(), "hotpath: new allocates")
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			rep.reportf(call.Pos(), "hotpath: fmt.%s allocates (formatting boxes every operand)", obj.Name())
+		}
+	}
+	// Conversion between string and []byte/[]rune copies.
+	if len(call.Args) == 1 {
+		if to, ok := info.Types[call.Fun]; ok && to.IsType() {
+			from := info.TypeOf(call.Args[0])
+			if from != nil && isStringBytesConv(to.Type, from) {
+				rep.reportf(call.Pos(), "hotpath: %s conversion copies", types.TypeString(to.Type, types.RelativeTo(pass.Pkg)))
+			}
+		}
+	}
+}
+
+func isStringBytesConv(to, from types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		e, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+	}
+	return (isStr(to) && isByteSlice(from)) || (isByteSlice(to) && isStr(from))
+}
+
+// checkIfaceConv flags implicit concrete-to-interface conversions in
+// call arguments, assignments and returns — each one boxes its operand.
+func checkIfaceConv(pass *analysis.Pass, rep *reporter, n ast.Node) {
+	info := pass.TypesInfo
+	flag := func(e ast.Expr, to types.Type) {
+		if e == nil || to == nil || !types.IsInterface(to) {
+			return
+		}
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil || types.IsInterface(tv.Type) || tv.IsNil() {
+			return
+		}
+		rep.reportf(e.Pos(), "hotpath: implicit conversion of %s to interface %s allocates",
+			types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)),
+			types.TypeString(to, types.RelativeTo(pass.Pkg)))
+	}
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		sig, ok := info.TypeOf(n.Fun).(*types.Signature)
+		if !ok {
+			return // conversion or builtin; builtins like append don't box
+		}
+		params := sig.Params()
+		for i, arg := range n.Args {
+			var pt types.Type
+			if sig.Variadic() && i >= params.Len()-1 {
+				if n.Ellipsis.IsValid() {
+					continue // passing a slice through ... doesn't box per element
+				}
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			} else if i < params.Len() {
+				pt = params.At(i).Type()
+			}
+			flag(arg, pt)
+		}
+	case *ast.AssignStmt:
+		if len(n.Lhs) != len(n.Rhs) {
+			return
+		}
+		for i := range n.Lhs {
+			flag(n.Rhs[i], info.TypeOf(n.Lhs[i]))
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package lint is elsavet: a suite of go/analysis analyzers that turn the
+// pipeline's hardest-won properties — zero-allocation hot kernels,
+// bit-identical parallel training, cancellable streaming stages, sound
+// lock usage — into compile-time contracts instead of benchmark
+// aspirations.
+//
+// The suite ships five analyzers:
+//
+//   - elsahotpath: functions annotated //elsa:hotpath must not contain
+//     constructs that allocate per call (append, make, slice/map
+//     literals, closures, fmt formatting, implicit interface
+//     conversions, string<->[]byte conversions).
+//   - elsadeterminism: the training packages (sig, gradual, correlate,
+//     predict) must not read wall clocks, use the global math/rand
+//     source, or let map iteration order escape into ordered output
+//     without a sort.
+//   - elsactxflow: in any function that takes a context.Context, every
+//     blocking channel operation must live in a select that also waits
+//     on ctx.Done() (or have a default case); bare sends, bare
+//     receives and channel ranges are flagged.
+//   - elsalocksafe: flags locks copied by value (params, receivers,
+//     assignments, range copies), WaitGroup.Add called inside the
+//     goroutine it guards, and goroutines launched from cancellable
+//     functions with neither a cancellation nor a join path.
+//   - elsanolint: audits the //nolint:elsa... escape hatches themselves
+//     — every suppression must name known analyzers and carry a reason.
+//
+// Suppression: a finding is silenced by a //nolint:<name> comment on the
+// finding's line or the line above, where <name> is the analyzer name or
+// the blanket "elsa". A reason is mandatory, introduced by "//" or "--":
+//
+//	//nolint:elsahotpath // grows once, then reused across all pairs
+//
+// elsanolint rejects reasonless or unknown-name suppressions, so the
+// escape hatch cannot silently rot.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers is the full elsavet suite, in stable order.
+var Analyzers = []*analysis.Analyzer{
+	HotPathAnalyzer,
+	DeterminismAnalyzer,
+	CtxFlowAnalyzer,
+	LockSafeAnalyzer,
+	NolintAnalyzer,
+}
+
+// analyzerNames returns the set of valid //nolint targets. Spelled as a
+// literal (not derived from Analyzers) to avoid an initialization cycle
+// through NolintAnalyzer.
+func analyzerNames() map[string]bool {
+	return map[string]bool{
+		"elsa":            true,
+		"elsahotpath":     true,
+		"elsadeterminism": true,
+		"elsactxflow":     true,
+		"elsalocksafe":    true,
+		"elsanolint":      true,
+	}
+}
+
+// hotPathDirective is the annotation marking a function as a verified
+// allocation-free kernel.
+const hotPathDirective = "//elsa:hotpath"
+
+// isHotPath reports whether fn carries the //elsa:hotpath directive in
+// its doc comment.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotPathDirective || strings.HasPrefix(c.Text, hotPathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// nolintEntry is one parsed //nolint comment.
+type nolintEntry struct {
+	names  []string // analyzer names listed after the colon
+	reason string   // text after the "//" or "--" separator, trimmed
+	pos    token.Pos
+}
+
+// parseNolint decodes a "//nolint:..." comment, returning ok=false for
+// comments that are not nolint directives at all.
+func parseNolint(text string) (e nolintEntry, ok bool) {
+	const prefix = "//nolint:"
+	if !strings.HasPrefix(text, prefix) {
+		return e, false
+	}
+	body := text[len(prefix):]
+	// The reason is introduced by a second "//" or a "--".
+	if i := strings.Index(body, "//"); i >= 0 {
+		e.reason = strings.TrimSpace(body[i+2:])
+		body = body[:i]
+	} else if i := strings.Index(body, "--"); i >= 0 {
+		e.reason = strings.TrimSpace(body[i+2:])
+		body = body[:i]
+	}
+	for _, n := range strings.Split(body, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			e.names = append(e.names, n)
+		}
+	}
+	return e, true
+}
+
+// suppressor indexes every //nolint comment of the pass by file line. An
+// entry on line L suppresses findings on L (inline trailing comment) and
+// L+1 (standalone comment above the statement).
+type suppressor struct {
+	fset    *token.FileSet
+	entries map[string]map[int][]nolintEntry // filename -> line -> entries
+}
+
+func newSuppressor(pass *analysis.Pass) *suppressor {
+	s := &suppressor{fset: pass.Fset, entries: make(map[string]map[int][]nolintEntry)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				e, ok := parseNolint(c.Text)
+				if !ok {
+					continue
+				}
+				e.pos = c.Pos()
+				p := pass.Fset.Position(c.Pos())
+				byLine := s.entries[p.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]nolintEntry)
+					s.entries[p.Filename] = byLine
+				}
+				byLine[p.Line] = append(byLine[p.Line], e)
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether a finding of analyzer name at pos is
+// covered by a well-formed nolint entry. Reasonless entries never
+// suppress: elsanolint flags them and the original finding stays live.
+func (s *suppressor) suppressed(name string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	byLine := s.entries[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, e := range byLine[line] {
+			if e.reason == "" {
+				continue
+			}
+			for _, n := range e.names {
+				if n == name || n == "elsa" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// reporter wraps pass.Reportf with nolint suppression for the pass's own
+// analyzer name.
+type reporter struct {
+	pass *analysis.Pass
+	sup  *suppressor
+}
+
+func newReporter(pass *analysis.Pass) *reporter {
+	return &reporter{pass: pass, sup: newSuppressor(pass)}
+}
+
+func (r *reporter) reportf(pos token.Pos, format string, args ...interface{}) {
+	if r.sup.suppressed(r.pass.Analyzer.Name, pos) {
+		return
+	}
+	r.pass.Reportf(pos, format, args...)
+}
+
+// inTestFile reports whether pos lands in a _test.go file.
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// rootString renders the static "path" of an expression (identifiers,
+// selectors, indexes stripped of their index) so two mentions of the
+// same storage compare equal: `s.out[i]` and `s.out[j]` both render
+// "s.out". Unrenderable expressions return "".
+func rootString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x := rootString(e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	case *ast.IndexExpr:
+		return rootString(e.X)
+	case *ast.SliceExpr:
+		return rootString(e.X)
+	case *ast.StarExpr:
+		return rootString(e.X)
+	case *ast.ParenExpr:
+		return rootString(e.X)
+	}
+	return ""
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// LockSafeAnalyzer flags the three concurrency mistakes that bit (or
+// nearly bit) the parallel training and streaming stages:
+//
+//  1. locks copied by value — a copied sync.Mutex/WaitGroup guards
+//     nothing; flagged on parameters, receivers, assignments and range
+//     variables;
+//  2. WaitGroup.Add called inside the goroutine it accounts for — the
+//     classic Wait-before-Add race; Add must happen before `go`;
+//  3. goroutines launched from a cancellable (ctx-taking) function with
+//     neither a ctx reference nor a WaitGroup join in their body — the
+//     leak Run's "all stage goroutines are joined" contract forbids.
+var LockSafeAnalyzer = &analysis.Analyzer{
+	Name: "elsalocksafe",
+	Doc: "report locks copied by value, WaitGroup.Add inside the goroutine it guards, and goroutines " +
+		"in cancellable functions with no cancellation or join path",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runLockSafe,
+}
+
+func runLockSafe(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	rep := newReporter(pass)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		checkLockParams(pass, rep, fn)
+		if fn.Body == nil {
+			return
+		}
+		checkLockCopies(pass, rep, fn.Body)
+		checkGoroutines(pass, rep, fn)
+	})
+	return nil, nil
+}
+
+// lockPath returns the dotted path to the first lock type found inside
+// t (itself, a field, an array element), or "" when t carries no lock.
+// Pointers stop the search: sharing a *sync.Mutex is the point.
+func lockPath(t types.Type, depth int) string {
+	if depth > 6 {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+				return obj.Name()
+			}
+		}
+		return lockPath(named.Underlying(), depth+1)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if p := lockPath(t.Field(i).Type(), depth+1); p != "" {
+				return t.Field(i).Name() + "." + p
+			}
+		}
+	case *types.Array:
+		return lockPath(t.Elem(), depth+1)
+	}
+	return ""
+}
+
+// checkLockParams flags by-value parameters and receivers whose type
+// contains a lock.
+func checkLockParams(pass *analysis.Pass, rep *reporter, fn *ast.FuncDecl) {
+	flagField := func(f *ast.Field, kind string) {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		if p := lockPath(t, 0); p != "" {
+			rep.reportf(f.Pos(), "locksafe: %s passes a lock by value (sync.%s via %s); use a pointer",
+				kind, p[strings.LastIndexByte(p, '.')+1:], p)
+		}
+	}
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			flagField(f, "receiver")
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			flagField(f, "parameter")
+		}
+	}
+}
+
+// checkLockCopies flags assignments and range clauses that copy a value
+// whose type contains a lock. Composite literals and call results are
+// fresh values, not copies of a live lock, so only copies of existing
+// storage (identifiers, selectors, indexes, derefs) are flagged.
+func checkLockCopies(pass *analysis.Pass, rep *reporter, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	copiesLiveLock := func(rhs ast.Expr) (string, bool) {
+		switch ast.Unparen(rhs).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			return "", false
+		}
+		t := info.TypeOf(rhs)
+		if t == nil {
+			return "", false
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return "", false
+		}
+		p := lockPath(t, 0)
+		return p, p != ""
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if p, ok := copiesLiveLock(rhs); ok {
+					rep.reportf(rhs.Pos(), "locksafe: assignment copies a lock (sync.%s via %s)",
+						p[strings.LastIndexByte(p, '.')+1:], p)
+				}
+			}
+		case *ast.RangeStmt:
+			t := info.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			var elem types.Type
+			switch u := t.Underlying().(type) {
+			case *types.Slice:
+				elem = u.Elem()
+			case *types.Array:
+				elem = u.Elem()
+			case *types.Map:
+				elem = u.Elem()
+			}
+			if elem == nil || n.Value == nil {
+				return true
+			}
+			if _, isPtr := elem.Underlying().(*types.Pointer); isPtr {
+				return true
+			}
+			if p := lockPath(elem, 0); p != "" {
+				rep.reportf(n.Value.Pos(), "locksafe: range value copies a lock (sync.%s via %s); range over indexes or pointers",
+					p[strings.LastIndexByte(p, '.')+1:], p)
+			}
+		}
+		return true
+	})
+}
+
+// checkGoroutines flags (a) wg.Add inside a go'd function literal when
+// wg is captured from the enclosing scope, and (b) in ctx-taking
+// functions, go'd literals whose body has no cancellation or join path.
+func checkGoroutines(pass *analysis.Pass, rep *reporter, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	cancellable := hasCtxParam(info, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		hasJoin, hasCtx := false, false
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if sel, ok := m.Fun.(*ast.SelectorExpr); ok {
+					obj, _ := info.Uses[sel.Sel].(*types.Func)
+					if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+						recv := obj.Type().(*types.Signature).Recv()
+						if recv != nil && strings.Contains(recv.Type().String(), "WaitGroup") {
+							switch obj.Name() {
+							case "Add":
+								if declaredOutside(info, sel.X, lit) {
+									rep.reportf(m.Pos(),
+										"locksafe: WaitGroup.Add inside the goroutine it guards races Wait; call Add before the go statement")
+								}
+							case "Done":
+								hasJoin = true
+							}
+						}
+					}
+				}
+			case *ast.Ident:
+				if isContextType(info.TypeOf(m)) {
+					hasCtx = true
+				}
+			}
+			return true
+		})
+		if cancellable && !hasJoin && !hasCtx {
+			rep.reportf(g.Pos(),
+				"locksafe: goroutine in a cancellable function has neither a ctx reference nor a WaitGroup join; it can leak past cancellation")
+		}
+		return true
+	})
+}
+
+// declaredOutside reports whether the storage expr refers to was
+// declared outside the function literal lit (i.e., captured).
+func declaredOutside(info *types.Info, expr ast.Expr, lit *ast.FuncLit) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		// Selector like s.wg: the root is captured state or a parameter
+		// either way; treat as outside.
+		return true
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}

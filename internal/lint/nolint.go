@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// NolintAnalyzer audits the escape hatches: every //nolint:elsa...
+// comment must name analyzers that exist and carry a reason after "//"
+// or "--". A suppression without a reason does not suppress (the other
+// analyzers ignore it) *and* is flagged here, so the only way to silence
+// elsavet is to write down why.
+var NolintAnalyzer = &analysis.Analyzer{
+	Name: "elsanolint",
+	Doc:  "report //nolint:elsa* comments that lack a reason or name unknown analyzers",
+	Run:  runNolint,
+}
+
+func runNolint(pass *analysis.Pass) (interface{}, error) {
+	known := analyzerNames()
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				e, ok := parseNolint(c.Text)
+				if !ok {
+					continue
+				}
+				elsaTargeted := false
+				for _, name := range e.names {
+					if known[name] {
+						elsaTargeted = true
+					}
+					if strings.HasPrefix(name, "elsa") && !known[name] {
+						pass.Reportf(c.Pos(), "nolint: unknown analyzer %q (valid: elsa, elsahotpath, elsadeterminism, elsactxflow, elsalocksafe, elsanolint)", name)
+					}
+				}
+				if elsaTargeted && e.reason == "" {
+					pass.Reportf(c.Pos(), "nolint: suppression of an elsa analyzer requires a reason (//nolint:name // why it is safe)")
+				}
+				if len(e.names) == 0 {
+					pass.Reportf(c.Pos(), "nolint: directive names no analyzers")
+				}
+			}
+		}
+	}
+	return nil, nil
+}

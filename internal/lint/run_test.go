@@ -1,0 +1,210 @@
+package lint
+
+// A minimal analysistest: golang.org/x/tools/go/analysis/analysistest is
+// not vendored, so fixtures are loaded with go/parser + go/types and the
+// source importer, analyzers run over a hand-built analysis.Pass, and
+// diagnostics are matched against // want "regexp" comments — the same
+// convention the real analysistest uses, minus facts and suggested
+// fixes, which this suite does not employ.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// wantRx extracts the quoted regexps of a `// want "a" "b"` comment.
+var wantRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type fixture struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+	wants map[string][]*want // "file.go:line" -> expectations
+}
+
+type want struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func loadFixture(t *testing.T, dir string) *fixture {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	fx := &fixture{fset: token.NewFileSet(), wants: make(map[string][]*want)}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		f, err := parser.ParseFile(fx.fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		fx.files = append(fx.files, f)
+		lines := strings.Split(string(src), "\n")
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fx.fset.Position(c.Pos())
+				line := pos.Line
+				// A want comment alone on its line states expectations for
+				// the line below (needed when the target line's trailing
+				// comment is itself under test, e.g. a //nolint directive).
+				if line-1 < len(lines) && strings.TrimSpace(lines[line-1]) == strings.TrimSpace(c.Text) {
+					line++
+				}
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), line)
+				for _, m := range wantRx.FindAllStringSubmatch(c.Text[i+len("// want "):], -1) {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+					}
+					fx.wants[key] = append(fx.wants[key], &want{rx: rx})
+				}
+			}
+		}
+	}
+	if len(fx.files) == 0 {
+		t.Fatalf("fixture dir %s has no go files", dir)
+	}
+	fx.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fx.fset, "source", nil)}
+	pkg, err := conf.Check(fx.files[0].Name.Name, fx.fset, fx.files, fx.info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+	fx.pkg = pkg
+	return fx
+}
+
+// runOn loads the fixture at testdata/<dir> and runs the analyzers over
+// it, checking every diagnostic against the // want comments.
+func runOn(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	fx := loadFixture(t, filepath.Join("testdata", dir))
+
+	var diags []analysis.Diagnostic
+	results := map[*analysis.Analyzer]interface{}{
+		inspect.Analyzer: inspector.New(fx.files),
+	}
+	for _, a := range analyzers {
+		for _, req := range a.Requires {
+			if _, ok := results[req]; !ok {
+				t.Fatalf("analyzer %s requires %s, which this harness does not provide", a.Name, req.Name)
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fx.fset,
+			Files:      fx.files,
+			Pkg:        fx.pkg,
+			TypesInfo:  fx.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+
+	var problems []string
+	for _, d := range diags {
+		pos := fx.fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		found := false
+		for _, w := range fx.wants[key] {
+			if w.rx.MatchString(d.Message) {
+				w.matched, found = true, true
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("%s: unexpected diagnostic: %s", key, d.Message))
+		}
+	}
+	for key, ws := range fx.wants {
+		for _, w := range ws {
+			if !w.matched {
+				problems = append(problems, fmt.Sprintf("%s: expected diagnostic matching %q, got none", key, w.rx))
+			}
+		}
+	}
+	sort.Strings(problems)
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestHotPath(t *testing.T)     { runOn(t, "hotpath", HotPathAnalyzer) }
+func TestDeterminism(t *testing.T) { runOn(t, "determinism", DeterminismAnalyzer) }
+func TestCtxFlow(t *testing.T)     { runOn(t, "ctxflow", CtxFlowAnalyzer) }
+func TestLockSafe(t *testing.T)    { runOn(t, "locksafe", LockSafeAnalyzer) }
+func TestNolint(t *testing.T) {
+	// The nolint fixture exercises suppression end to end: the package is
+	// named sig so elsadeterminism applies, and the audit analyzer runs
+	// alongside to flag malformed directives.
+	runOn(t, "nolint", DeterminismAnalyzer, NolintAnalyzer)
+}
+
+func TestParseNolint(t *testing.T) {
+	cases := []struct {
+		text   string
+		ok     bool
+		names  []string
+		reason string
+	}{
+		{"//nolint:elsahotpath // grows once", true, []string{"elsahotpath"}, "grows once"},
+		{"//nolint:elsa -- blanket, reviewed", true, []string{"elsa"}, "blanket, reviewed"},
+		{"//nolint:a,b // r", true, []string{"a", "b"}, "r"},
+		{"//nolint:elsahotpath", true, []string{"elsahotpath"}, ""},
+		{"// ordinary comment", false, nil, ""},
+	}
+	for _, c := range cases {
+		e, ok := parseNolint(c.text)
+		if ok != c.ok {
+			t.Errorf("parseNolint(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if e.reason != c.reason {
+			t.Errorf("parseNolint(%q) reason = %q, want %q", c.text, e.reason, c.reason)
+		}
+		if fmt.Sprint(e.names) != fmt.Sprint(c.names) {
+			t.Errorf("parseNolint(%q) names = %v, want %v", c.text, e.names, c.names)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package ctxflow seeds unguarded blocking channel operations inside
+// cancellable functions — the deadlock-on-cancel class the pipeline's
+// stage graph must never reintroduce.
+package ctxflow
+
+import "context"
+
+func bareSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want "bare channel send can block forever"
+}
+
+func bareRecv(ctx context.Context, ch chan int) int {
+	return <-ch // want "bare channel receive can block forever"
+}
+
+func bareRange(ctx context.Context, ch chan int) (sum int) {
+	for v := range ch { // want "range over channel blocks until close"
+		sum += v
+	}
+	return sum
+}
+
+func unguardedSelect(ctx context.Context, a, b chan int) {
+	select { // want "neither a ctx.Done.. case nor a default"
+	case v := <-a:
+		_ = v
+	case b <- 1:
+	}
+}
+
+func guardedSend(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+func guardedRecv(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func nonBlocking(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func waitForCancel(ctx context.Context) {
+	<-ctx.Done() // waiting on cancellation itself is the point
+}
+
+func stageGoroutine(ctx context.Context, in, out chan int) {
+	go func() {
+		for {
+			select {
+			case v, ok := <-in:
+				if !ok {
+					return
+				}
+				select {
+				case out <- v:
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func leakyGoroutine(ctx context.Context, in, out chan int) {
+	go func() {
+		v := <-in // want "bare channel receive can block forever"
+		out <- v  // want "bare channel send can block forever"
+	}()
+}
+
+// noCtx is exempt: without a context parameter there is no cancellation
+// contract to honour (sync worker pools drain via close).
+func noCtx(jobs chan int) (sum int) {
+	jobs <- 1
+	for v := range jobs {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,94 @@
+// Package hotpath seeds one violation of every construct the
+// elsahotpath analyzer bans, plus clean and suppressed counterexamples.
+package hotpath
+
+import "fmt"
+
+type scratch struct {
+	buf []int
+}
+
+// grow is clean: slicing, indexing and arithmetic only.
+//
+//elsa:hotpath
+func (s *scratch) clean(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	if len(s.buf) > 0 {
+		sum += s.buf[0]
+	}
+	return sum
+}
+
+//elsa:hotpath
+func appends(xs []int, v int) []int {
+	return append(xs, v) // want "append may grow and allocate"
+}
+
+//elsa:hotpath
+func makes(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+//elsa:hotpath
+func news() *scratch {
+	return new(scratch) // want "new allocates"
+}
+
+//elsa:hotpath
+func literals() int {
+	xs := []int{1, 2, 3}   // want "slice literal allocates"
+	m := map[int]int{1: 2} // want "map literal allocates"
+	p := &scratch{}        // want "&composite literal allocates"
+	return xs[0] + m[1] + len(p.buf)
+}
+
+//elsa:hotpath
+func closures(xs []int) int {
+	f := func(i int) int { return xs[i] } // want "closure allocates"
+	return f(0)
+}
+
+//elsa:hotpath
+func formats(n int) string {
+	return fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates" "implicit conversion of int to interface"
+}
+
+//elsa:hotpath
+func conversions(s string) []byte {
+	return []byte(s) // want "conversion copies"
+}
+
+type boxer interface{ M() }
+
+type impl struct{}
+
+func (impl) M() {}
+
+func takesIface(b boxer) { b.M() }
+
+//elsa:hotpath
+func boxes() {
+	var v impl
+	takesIface(v) // want "implicit conversion of impl to interface"
+}
+
+//elsa:hotpath
+func spawns() {
+	go func() {}() // want "goroutine launch allocates a stack" "closure allocates"
+}
+
+// suppressed shows the escape hatch: amortized growth into a reused
+// buffer, with the reason recorded.
+//
+//elsa:hotpath
+func (s *scratch) suppressed(v int) {
+	s.buf = append(s.buf, v) //nolint:elsahotpath // amortized: buf is reused across calls, growth is one-time
+}
+
+// unannotated functions may do whatever they like.
+func unannotated(n int) []int {
+	return make([]int, n)
+}
