@@ -199,6 +199,8 @@ func (c *stageCounter) snapshot(name string) predict.StageStats {
 }
 
 // stamp runs the TemplateAssign stage body for one record.
+//
+//elsa:hotpath
 func (p *Pipeline) stamp(rec *logs.Record) {
 	c := &p.counters[stageTemplate]
 	c.in.Add(1)
@@ -254,6 +256,8 @@ func (p *Pipeline) detect(t *predict.Tick, tickStart time.Time) []predict.Hit {
 
 // match runs the ChainMatch + PredictionSink stage bodies for one closed
 // tick, appending into res and returning the predictions the tick fired.
+//
+//elsa:hotpath
 func (p *Pipeline) match(b tickBatch, hits []predict.Hit, res *predict.Result) []predict.Prediction {
 	cm := &p.counters[stageMatch]
 	cm.in.Add(1)

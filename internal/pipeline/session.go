@@ -38,6 +38,8 @@ func (p *Pipeline) NewSession(start time.Time) *Session {
 
 // Feed ingests one record and returns any predictions that became
 // visible by closing ticks.
+//
+//elsa:hotpath
 func (s *Session) Feed(rec logs.Record) []predict.Prediction {
 	if s.closed {
 		return nil

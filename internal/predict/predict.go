@@ -332,6 +332,8 @@ func (e *Engine) DetectorIDs() []int {
 // so its window state evolves; concurrent calls are safe only across
 // distinct ids. Periodic signals are scored on their phase residual,
 // anchored to the training epoch, so scheduled beats pass.
+//
+//elsa:hotpath
 func (e *Engine) ObserveDetector(id int, t *Tick, tickStart time.Time) (Hit, bool) {
 	det := e.detectors[id]
 	v := float64(t.Counts[id])
@@ -351,14 +353,20 @@ func (e *Engine) ObserveDetector(id int, t *Tick, tickStart time.Time) (Hit, boo
 
 // SparseHits appends the tick's sparse-path outliers to hits: events
 // without a dense filter (silent signals and event types never seen in
-// training) count any occurrence as an outlier.
+// training) count any occurrence as an outlier. The appended tail is
+// sorted so the function's output is deterministic on its own — the
+// sparse ids come out of a map — rather than relying on every caller to
+// canonicalise the merged hit set (they do, but elsavet rightly refuses
+// to take that on faith).
 func (e *Engine) SparseHits(t *Tick, hits []Hit) []Hit {
+	n := len(hits)
 	for id := range t.Counts {
 		if _, dense := e.detectors[id]; dense {
 			continue
 		}
 		hits = append(hits, Hit{Event: id, Loc: t.FirstLoc[id]})
 	}
+	SortHits(hits[n:])
 	return hits
 }
 
@@ -381,6 +389,8 @@ func (e *Engine) DetectOutliers(t *Tick, tickStart time.Time) []Hit {
 // set and returns the number of chain checks performed (the analysis-time
 // model's currency). Spawns run before advances so chains whose items
 // share one tick (simultaneous sequences like CIODB) match within it.
+//
+//elsa:hotpath
 func (e *Engine) MatchChains(hits []Hit, tick int) (checks int) {
 	for _, h := range hits {
 		checks += e.spawn(h.Event, h.Loc, tick)
@@ -572,6 +582,8 @@ func abs(x int) int {
 // SortHits orders outlier hits by event id (insertion sort; outlier sets
 // per tick are tiny). Hits within one tick never share an event id, so
 // the order is total and matching is deterministic.
+//
+//elsa:hotpath
 func SortHits(hits []Hit) {
 	for i := 1; i < len(hits); i++ {
 		for j := i; j > 0 && hits[j].Event < hits[j-1].Event; j-- {
