@@ -53,6 +53,8 @@ func DefaultCrossCorrConfig() CrossCorrConfig {
 // minutes, a 20-second one by seconds), so every stage that matches delays
 // — seeding, mining, location replay, the online engine — uses this same
 // relative rule.
+//
+//elsa:hotpath
 func DelayTolerance(delay, base int) int {
 	if base < 0 {
 		base = 0
@@ -74,6 +76,8 @@ func CrossCorrelate(a, b []int, cfg CrossCorrConfig) (delay, count int, score fl
 }
 
 // liftOK checks the confidence path's enrichment requirement.
+//
+//elsa:hotpath
 func liftOK(conf float64, lag, nb int, cfg CrossCorrConfig) bool {
 	if cfg.Horizon <= 0 {
 		return true

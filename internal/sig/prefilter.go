@@ -57,6 +57,8 @@ func newPairCounter(e int) *pairCounter {
 
 // add accumulates n co-occurrences for the ordered pair (a, b), saturating
 // far above any usable MinCount instead of overflowing.
+//
+//elsa:hotpath
 func (c *pairCounter) add(a, b, n int32) {
 	if c.dense != nil {
 		k := a*c.e + b
@@ -92,6 +94,17 @@ func (c *pairCounter) emit(need int32) [][2]int32 {
 			cands = append(cands, [2]int32{int32(k >> 32), int32(uint32(k))})
 		}
 	}
+	// The dense counter emits in (a, b) order for free; the hashed
+	// counter emits in map order, which would make the kernel's work
+	// queue (and any pruning trace an operator compares across runs)
+	// differ per run. Sort so both paths hand the scorer the same
+	// deterministic candidate sequence.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i][0] != cands[j][0] {
+			return cands[i][0] < cands[j][0]
+		}
+		return cands[i][1] < cands[j][1]
+	})
 	return cands
 }
 
@@ -215,6 +228,8 @@ func mergeTimeline(trains SpikeTrains, ids []int) []spike {
 }
 
 // exactSweep counts every ordered co-occurrence within maxLag once.
+//
+//elsa:hotpath
 func exactSweep(tl []spike, maxLag int, counts *pairCounter) {
 	j := 0
 	for i := range tl {

@@ -16,9 +16,11 @@ type Scratch struct {
 // grow resizes the scratch buffers for a MaxLag+1-bin histogram. hist is
 // returned zeroed; prefix is fully overwritten by the kernel so it is only
 // resized.
+//
+//elsa:hotpath
 func (s *Scratch) grow(n int) (hist, prefix []int) {
 	if cap(s.hist) < n {
-		s.hist = make([]int, n)
+		s.hist = make([]int, n) //nolint:elsahotpath // amortized: grows to MaxLag+1 once, then reused for every pair
 	} else {
 		s.hist = s.hist[:n]
 		for i := range s.hist {
@@ -26,7 +28,7 @@ func (s *Scratch) grow(n int) (hist, prefix []int) {
 		}
 	}
 	if cap(s.prefix) < n+1 {
-		s.prefix = make([]int, n+1)
+		s.prefix = make([]int, n+1) //nolint:elsahotpath // amortized: grows to MaxLag+2 once, then reused for every pair
 	} else {
 		s.prefix = s.prefix[:n+1]
 	}
@@ -37,6 +39,8 @@ func (s *Scratch) grow(n int) (hist, prefix []int) {
 // spike train b (sorted sample indices), reusing the scratch buffers. It
 // returns false when no delay meets the thresholds. This is the
 // zero-allocation kernel behind the package-level CrossCorrelate.
+//
+//elsa:hotpath
 func (s *Scratch) CrossCorrelate(a, b []int, cfg CrossCorrConfig) (delay, count int, score float64, ok bool) {
 	if len(a) == 0 || len(b) == 0 || cfg.MaxLag < 0 {
 		return 0, 0, 0, false
@@ -137,6 +141,8 @@ func (s *Scratch) CrossCorrelate(a, b []int, cfg CrossCorrConfig) (delay, count 
 
 // windowSum sums hist over [lo, hi] clamped to [0, maxLag], via the
 // prefix-sum array.
+//
+//elsa:hotpath
 func windowSum(prefix []int, lo, hi, maxLag int) int {
 	if lo < 0 {
 		lo = 0
