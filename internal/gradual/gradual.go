@@ -203,20 +203,7 @@ func refineDelays(trains sig.SpikeTrains, items []Item, tol int, sc *evalScratch
 		it := refined[k]
 		train := trains[it.Event]
 		w := sig.DelayTolerance(it.Delay, tol)
-		offsets := sc.offsets[:0]
-		for _, t := range first {
-			want := t + it.Delay
-			i := sort.SearchInts(train, want-w)
-			best, bestDist, found := 0, w+1, false
-			for ; i < len(train) && train[i] <= want+w; i++ {
-				if d := abs(train[i] - want); d < bestDist {
-					best, bestDist, found = train[i]-t, d, true
-				}
-			}
-			if found {
-				offsets = append(offsets, best)
-			}
-		}
+		offsets := scanOffsets(sc.offsets[:0], train, first, it.Delay, w)
 		if len(offsets) > 0 {
 			sort.Ints(offsets)
 			refined[k].Delay = offsets[len(offsets)/2]
@@ -413,8 +400,34 @@ func score(trains sig.SpikeTrains, items []Item, cfg Config, sc *evalScratch) (I
 	}, true
 }
 
+// scanOffsets collects, for each occurrence t of the first event, the
+// offset of the nearest occurrence of the follower train to t + delay
+// within +/-w, appending into dst (the caller's reusable scratch). This is
+// the inner loop of refineAll's delay refinement: it runs once per item of
+// every surviving itemset, over every trigger occurrence.
+//
+//elsa:hotpath
+func scanOffsets(dst []int, train, first []int, delay, w int) []int {
+	for _, t := range first {
+		want := t + delay
+		i := sort.SearchInts(train, want-w)
+		best, bestDist, found := 0, w+1, false
+		for ; i < len(train) && train[i] <= want+w; i++ {
+			if d := abs(train[i] - want); d < bestDist {
+				best, bestDist, found = train[i]-t, d, true
+			}
+		}
+		if found {
+			dst = append(dst, best) //nolint:elsahotpath // amortized: dst is the worker's reusable offsets scratch
+		}
+	}
+	return dst
+}
+
 // matchesAt reports whether every non-first item of the pattern has an
 // occurrence at t + delay, within the delay-proportional tolerance.
+//
+//elsa:hotpath
 func matchesAt(trains sig.SpikeTrains, items []Item, t, tol int) bool {
 	for _, it := range items[1:] {
 		train := trains[it.Event]
