@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -20,28 +21,35 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "elsa:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run executes one CLI invocation. It owns no globals — flags live on a
+// private FlagSet and all output goes through the writers — so tests can
+// call it repeatedly in one process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("elsa", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		logPath    = flag.String("log", "", "log file in canonical text format (required)")
-		trainDays  = flag.Int("train-days", 5, "days of log used for training")
-		modeS      = flag.String("mode", "hybrid", "correlation method: hybrid, signal or datamining")
-		truthPath  = flag.String("truth", "", "ground-truth JSON lines for evaluation")
-		showChains = flag.Bool("chains", false, "print the extracted correlation chains")
-		showPreds  = flag.Bool("predictions", false, "print every emitted prediction")
-		savePath   = flag.String("save", "", "write the trained model to this path")
-		modelPath  = flag.String("model", "", "load a trained model instead of training")
-		formatS    = flag.String("format", "canonical", "log format: canonical, bgl (CFDR RAS) or syslog")
-		year       = flag.Int("year", 0, "year completing syslog timestamps (0 = current)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		logPath    = fs.String("log", "", "log file in canonical text format (required)")
+		trainDays  = fs.Int("train-days", 5, "days of log used for training")
+		modeS      = fs.String("mode", "hybrid", "correlation method: hybrid, signal or datamining")
+		truthPath  = fs.String("truth", "", "ground-truth JSON lines for evaluation")
+		showChains = fs.Bool("chains", false, "print the extracted correlation chains")
+		showPreds  = fs.Bool("predictions", false, "print every emitted prediction")
+		savePath   = fs.String("save", "", "write the trained model to this path")
+		modelPath  = fs.String("model", "", "load a trained model instead of training")
+		formatS    = fs.String("format", "canonical", "log format: canonical, bgl (CFDR RAS) or syslog")
+		year       = fs.Int("year", 0, "year completing syslog timestamps (0 = current)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *logPath == "" {
 		return fmt.Errorf("-log is required")
 	}
@@ -60,13 +68,13 @@ func run() error {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "elsa: memprofile:", err)
+				fmt.Fprintln(stderr, "elsa: memprofile:", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // settle the heap so the profile shows retained memory
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "elsa: memprofile:", err)
+				fmt.Fprintln(stderr, "elsa: memprofile:", err)
 			}
 		}()
 	}
@@ -97,7 +105,7 @@ func run() error {
 		return err
 	}
 	if dropped > 0 {
-		fmt.Fprintf(os.Stderr, "elsa: skipped %d malformed lines\n", dropped)
+		fmt.Fprintf(stderr, "elsa: skipped %d malformed lines\n", dropped)
 	}
 	if len(records) == 0 {
 		return fmt.Errorf("log %s is empty", *logPath)
@@ -119,7 +127,7 @@ func run() error {
 			test = append(test, r)
 		}
 	}
-	fmt.Printf("training on %d records (%s .. %s), testing on %d records (.. %s), mode %s\n",
+	fmt.Fprintf(stdout, "training on %d records (%s .. %s), testing on %d records (.. %s), mode %s\n",
 		len(train), start.Format(time.RFC3339), cut.Format(time.RFC3339), len(test),
 		end.Format(time.RFC3339), cfg.Mode)
 
@@ -134,11 +142,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("loaded model: %d event types, %d chains (%d predictive)\n",
+		fmt.Fprintf(stdout, "loaded model: %d event types, %d chains (%d predictive)\n",
 			model.EventCount(), len(model.Chains()), len(model.PredictiveChains()))
 	} else {
 		model = elsa.Train(train, start, cut, cfg)
-		fmt.Printf("mined %d event types, extracted %d chains (%d predictive)\n",
+		fmt.Fprintf(stdout, "mined %d event types, extracted %d chains (%d predictive)\n",
 			model.EventCount(), len(model.Chains()), len(model.PredictiveChains()))
 	}
 	if *savePath != "" {
@@ -153,34 +161,34 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("model saved to %s\n", *savePath)
+		fmt.Fprintf(stdout, "model saved to %s\n", *savePath)
 	}
 
 	if *showChains {
 		for _, ch := range model.Chains() {
-			fmt.Printf("chain %s support=%d conf=%.2f predictive=%v\n",
+			fmt.Fprintf(stdout, "chain %s support=%d conf=%.2f predictive=%v\n",
 				ch.Key(), ch.Support, ch.Confidence, ch.Predictive)
 			for _, it := range ch.Items {
-				fmt.Printf("  @%-5d %s\n", it.Delay, model.EventTemplate(it.Event))
+				fmt.Fprintf(stdout, "  @%-5d %s\n", it.Delay, model.EventTemplate(it.Event))
 			}
 		}
 	}
 
 	result := model.Predict(test, cut, end)
 	st := result.Stats
-	fmt.Printf("online: %d predictions (%d late), %d/%d chains used, mean analysis %.1fms, worst %s\n",
+	fmt.Fprintf(stdout, "online: %d predictions (%d late), %d/%d chains used, mean analysis %.1fms, worst %s\n",
 		len(result.Predictions), st.LatePreds, len(st.ChainsUsed), st.ChainsLoaded,
 		1000*st.Analysis.Mean(), st.MaxAnalysis.Round(time.Millisecond))
 	// Batch prediction replays the streaming stage graph; show what each
 	// stage saw.
 	for _, sg := range st.Stages {
-		fmt.Printf("  stage %-9s in=%-8d out=%-8d dropped=%-6d maxqueue=%-5d wall=%s\n",
+		fmt.Fprintf(stdout, "  stage %-9s in=%-8d out=%-8d dropped=%-6d maxqueue=%-5d wall=%s\n",
 			sg.Name, sg.In, sg.Out, sg.Dropped, sg.MaxQueue, sg.Wall.Round(time.Microsecond))
 	}
 
 	if *showPreds {
 		for _, p := range result.Predictions {
-			fmt.Printf("predict %s at %s lead=%s scope=%s trigger=%s chain=%s\n",
+			fmt.Fprintf(stdout, "predict %s at %s lead=%s scope=%s trigger=%s chain=%s\n",
 				model.EventTemplate(p.Event), p.ExpectedAt.Format(time.RFC3339),
 				p.Lead.Round(time.Second), p.Scope, p.Trigger, p.ChainKey)
 		}
@@ -203,7 +211,7 @@ func run() error {
 			}
 		}
 		outcome := elsa.Evaluate(result, testFailures, elsa.DefaultMatchConfig())
-		fmt.Print(outcome)
+		fmt.Fprint(stdout, outcome)
 	}
 	return nil
 }

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeTestLog writes a tiny canonical log spanning a bit over 26 hours, so
+// -train-days 1 leaves a ~2 hour test window. A periodic INFO heartbeat
+// plus an occasional FAILURE gives training something to chew on without
+// making the run slow.
+func writeTestLog(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	start := time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 26*6; i++ { // every 10 minutes for 26 hours
+		ts := start.Add(time.Duration(i) * 10 * time.Minute)
+		fmt.Fprintf(&b, "%s INFO R00-M0-N0 KERNEL heartbeat tick\n", ts.Format(time.RFC3339))
+		if i%12 == 0 {
+			fmt.Fprintf(&b, "%s FAILURE R00-M0-N1 NFS rpc timeout on data server\n", ts.Add(time.Minute).Format(time.RFC3339))
+		}
+	}
+	path := filepath.Join(t.TempDir(), "test.log")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCapture(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+// TestRunProfiles checks the -cpuprofile/-memprofile plumbing: both files
+// must exist and be non-empty after run returns (the heap profile is
+// written by a deferred block, so this also pins the profile-at-exit
+// ordering).
+func TestRunProfiles(t *testing.T) {
+	log := writeTestLog(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stdout, _, err := runCapture(t,
+		"-log", log, "-train-days", "1", "-cpuprofile", cpu, "-memprofile", mem)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout, "online:") {
+		t.Errorf("run output missing online summary:\n%s", stdout)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestRunCPUProfileError checks that an uncreatable -cpuprofile path fails
+// the run instead of being silently dropped.
+func TestRunCPUProfileError(t *testing.T) {
+	log := writeTestLog(t)
+	_, _, err := runCapture(t,
+		"-log", log, "-train-days", "1", "-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"))
+	if err == nil {
+		t.Fatal("expected error for uncreatable cpuprofile path")
+	}
+}
+
+// TestRunMemProfileError checks that an uncreatable -memprofile path is
+// reported on stderr at exit without failing the run (the run's results
+// already streamed out by then).
+func TestRunMemProfileError(t *testing.T) {
+	log := writeTestLog(t)
+	_, stderr, err := runCapture(t,
+		"-log", log, "-train-days", "1", "-memprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof"))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stderr, "memprofile") {
+		t.Errorf("stderr missing memprofile failure notice:\n%s", stderr)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	log := writeTestLog(t)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing log", nil, "-log is required"},
+		{"unknown mode", []string{"-log", log, "-train-days", "1", "-mode", "psychic"}, "unknown -mode"},
+		{"unknown format", []string{"-log", log, "-train-days", "1", "-format", "csv"}, "format"},
+		{"unknown flag", []string{"-log", log, "-bogus"}, "bogus"},
+		{"window too long", []string{"-log", log, "-train-days", "7"}, "covers the whole log"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := runCapture(t, tc.args...)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
