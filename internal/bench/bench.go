@@ -51,14 +51,14 @@ type Measurement struct {
 
 // Report is the JSON document elsabench writes.
 type Report struct {
-	Profile        string        `json:"profile"`
-	EventTypes     int           `json:"event_types"`
-	Records        int           `json:"records"`
-	HorizonSamples int           `json:"horizon_samples"`
-	GoVersion      string        `json:"go_version"`
-	GOOS           string        `json:"goos"`
-	GOARCH         string        `json:"goarch"`
-	NumCPU         int           `json:"num_cpu"`
+	Profile        string `json:"profile"`
+	EventTypes     int    `json:"event_types"`
+	Records        int    `json:"records"`
+	HorizonSamples int    `json:"horizon_samples"`
+	GoVersion      string `json:"go_version"`
+	GOOS           string `json:"goos"`
+	GOARCH         string `json:"goarch"`
+	NumCPU         int    `json:"num_cpu"`
 	// Pairs is the prefilter's pruning report from the hybrid training
 	// run: candidates is the blind E*(E-1) space, scored is what actually
 	// reached the kernel.

@@ -32,9 +32,9 @@ type sampler struct {
 	grace  int
 	limit  int // ticks in the run window; < 0 means unbounded (live session)
 
-	next    int // next tick index to close
-	hw      time.Time
-	open    map[int]*predict.Tick
+	next     int // next tick index to close
+	hw       time.Time
+	open     map[int]*predict.Tick
 	buffered int // records currently held in open ticks
 
 	late    int64 // dropped: older than the newest closed tick
