@@ -10,12 +10,21 @@
 // Each prediction is printed as one line:
 //
 //	PREDICT <expected-time> lead=<window> scope=<scope> at=<trigger> event=<template>
+//
+// For crash resilience, -snapshot periodically persists the monitor's
+// online state (atomically, via rename); after a crash or restart,
+// -resume continues mid-stream from the last snapshot — no retraining,
+// no re-emitted predictions:
+//
+//	elsamon -model model.json -snapshot mon.snap < stream
+//	elsamon -model model.json -resume mon.snap < rest-of-stream
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -24,22 +33,34 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "elsamon:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run executes one daemon invocation. Flags live on a private FlagSet and
+// all I/O goes through the parameters, so tests drive it in-process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("elsamon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		modelPath = flag.String("model", "", "trained model (from elsa -save) (required)")
-		formatS   = flag.String("format", "canonical", "input format: canonical, bgl or syslog")
-		year      = flag.Int("year", 0, "year completing syslog timestamps (0 = current)")
-		showLate  = flag.Bool("late", false, "also print predictions whose window has already closed")
+		modelPath = fs.String("model", "", "trained model (from elsa -save) (required)")
+		formatS   = fs.String("format", "canonical", "input format: canonical, bgl or syslog")
+		year      = fs.Int("year", 0, "year completing syslog timestamps (0 = current)")
+		showLate  = fs.Bool("late", false, "also print predictions whose window has already closed")
+		snapPath  = fs.String("snapshot", "", "periodically write the monitor state to this path (atomic rename)")
+		snapEvery = fs.Int("snapshot-every", 10000, "records between periodic snapshots (with -snapshot)")
+		resumeP   = fs.String("resume", "", "resume the monitor from a snapshot written by -snapshot")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *modelPath == "" {
 		return fmt.Errorf("-model is required")
+	}
+	if *snapEvery <= 0 {
+		return fmt.Errorf("-snapshot-every must be positive")
 	}
 	format, err := elsa.ParseLogFormat(*formatS)
 	if err != nil {
@@ -54,15 +75,28 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "elsamon: model with %d event types, %d chains loaded; waiting for records on stdin\n",
+	fmt.Fprintf(stderr, "elsamon: model with %d event types, %d chains loaded; waiting for records on stdin\n",
 		model.EventCount(), len(model.PredictiveChains()))
 
 	var monitor *elsa.Monitor
-	sc := bufio.NewScanner(os.Stdin)
+	if *resumeP != "" {
+		sf, err := os.Open(*resumeP)
+		if err != nil {
+			return err
+		}
+		monitor, err = model.ResumeMonitor(sf)
+		sf.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "elsamon: resumed from %s\n", *resumeP)
+	}
+
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
-	out := bufio.NewWriter(os.Stdout)
+	out := bufio.NewWriter(stdout)
 	defer out.Flush()
-	dropped := 0
+	dropped, fed := 0, 0
 	for sc.Scan() {
 		line := sc.Text()
 		if line == "" || line[0] == '#' {
@@ -81,6 +115,14 @@ func run() error {
 			emit(out, model, p, *showLate)
 		}
 		out.Flush()
+		fed++
+		if *snapPath != "" && fed%*snapEvery == 0 {
+			// A failed snapshot degrades resumability, not monitoring:
+			// warn and keep serving predictions.
+			if err := writeSnapshot(monitor, *snapPath); err != nil {
+				fmt.Fprintln(stderr, "elsamon: snapshot:", err)
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return err
@@ -88,20 +130,61 @@ func run() error {
 	if monitor == nil {
 		return fmt.Errorf("no records received")
 	}
+	if *snapPath != "" {
+		// Final snapshot before Close flushes the open ticks, so a later
+		// -resume continues exactly where this stream ended.
+		if err := writeSnapshot(monitor, *snapPath); err != nil {
+			fmt.Fprintln(stderr, "elsamon: snapshot:", err)
+		}
+	}
 	res := monitor.Close()
 	st := res.Stats
-	fmt.Fprintf(os.Stderr, "elsamon: %d records over %d ticks, %d predictions (%d late), %d undecodable lines, %d stragglers dropped\n",
+	fmt.Fprintf(stderr, "elsamon: %d records over %d ticks, %d predictions (%d late), %d undecodable lines, %d stragglers dropped\n",
 		st.Messages, st.Ticks, len(res.Predictions), st.LatePreds, dropped, st.LateRecords)
-	printStages(st.Stages)
+	if st.QuarantinedRecords > 0 || st.DedupedRecords > 0 || st.ShedRecords > 0 || st.Degraded {
+		fmt.Fprintf(stderr, "elsamon: hardening: %d quarantined, %d deduplicated, %d shed, %d degraded ticks\n",
+			st.QuarantinedRecords, st.DedupedRecords, st.ShedRecords, st.DegradedTicks)
+	}
+	printStages(stderr, st.Stages)
 	return nil
 }
 
+// writeSnapshot persists the monitor state atomically: written to a
+// sibling temp file, fsynced by Close, then renamed over the target, so
+// a crash mid-write never truncates the previous good snapshot.
+func writeSnapshot(mon *elsa.Monitor, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := mon.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // printStages renders the pipeline's per-stage counters, one line per
-// stage in graph order.
-func printStages(stages []elsa.StageStats) {
+// stage in graph order, with hardening and supervision columns when the
+// stage has any.
+func printStages(stderr io.Writer, stages []elsa.StageStats) {
 	for _, sg := range stages {
-		fmt.Fprintf(os.Stderr, "elsamon: stage %-9s in=%-8d out=%-8d dropped=%-6d maxqueue=%-5d wall=%s\n",
+		fmt.Fprintf(stderr, "elsamon: stage %-9s in=%-8d out=%-8d dropped=%-6d maxqueue=%-5d wall=%s",
 			sg.Name, sg.In, sg.Out, sg.Dropped, sg.MaxQueue, sg.Wall.Round(time.Microsecond))
+		if sg.Quarantined > 0 || sg.Deduped > 0 || sg.Shed > 0 {
+			fmt.Fprintf(stderr, " quarantined=%d deduped=%d shed=%d", sg.Quarantined, sg.Deduped, sg.Shed)
+		}
+		if sg.Health != "" {
+			fmt.Fprintf(stderr, " panics=%d restarts=%d bypassed=%d health=%s",
+				sg.Panics, sg.Restarts, sg.Bypassed, sg.Health)
+		}
+		fmt.Fprintln(stderr)
 	}
 }
 

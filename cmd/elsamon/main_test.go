@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	elsa "github.com/elsa-hpc/elsa"
+)
+
+var testStart = time.Date(2006, 1, 2, 15, 0, 0, 0, time.UTC)
+
+var shared struct {
+	once   sync.Once
+	blob   string // saved model JSON
+	stream []elsa.Record
+}
+
+// fixture trains a model on half a synthetic BGL log (once per process),
+// saves it to a per-test path and returns the held-out half.
+func fixture(t *testing.T) (modelPath string, stream []elsa.Record) {
+	t.Helper()
+	shared.once.Do(func() {
+		log := elsa.GenerateBGL(91, testStart, 4*24*time.Hour)
+		cut := testStart.Add(2 * 24 * time.Hour)
+		train, test, _ := log.Split(cut)
+		model := elsa.Train(train, testStart, cut, elsa.DefaultTrainConfig())
+		var sb strings.Builder
+		if err := model.Save(&sb); err != nil {
+			t.Fatal(err)
+		}
+		shared.blob, shared.stream = sb.String(), test
+	})
+	modelPath = filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(modelPath, []byte(shared.blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return modelPath, shared.stream
+}
+
+func canonical(t *testing.T, recs []elsa.Record) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := elsa.WriteLog(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRunRequiresModel(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run(nil, strings.NewReader(""), &out, &errw); err == nil {
+		t.Fatal("run without -model succeeded")
+	}
+}
+
+func TestRunMonitorsStream(t *testing.T) {
+	modelPath, stream := fixture(t)
+	var out, errw strings.Builder
+	err := run([]string{"-model", modelPath, "-late"},
+		strings.NewReader(canonical(t, stream)), &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errw.String())
+	}
+	if !strings.Contains(errw.String(), "records over") {
+		t.Errorf("summary line missing from stderr:\n%s", errw.String())
+	}
+	if !strings.Contains(errw.String(), "stage source") {
+		t.Errorf("stage table missing from stderr:\n%s", errw.String())
+	}
+	if out.Len() == 0 {
+		t.Error("no predictions printed; fixture too quiet to exercise the monitor")
+	}
+}
+
+// TestRunSnapshotResume is the daemon-level crash-resume test: kill the
+// monitor after half the stream (run one exits, leaving its -snapshot
+// file), start a second process with -resume over the rest, and the two
+// processes' combined prediction output must equal an uninterrupted
+// run's, line for line.
+func TestRunSnapshotResume(t *testing.T) {
+	modelPath, stream := fixture(t)
+	snap := filepath.Join(t.TempDir(), "mon.snap")
+	half := len(stream) / 2
+
+	var whole, errw strings.Builder
+	if err := run([]string{"-model", modelPath, "-late"},
+		strings.NewReader(canonical(t, stream)), &whole, &errw); err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	var first, second strings.Builder
+	errw.Reset()
+	if err := run([]string{"-model", modelPath, "-late", "-snapshot", snap, "-snapshot-every", "50"},
+		strings.NewReader(canonical(t, stream[:half])), &first, &errw); err != nil {
+		t.Fatalf("first incarnation: %v\nstderr:\n%s", err, errw.String())
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot file not written: %v", err)
+	}
+	if _, err := os.Stat(snap + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp snapshot left behind (rename not atomic?): %v", err)
+	}
+	errw.Reset()
+	if err := run([]string{"-model", modelPath, "-late", "-resume", snap},
+		strings.NewReader(canonical(t, stream[half:])), &second, &errw); err != nil {
+		t.Fatalf("resumed incarnation: %v\nstderr:\n%s", err, errw.String())
+	}
+	if !strings.Contains(errw.String(), "resumed from") {
+		t.Errorf("resume not announced on stderr:\n%s", errw.String())
+	}
+
+	if got, want := first.String()+second.String(), whole.String(); got != want {
+		t.Errorf("combined prediction output differs from the uninterrupted run:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRunRejectsBadSnapshotFlags(t *testing.T) {
+	modelPath, _ := fixture(t)
+	var out, errw strings.Builder
+	err := run([]string{"-model", modelPath, "-snapshot-every", "0"},
+		strings.NewReader(""), &out, &errw)
+	if err == nil {
+		t.Error("non-positive -snapshot-every accepted")
+	}
+	err = run([]string{"-model", modelPath, "-resume", filepath.Join(t.TempDir(), "missing.snap")},
+		strings.NewReader(""), &out, &errw)
+	if err == nil {
+		t.Error("missing -resume snapshot accepted")
+	}
+}

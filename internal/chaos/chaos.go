@@ -1,0 +1,195 @@
+// Package chaos is a deterministic fault-injection harness for the
+// online monitor: it wraps a logs.RecordSource and perturbs the stream
+// with the failure modes real HPC log collectors exhibit — corrupt
+// records, exact-duplicate bursts, reordering, clock skew, flood storms
+// and delivery stalls. Every decision comes from a seeded private RNG,
+// so a chaos run is exactly reproducible from its seed: a failure found
+// in CI replays locally.
+//
+// The harness is a test instrument. Its contract with the pipeline's
+// hardening layer is intentionally adversarial-but-honest: corruptions
+// are drawn from the classes the quarantine classifier must divert,
+// floods are sized to trip overload shedding, and the clean tail of a
+// stream must come through with predictions intact.
+package chaos
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/logs"
+)
+
+// Config tunes the injector. Every probability is per source record in
+// [0, 1]; zero disables that fault class. The zero Config injects
+// nothing and passes the stream through verbatim.
+type Config struct {
+	// Seed seeds the injector's private RNG. The same seed over the
+	// same source reproduces the same perturbed stream, stalls and all.
+	Seed int64
+
+	// Corrupt is the probability a record is mangled into one of the
+	// quarantine classes: zero timestamp, NUL-spliced message, invalid
+	// UTF-8, or an impossible event id.
+	Corrupt float64
+
+	// Duplicate is the probability a record is followed by 1..DuplicateMax
+	// exact copies (collector retry bursts). DuplicateMax <= 0 selects 3.
+	Duplicate    float64
+	DuplicateMax int
+
+	// Reorder is the probability a record is held back and emitted
+	// after its successor (adjacent swap).
+	Reorder float64
+
+	// Skew is the probability a record's timestamp is shifted by a
+	// uniform offset in [-SkewMax, SkewMax]. SkewMax <= 0 selects 30s.
+	Skew    float64
+	SkewMax time.Duration
+
+	// Flood is the probability a record triggers a burst of FloodSize
+	// distinct filler records at the same instant (log storms).
+	// FloodSize <= 0 selects 64.
+	Flood     float64
+	FloodSize int
+
+	// Stall is the probability delivery pauses for a uniform duration
+	// up to StallMax before the record is handed over. StallMax <= 0
+	// selects 5ms. Sleep injects the pause implementation; nil selects
+	// time.Sleep (tests pass a recorder to keep the suite fast).
+	Stall    float64
+	StallMax time.Duration
+	Sleep    func(time.Duration)
+}
+
+// Stats counts the faults injected, by class.
+type Stats struct {
+	Emitted    int64 // records handed to the consumer, faults included
+	Corrupted  int64
+	Duplicated int64 // extra copies emitted
+	Reordered  int64 // records held back
+	Skewed     int64
+	Flooded    int64 // filler records emitted
+	Stalled    int64
+}
+
+// Injector wraps a RecordSource with seeded fault injection. It is not
+// safe for concurrent use (neither are the sources it wraps).
+type Injector struct {
+	src   logs.RecordSource
+	cfg   Config
+	rng   *rand.Rand
+	queue []logs.Record // pending records to emit before pulling again
+	stats Stats
+}
+
+// New wraps src. The zero cfg passes records through untouched.
+func New(src logs.RecordSource, cfg Config) *Injector {
+	if cfg.DuplicateMax <= 0 {
+		cfg.DuplicateMax = 3
+	}
+	if cfg.SkewMax <= 0 {
+		cfg.SkewMax = 30 * time.Second
+	}
+	if cfg.FloodSize <= 0 {
+		cfg.FloodSize = 64
+	}
+	if cfg.StallMax <= 0 {
+		cfg.StallMax = 5 * time.Millisecond
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &Injector{src: src, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns the fault counts so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Err surfaces the wrapped source's error.
+func (in *Injector) Err() error { return in.src.Err() }
+
+// Next emits the next (possibly perturbed) record.
+func (in *Injector) Next() (logs.Record, bool) {
+	if len(in.queue) > 0 {
+		rec := in.queue[0]
+		in.queue = in.queue[1:]
+		in.stats.Emitted++
+		return rec, true
+	}
+	rec, ok := in.src.Next()
+	if !ok {
+		return logs.Record{}, false
+	}
+
+	if in.cfg.Stall > 0 && in.rng.Float64() < in.cfg.Stall {
+		in.stats.Stalled++
+		in.cfg.Sleep(time.Duration(in.rng.Int63n(int64(in.cfg.StallMax) + 1)))
+	}
+	if in.cfg.Corrupt > 0 && in.rng.Float64() < in.cfg.Corrupt {
+		in.corrupt(&rec)
+		in.stats.Corrupted++
+		in.stats.Emitted++
+		return rec, true // corruption excludes the other faults
+	}
+	if in.cfg.Skew > 0 && in.rng.Float64() < in.cfg.Skew {
+		max := int64(in.cfg.SkewMax)
+		rec.Time = rec.Time.Add(time.Duration(in.rng.Int63n(2*max+1) - max))
+		in.stats.Skewed++
+	}
+	if in.cfg.Duplicate > 0 && in.rng.Float64() < in.cfg.Duplicate {
+		n := 1 + in.rng.Intn(in.cfg.DuplicateMax)
+		for i := 0; i < n; i++ {
+			in.queue = append(in.queue, rec)
+		}
+		in.stats.Duplicated += int64(n)
+	}
+	if in.cfg.Flood > 0 && in.rng.Float64() < in.cfg.Flood {
+		for i := 0; i < in.cfg.FloodSize; i++ {
+			f := rec
+			f.Message = rec.Message + " [storm " + itoa(i) + "]"
+			in.queue = append(in.queue, f)
+		}
+		in.stats.Flooded += int64(in.cfg.FloodSize)
+	}
+	if in.cfg.Reorder > 0 && in.rng.Float64() < in.cfg.Reorder {
+		// Hold this record back; emit its successor (verbatim) first.
+		if next, ok := in.src.Next(); ok {
+			in.queue = append(in.queue, rec)
+			in.stats.Reordered++
+			in.stats.Emitted++
+			return next, true
+		}
+	}
+	in.stats.Emitted++
+	return rec, true
+}
+
+// corrupt mangles a record into one of the quarantine classes.
+func (in *Injector) corrupt(rec *logs.Record) {
+	switch in.rng.Intn(4) {
+	case 0:
+		rec.Time = time.Time{}
+	case 1:
+		rec.Message = rec.Message + "\x00tail"
+	case 2:
+		rec.Message = "\xff\xfe" + rec.Message
+	case 3:
+		rec.EventID = -1337
+	}
+}
+
+// itoa is strconv.Itoa for small non-negative ints without the import.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

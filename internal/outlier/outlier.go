@@ -8,6 +8,7 @@
 package outlier
 
 import (
+	"fmt"
 	"sort"
 
 	"github.com/elsa-hpc/elsa/internal/sig"
@@ -116,6 +117,44 @@ func (d *Detector) Observe(y float64) Observation {
 	return out
 }
 
+// DetectorState is the serialisable window state of a Detector: the raw
+// and corrected sample windows, oldest first. It is what a monitor
+// snapshot persists per dense signal so a restarted process resumes
+// filtering exactly where the crashed one stopped.
+type DetectorState struct {
+	Raw []float64 `json:"raw,omitempty"`
+	Cor []float64 `json:"cor,omitempty"`
+}
+
+// State snapshots the detector's windows.
+func (d *Detector) State() DetectorState {
+	return DetectorState{Raw: d.raw.values(), Cor: d.cor.values()}
+}
+
+// Restore replaces the detector's windows with a snapshot taken by
+// State. Configuration (window length, threshold, replacement mode) is
+// not part of the state: it comes from the model the detector was built
+// from, and a snapshot holding more samples than the window fits is
+// rejected.
+func (d *Detector) Restore(st DetectorState) error {
+	if len(st.Raw) > d.window || len(st.Cor) > d.window {
+		return fmt.Errorf("outlier: snapshot windows (%d raw, %d cor) exceed detector window %d",
+			len(st.Raw), len(st.Cor), d.window)
+	}
+	d.raw = newRing(d.window)
+	d.cor = newRing(d.window)
+	d.sorted = sortedSet{}
+	for _, v := range st.Raw {
+		d.raw.push(v)
+		d.sorted.insert(v)
+	}
+	for _, v := range st.Cor {
+		d.cor.push(v)
+		d.sorted.insert(v)
+	}
+	return nil
+}
+
 // Filter runs a fresh detector over samples and returns the outlier sample
 // indices plus the corrected series. It is the batch entry point used by
 // the offline phase and the experiments.
@@ -140,6 +179,19 @@ type ring struct {
 }
 
 func newRing(capacity int) ring { return ring{buf: make([]float64, capacity)} }
+
+// values returns the ring contents oldest first.
+func (r *ring) values() []float64 {
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]float64, 0, r.n)
+	start := (r.head - r.n + len(r.buf)) % len(r.buf)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
 
 // push appends v, returning the evicted oldest value when the ring was
 // full.

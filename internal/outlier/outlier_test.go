@@ -213,3 +213,39 @@ func BenchmarkObserve(b *testing.B) {
 		d.Observe(10 + rng.NormFloat64())
 	}
 }
+
+// TestDetectorStateRoundTrip proves the crash-resume contract: a
+// detector restored from a snapshot produces bit-identical verdicts to
+// the uninterrupted original on any continuation stream.
+func TestDetectorStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, warm := range []int{0, 1, 17, 64, 200} {
+		a := NewDetector(64, 2)
+		for i := 0; i < warm; i++ {
+			a.Observe(5 + rng.NormFloat64()*2)
+		}
+		b := NewDetector(64, 2)
+		if err := b.Restore(a.State()); err != nil {
+			t.Fatalf("warm %d: Restore: %v", warm, err)
+		}
+		for i := 0; i < 300; i++ {
+			v := 5 + rng.NormFloat64()*2
+			if i%37 == 0 {
+				v += 50 // inject outliers so correction paths diverge if wrong
+			}
+			oa := a.Observe(v)
+			ob := b.Observe(v)
+			if oa != ob {
+				t.Fatalf("warm %d, sample %d: original %+v vs restored %+v", warm, i, oa, ob)
+			}
+		}
+	}
+}
+
+func TestDetectorRestoreRejectsOversizedSnapshot(t *testing.T) {
+	d := NewDetector(4, 1)
+	err := d.Restore(DetectorState{Raw: []float64{1, 2, 3, 4, 5}})
+	if err == nil {
+		t.Fatal("oversized snapshot accepted")
+	}
+}

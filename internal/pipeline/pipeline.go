@@ -31,6 +31,7 @@ import (
 	"github.com/elsa-hpc/elsa/internal/helo"
 	"github.com/elsa-hpc/elsa/internal/logs"
 	"github.com/elsa-hpc/elsa/internal/predict"
+	"github.com/elsa-hpc/elsa/internal/resilience"
 )
 
 // Stage indices, in graph order.
@@ -88,6 +89,34 @@ type Config struct {
 	// OnPrediction, when set, is invoked from the sink stage for every
 	// prediction as soon as its tick closes (both drivers).
 	OnPrediction func(predict.Prediction)
+
+	// Supervise wraps the template, filter and match stage bodies in
+	// panic barriers with restart budgets and circuit breakers
+	// (internal/resilience). A stage whose breaker trips runs in bypass
+	// mode — records flow through unstamped, ticks produce no hits, or
+	// matching is skipped — instead of killing the monitor, and the
+	// degradation is visible in the stage's Health and the result's
+	// Degraded flag. DefaultConfig enables it; the zero Config does not.
+	Supervise bool
+
+	// Supervision tunes the per-stage supervisors. Zero-value fields
+	// select the resilience package defaults.
+	Supervision resilience.Policy
+
+	// DedupWindow > 0 enables exact-duplicate suppression at ingest: a
+	// record identical in every field to one of the last DedupWindow
+	// accepted records is dropped and counted (collector retry bursts).
+	// It is off by default — a batch replay must see the stream
+	// verbatim to stay tick-for-tick identical to the reference engine.
+	DedupWindow int
+
+	// MaxBuffered bounds how many records the open (not yet closed)
+	// sampling ticks may hold before the sample stage starts shedding
+	// new records. Shedding stops once the buffer drains to half
+	// (hysteresis); everything emitted while shedding carries the
+	// Degraded flag. <= 0 disables shedding; DefaultConfig sets
+	// DefaultMaxBuffered.
+	MaxBuffered int
 }
 
 // DefaultBuffer is the default inter-stage channel capacity.
@@ -103,9 +132,11 @@ const minShardSize = 16
 // DefaultConfig returns the standard driver configuration.
 func DefaultConfig() Config {
 	return Config{
-		Buffer:     DefaultBuffer,
-		Workers:    runtime.NumCPU(),
-		GraceTicks: DefaultGraceTicks,
+		Buffer:      DefaultBuffer,
+		Workers:     runtime.NumCPU(),
+		GraceTicks:  DefaultGraceTicks,
+		Supervise:   true,
+		MaxBuffered: DefaultMaxBuffered,
 	}
 }
 
@@ -122,6 +153,12 @@ type Pipeline struct {
 	shards [][]int // ids partitioned for the filter fan-out
 
 	counters [numStages]stageCounter
+
+	// Input hardening and supervision state (see harden.go).
+	quar     quarantine
+	dedup    *dedupRing // nil when Config.DedupWindow <= 0
+	shedding atomic.Bool
+	sups     [numStages]*resilience.Supervisor // nil when unsupervised
 }
 
 // New builds a pipeline over an engine. org may be nil when every record
@@ -148,6 +185,16 @@ func New(eng *predict.Engine, org TemplateLearner, cfg Config) *Pipeline {
 	for i, id := range p.ids {
 		p.shards[i%w] = append(p.shards[i%w], id)
 	}
+	if cfg.DedupWindow > 0 {
+		p.dedup = newDedupRing(cfg.DedupWindow)
+	}
+	if cfg.Supervise {
+		for _, st := range []int{stageTemplate, stageFilter, stageMatch} {
+			pol := cfg.Supervision
+			pol.Seed += int64(st) // decorrelate backoff jitter across stages
+			p.sups[st] = resilience.New(stageNames[st], pol)
+		}
+	}
 	return p
 }
 
@@ -158,13 +205,33 @@ func (p *Pipeline) Engine() *predict.Engine { return p.eng }
 func (p *Pipeline) FilterWorkers() int { return len(p.shards) }
 
 // Stats returns a point-in-time snapshot of the per-stage counters, in
-// graph order. Safe to call concurrently with a running driver.
+// graph order, with each supervised stage's health merged in. Safe to
+// call concurrently with a running driver.
 func (p *Pipeline) Stats() []predict.StageStats {
 	out := make([]predict.StageStats, numStages)
 	for i := range p.counters {
 		out[i] = p.counters[i].snapshot(stageNames[i])
+		if sup := p.sups[i]; sup != nil {
+			ss := sup.Stats()
+			out[i].Panics = ss.Panics
+			out[i].Restarts = ss.Restarts
+			out[i].Bypassed = ss.Bypassed
+			out[i].Health = ss.Health.String()
+		}
 	}
 	return out
+}
+
+// fillStats populates a result's stage snapshot plus the run-level
+// hardening aggregates from the pipeline counters.
+func (p *Pipeline) fillStats(st *predict.Stats) {
+	st.Stages = p.Stats()
+	st.QuarantinedRecords = int(p.counters[stageSource].quarantined.Load())
+	st.DedupedRecords = int(p.counters[stageSource].deduped.Load())
+	st.ShedRecords = int(p.counters[stageSample].shed.Load())
+	if st.DegradedTicks > 0 || p.degradedNow() {
+		st.Degraded = true
+	}
 }
 
 // stageCounter tracks one stage's throughput; all fields are atomics so
@@ -173,6 +240,8 @@ type stageCounter struct {
 	in, out, dropped atomic.Int64
 	maxQueue         atomic.Int64
 	wallNanos        atomic.Int64
+
+	quarantined, deduped, shed atomic.Int64
 }
 
 func (c *stageCounter) observeQueue(depth int) {
@@ -189,12 +258,15 @@ func (c *stageCounter) addWall(d time.Duration) { c.wallNanos.Add(int64(d)) }
 
 func (c *stageCounter) snapshot(name string) predict.StageStats {
 	return predict.StageStats{
-		Name:     name,
-		In:       c.in.Load(),
-		Out:      c.out.Load(),
-		Dropped:  c.dropped.Load(),
-		MaxQueue: int(c.maxQueue.Load()),
-		Wall:     time.Duration(c.wallNanos.Load()),
+		Name:        name,
+		In:          c.in.Load(),
+		Out:         c.out.Load(),
+		Dropped:     c.dropped.Load(),
+		MaxQueue:    int(c.maxQueue.Load()),
+		Wall:        time.Duration(c.wallNanos.Load()),
+		Quarantined: c.quarantined.Load(),
+		Deduped:     c.deduped.Load(),
+		Shed:        c.shed.Load(),
 	}
 }
 
@@ -208,6 +280,25 @@ func (p *Pipeline) stamp(rec *logs.Record) {
 	StampEventID(rec, p.org)
 	c.addWall(time.Since(t))
 	c.out.Add(1)
+}
+
+// stampSafe is the supervised template stage: a panicking organizer
+// counts against the stage's restart budget instead of killing the
+// driver, and once the breaker trips records flow through unstamped
+// (EventID -1, which tick aggregation ignores) until the cooldown
+// probe succeeds.
+func (p *Pipeline) stampSafe(rec *logs.Record) {
+	sup := p.sups[stageTemplate]
+	if sup == nil {
+		p.stamp(rec)
+		return
+	}
+	if !sup.Allow() {
+		return
+	}
+	defer sup.Recover()
+	p.stamp(rec)
+	sup.OK()
 }
 
 // detect runs the OutlierFilter stage body for one tick: every dense
@@ -233,6 +324,12 @@ func (p *Pipeline) detect(t *predict.Tick, tickStart time.Time) []predict.Hit {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				// A panic on a worker goroutine cannot be recovered by
+				// the caller; the barrier must sit here. The shard's
+				// hits are lost for this tick, the process survives.
+				if sup := p.sups[stageFilter]; sup != nil {
+					defer sup.Recover()
+				}
 				var hs []predict.Hit
 				for _, id := range p.shards[w] {
 					if h, ok := p.eng.ObserveDetector(id, t, tickStart); ok {
@@ -254,6 +351,26 @@ func (p *Pipeline) detect(t *predict.Tick, tickStart time.Time) []predict.Hit {
 	return hits
 }
 
+// detectSafe is the supervised filter stage: with the breaker tripped
+// the tick yields no hits (signal windows simply do not advance), which
+// downstream matching handles as a quiet tick.
+func (p *Pipeline) detectSafe(t *predict.Tick, tickStart time.Time) []predict.Hit {
+	sup := p.sups[stageFilter]
+	if sup == nil {
+		return p.detect(t, tickStart)
+	}
+	if !sup.Allow() {
+		return nil
+	}
+	var hits []predict.Hit
+	func() {
+		defer sup.Recover()
+		hits = p.detect(t, tickStart)
+		sup.OK()
+	}()
+	return hits
+}
+
 // match runs the ChainMatch + PredictionSink stage bodies for one closed
 // tick, appending into res and returning the predictions the tick fired.
 //
@@ -268,6 +385,13 @@ func (p *Pipeline) match(b tickBatch, hits []predict.Hit, res *predict.Result) [
 	cm.addWall(time.Since(start))
 	fired := res.Predictions[before:]
 	cm.out.Add(int64(len(fired)))
+	if p.degradedNow() {
+		res.Stats.DegradedTicks++
+		res.Stats.Degraded = true
+		for i := range fired {
+			fired[i].Degraded = true
+		}
+	}
 
 	cs := &p.counters[stageSink]
 	cs.in.Add(int64(len(fired)))
@@ -277,5 +401,25 @@ func (p *Pipeline) match(b tickBatch, hits []predict.Hit, res *predict.Result) [
 		}
 	}
 	cs.out.Add(int64(len(fired)))
+	return fired
+}
+
+// matchSafe is the supervised match/sink stage: with the breaker
+// tripped the tick is skipped entirely — no chain advancement, no
+// emission — until the cooldown probe succeeds.
+func (p *Pipeline) matchSafe(b tickBatch, hits []predict.Hit, res *predict.Result) []predict.Prediction {
+	sup := p.sups[stageMatch]
+	if sup == nil {
+		return p.match(b, hits, res)
+	}
+	if !sup.Allow() {
+		return nil
+	}
+	var fired []predict.Prediction
+	func() {
+		defer sup.Recover()
+		fired = p.match(b, hits, res)
+		sup.OK()
+	}()
 	return fired
 }

@@ -2,11 +2,13 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
 	"github.com/elsa-hpc/elsa/internal/logs"
 	"github.com/elsa-hpc/elsa/internal/predict"
+	"github.com/elsa-hpc/elsa/internal/resilience"
 )
 
 // filteredTick carries a closed tick plus its outlier hits from the
@@ -22,6 +24,14 @@ type filteredTick struct {
 // ticks in the window are processed (trailing empty ticks included, so a
 // replay is tick-for-tick identical to the live monitor), the context is
 // cancelled, or the source fails.
+//
+// With Config.Supervise set, the template, filter and match stage loops
+// run under a resilience.Supervisor: a stage-body panic restarts the
+// loop after a jittered exponential backoff, and a stage that exhausts
+// its failure budget degrades to a bypass loop (records flow unstamped,
+// ticks yield no hits, or matching is skipped) with half-open probes —
+// the run keeps going instead of crashing. Channel closes stay outside
+// the supervised loops so a restart can never double-close an edge.
 //
 // The returned result is complete on nil error and partial otherwise;
 // its Stats.Stages carry the per-stage counters either way. All stage
@@ -44,7 +54,8 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 
 	var wg sync.WaitGroup
 
-	// Source: pull records and feed the graph.
+	// Source: pull records, divert malformed and duplicate ones, feed
+	// the graph.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -56,6 +67,9 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 				return
 			}
 			c.in.Add(1)
+			if !p.ingest(&rec) {
+				continue
+			}
 			select {
 			case recCh <- rec:
 				c.out.Add(1)
@@ -71,6 +85,42 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 		defer wg.Done()
 		defer close(stampedCh)
 		c := &p.counters[stageTemplate]
+		forward := func(rec logs.Record) bool {
+			select {
+			case stampedCh <- rec:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		loop := func() error {
+			for {
+				select {
+				case rec, ok := <-recCh:
+					if !ok {
+						return nil
+					}
+					c.observeQueue(len(recCh) + 1)
+					p.stamp(&rec)
+					if !forward(rec) {
+						return nil
+					}
+				case <-ctx.Done():
+					return nil
+				}
+			}
+		}
+		sup := p.sups[stageTemplate]
+		if sup == nil {
+			loop()
+			return
+		}
+		if err := sup.Run(ctx, loop); !errors.Is(err, resilience.ErrTripped) {
+			return
+		}
+		// Degraded: keep records flowing through the per-record guard,
+		// which bypasses (unstamped pass-through) while the breaker is
+		// open and probes the organizer again after the cooldown.
 		for {
 			select {
 			case rec, ok := <-recCh:
@@ -78,10 +128,8 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 					return
 				}
 				c.observeQueue(len(recCh) + 1)
-				p.stamp(&rec)
-				select {
-				case stampedCh <- rec:
-				case <-ctx.Done():
+				p.stampSafe(&rec)
+				if !forward(rec) {
 					return
 				}
 			case <-ctx.Done():
@@ -90,7 +138,8 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 		}
 	}()
 
-	// Sample: fold records into ticks, closing them in order.
+	// Sample: fold records into ticks, closing them in order; shed new
+	// records while the open ticks hold more than Config.MaxBuffered.
 	smp := newSampler(start, step, p.cfg.GraceTicks, nTicks)
 	wg.Add(1)
 	go func() {
@@ -119,6 +168,13 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 					return
 				}
 				c.observeQueue(len(stampedCh) + 1)
+				if p.shouldShed(smp.buffered) {
+					c.shed.Add(1)
+					if !send(smp.bump(rec.Time)) {
+						return
+					}
+					continue
+				}
 				c.in.Add(1)
 				batches, accepted := smp.add(rec)
 				if !accepted {
@@ -139,6 +195,40 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 		defer wg.Done()
 		defer close(hitCh)
 		fc := &p.counters[stageFilter]
+		forward := func(b tickBatch, hits []predict.Hit) bool {
+			select {
+			case hitCh <- filteredTick{batch: b, hits: hits}:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		loop := func() error {
+			for {
+				select {
+				case b, ok := <-tickCh:
+					if !ok {
+						return nil
+					}
+					fc.observeQueue(len(tickCh) + 1)
+					if !forward(b, p.detect(b.sample, b.start)) {
+						return nil
+					}
+				case <-ctx.Done():
+					return nil
+				}
+			}
+		}
+		sup := p.sups[stageFilter]
+		if sup == nil {
+			loop()
+			return
+		}
+		if err := sup.Run(ctx, loop); !errors.Is(err, resilience.ErrTripped) {
+			return
+		}
+		// Degraded: ticks still flow so matching and expiry keep pace,
+		// but yield no hits while the breaker is open.
 		for {
 			select {
 			case b, ok := <-tickCh:
@@ -146,10 +236,7 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 					return
 				}
 				fc.observeQueue(len(tickCh) + 1)
-				hits := p.detect(b.sample, b.start)
-				select {
-				case hitCh <- filteredTick{batch: b, hits: hits}:
-				case <-ctx.Done():
+				if !forward(b, p.detectSafe(b.sample, b.start)) {
 					return
 				}
 			case <-ctx.Done():
@@ -163,6 +250,28 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 	go func() {
 		defer wg.Done()
 		c := &p.counters[stageMatch]
+		loop := func() error {
+			for {
+				select {
+				case ft, ok := <-hitCh:
+					if !ok {
+						return nil
+					}
+					c.observeQueue(len(hitCh) + 1)
+					p.match(ft.batch, ft.hits, res)
+				case <-ctx.Done():
+					return nil
+				}
+			}
+		}
+		sup := p.sups[stageMatch]
+		if sup == nil {
+			loop()
+			return
+		}
+		if err := sup.Run(ctx, loop); !errors.Is(err, resilience.ErrTripped) {
+			return
+		}
 		for {
 			select {
 			case ft, ok := <-hitCh:
@@ -170,7 +279,7 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 					return
 				}
 				c.observeQueue(len(hitCh) + 1)
-				p.match(ft.batch, ft.hits, res)
+				p.matchSafe(ft.batch, ft.hits, res)
 			case <-ctx.Done():
 				return
 			}
@@ -179,7 +288,7 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 
 	wg.Wait()
 	res.Stats.LateRecords += int(smp.late)
-	res.Stats.Stages = p.Stats()
+	p.fillStats(&res.Stats)
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}

@@ -90,6 +90,23 @@ func (s *sampler) add(rec logs.Record) (ready []tickBatch, ok bool) {
 	return ready, true
 }
 
+// bump advances the high-water mark without sampling a record, closing
+// any ticks whose grace window it passed. The overload-shedding path
+// uses it: a flood's records are dropped, but their timestamps still
+// drive tick progress so the buffer drains and shedding can stop.
+func (s *sampler) bump(ts time.Time) (ready []tickBatch) {
+	if ts.After(s.hw) {
+		s.hw = ts
+	}
+	for !s.hw.Before(s.tickStart(s.next + 1 + s.grace)) {
+		if s.limit >= 0 && s.next >= s.limit {
+			break
+		}
+		ready = append(ready, s.closeNext())
+	}
+	return ready
+}
+
 // advanceTo closes every tick that ends at or before now — the wall
 // clock is authoritative, so no grace applies. Call it periodically
 // during quiet spells so chain expiry keeps pace with real time.

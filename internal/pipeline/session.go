@@ -46,9 +46,18 @@ func (s *Session) Feed(rec logs.Record) []predict.Prediction {
 	}
 	src := &s.p.counters[stageSource]
 	src.in.Add(1)
+	if !s.p.ingest(&rec) {
+		return nil
+	}
 	src.out.Add(1)
-	s.p.stamp(&rec)
 	c := &s.p.counters[stageSample]
+	if s.p.shouldShed(s.smp.buffered) {
+		// Overload: drop the record before template work, but let its
+		// timestamp drive tick progress so the buffer drains.
+		c.shed.Add(1)
+		return s.runBatches(s.smp.bump(rec.Time))
+	}
+	s.p.stampSafe(&rec)
 	c.in.Add(1)
 	batches, accepted := s.smp.add(rec)
 	if !accepted {
@@ -77,7 +86,7 @@ func (s *Session) Close() *predict.Result {
 	if !s.closed {
 		s.runBatches(s.smp.flush())
 		s.closed = true
-		s.res.Stats.Stages = s.p.Stats()
+		s.p.fillStats(&s.res.Stats)
 	}
 	return s.res
 }
@@ -85,7 +94,7 @@ func (s *Session) Close() *predict.Result {
 // Result returns the accumulated result so far without closing, with a
 // current snapshot of the stage counters.
 func (s *Session) Result() *predict.Result {
-	s.res.Stats.Stages = s.p.Stats()
+	s.p.fillStats(&s.res.Stats)
 	return s.res
 }
 
@@ -94,8 +103,8 @@ func (s *Session) runBatches(batches []tickBatch) []predict.Prediction {
 	var out []predict.Prediction
 	for _, b := range batches {
 		s.p.counters[stageSample].out.Add(1)
-		hits := s.p.detect(b.sample, b.start)
-		out = append(out, s.p.match(b, hits, s.res)...)
+		hits := s.p.detectSafe(b.sample, b.start)
+		out = append(out, s.p.matchSafe(b, hits, s.res)...)
 	}
 	return out
 }

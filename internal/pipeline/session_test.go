@@ -2,11 +2,14 @@ package pipeline
 
 import (
 	"context"
+	"errors"
+	"runtime"
 	"testing"
 	"time"
 
 	"github.com/elsa-hpc/elsa/internal/correlate"
 	"github.com/elsa-hpc/elsa/internal/gradual"
+	"github.com/elsa-hpc/elsa/internal/helo"
 	"github.com/elsa-hpc/elsa/internal/logs"
 	"github.com/elsa-hpc/elsa/internal/predict"
 	"github.com/elsa-hpc/elsa/internal/sig"
@@ -163,6 +166,90 @@ func TestSessionDropsRecordsBeyondGrace(t *testing.T) {
 	}
 	if len(res.Predictions) != 0 {
 		t.Errorf("predictions = %d, want 0", len(res.Predictions))
+	}
+}
+
+// cancellingLearner wraps a real organizer and cancels the run's context
+// from inside the template stage after a fixed number of Learn calls —
+// the cancellation lands deterministically between stamp and match.
+type cancellingLearner struct {
+	inner  *helo.Organizer
+	after  int
+	calls  int
+	cancel context.CancelFunc
+}
+
+func (c *cancellingLearner) Learn(msg string, sev logs.Severity) *helo.Template {
+	c.calls++
+	if c.calls == c.after {
+		c.cancel()
+	}
+	return c.inner.Learn(msg, sev)
+}
+
+// TestRunCancelledMidTickEmitsNoPartialPredictions cancels the pipeline
+// between the template and match stages, mid-stream: the run must stop
+// without leaking goroutines, and everything emitted up to that point
+// must be an exact prefix of the uninterrupted run — a tick either
+// completes the full filter→match→sink path or contributes nothing.
+func TestRunCancelledMidTickEmitsNoPartialPredictions(t *testing.T) {
+	model, profiles, test, cut, end := trained(t, 501)
+
+	// Strip the event ids so the template stage must consult the
+	// organizer for every record (that is where the cancel fires).
+	unstamped := make([]logs.Record, len(test))
+	for i, r := range test {
+		r.EventID = -1
+		unstamped[i] = r
+	}
+
+	refCfg := DefaultConfig()
+	var want []predict.Prediction
+	refCfg.OnPrediction = func(p predict.Prediction) { want = append(want, p) }
+	if _, err := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), helo.New(0), refCfg).
+		Run(context.Background(), logs.NewSliceSource(unstamped), cut, end); err != nil {
+		t.Fatalf("reference Run: %v", err)
+	}
+	if len(want) == 0 {
+		t.Fatal("reference run emitted no predictions; the test needs some")
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	learner := &cancellingLearner{inner: helo.New(0), after: len(unstamped) / 2, cancel: cancel}
+
+	cfg := DefaultConfig()
+	var got []predict.Prediction
+	cfg.OnPrediction = func(p predict.Prediction) { got = append(got, p) }
+	res, err := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), learner, cfg).
+		Run(ctx, logs.NewSliceSource(unstamped), cut, end)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled Run returned nil partial result")
+	}
+	if len(got) >= len(want) {
+		t.Fatalf("cancelled run emitted %d predictions, reference %d — cancellation came too late to test anything", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("prediction %d differs from the reference prefix:\ncancelled %+v\nreference %+v", i, got[i], want[i])
+		}
+	}
+
+	// Every stage goroutine must be joined; allow the runtime a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,114 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/outlier"
+	"github.com/elsa-hpc/elsa/internal/predict"
+)
+
+// TestResumedSessionMatchesUninterrupted is the crash-resume contract:
+// kill a session mid-stream (mid-tick, not at a tick boundary), carry
+// its snapshot through a JSON round trip, resume on a fresh pipeline
+// over the same model, and the combined prediction stream must be
+// exactly the uninterrupted run's — nothing double-emitted, nothing
+// missing, every field identical.
+func TestResumedSessionMatchesUninterrupted(t *testing.T) {
+	model, profiles, test, cut, end := trained(t, 501)
+
+	ref := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(cut)
+	var want []predict.Prediction
+	for _, r := range test {
+		want = append(want, ref.Feed(r)...)
+	}
+	want = append(want, ref.AdvanceTo(end)...)
+	refRes := ref.Close()
+
+	// First incarnation: half the stream, then a snapshot (the split
+	// lands mid-tick for any realistic record density).
+	half := len(test) / 2
+	s1 := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(cut)
+	var got []predict.Prediction
+	for _, r := range test[:half] {
+		got = append(got, s1.Feed(r)...)
+	}
+	st, err := s1.State()
+	if err != nil {
+		t.Fatalf("State: %v", err)
+	}
+
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	var loaded SessionState
+	if err := json.Unmarshal(blob, &loaded); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+
+	// Second incarnation: fresh engine over the same model, resumed from
+	// the decoded snapshot, fed the rest of the stream.
+	p2 := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig())
+	s2, err := p2.ResumeSession(&loaded)
+	if err != nil {
+		t.Fatalf("ResumeSession: %v", err)
+	}
+	preFeed := len(s2.res.Predictions)
+	if preFeed != len(got) {
+		t.Fatalf("resumed session carries %d predictions, first incarnation emitted %d", preFeed, len(got))
+	}
+	for _, r := range test[half:] {
+		got = append(got, s2.Feed(r)...)
+	}
+	got = append(got, s2.AdvanceTo(end)...)
+	res := s2.Close()
+
+	samePredictions(t, got, want, "resumed", "uninterrupted")
+	samePredictions(t, res.Predictions, refRes.Predictions, "resumed result", "uninterrupted result")
+	if res.Stats.Messages != refRes.Stats.Messages {
+		t.Errorf("Messages = %d, want %d", res.Stats.Messages, refRes.Stats.Messages)
+	}
+	if res.Stats.Ticks != refRes.Stats.Ticks {
+		t.Errorf("Ticks = %d, want %d", res.Stats.Ticks, refRes.Stats.Ticks)
+	}
+}
+
+func TestSnapshotOfClosedSessionFails(t *testing.T) {
+	s := New(predict.NewEngine(pairModel(), nil, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(t0)
+	s.Close()
+	if _, err := s.State(); err == nil {
+		t.Fatal("State on a closed session did not fail")
+	}
+}
+
+func TestResumeRejectsMismatchedSnapshot(t *testing.T) {
+	p := New(predict.NewEngine(pairModel(), nil, predict.DefaultConfig()), nil, DefaultConfig())
+
+	if _, err := p.ResumeSession(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+
+	s := p.NewSession(t0)
+	st, err := s.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrongStep := *st
+	wrongStep.Step = time.Hour
+	if _, err := New(predict.NewEngine(pairModel(), nil, predict.DefaultConfig()), nil, DefaultConfig()).
+		ResumeSession(&wrongStep); err == nil {
+		t.Error("snapshot with mismatched step accepted")
+	}
+
+	wrongModel := *st
+	eng := *st.Engine
+	eng.Detectors = map[int]outlier.DetectorState{123456: {Raw: []float64{1}}}
+	wrongModel.Engine = &eng
+	if _, err := New(predict.NewEngine(pairModel(), nil, predict.DefaultConfig()), nil, DefaultConfig()).
+		ResumeSession(&wrongModel); err == nil {
+		t.Error("snapshot referencing an unknown detector accepted")
+	}
+}

@@ -45,6 +45,12 @@ type Prediction struct {
 	Scope   topology.Scope    // predicted affected scope around Trigger
 
 	Severity logs.Severity // severity of the predicted event type
+
+	// Degraded marks a prediction emitted while the pipeline was shedding
+	// load or running a stage in bypass mode: the tick that fired it may
+	// have seen an incomplete record stream, so the forecast carries less
+	// confidence than a clean-mode one.
+	Degraded bool
 }
 
 // Late reports whether the prediction became visible only after the
@@ -110,6 +116,14 @@ type Stats struct {
 	LatePreds    int
 	LateRecords  int // stream stragglers older than their tick, dropped
 
+	// Input-hardening and resilience accounting (internal/pipeline runs;
+	// zero for direct Engine.Run calls).
+	QuarantinedRecords int // malformed records diverted, never fatal
+	DedupedRecords     int // exact-duplicate burst records suppressed
+	ShedRecords        int // records dropped by overload shedding
+	DegradedTicks      int // ticks processed while shedding or bypassing
+	Degraded           bool
+
 	// Stages holds per-stage pipeline counters when the run was driven
 	// through internal/pipeline (nil for direct Engine.Run calls).
 	Stages []StageStats
@@ -117,7 +131,8 @@ type Stats struct {
 
 // StageStats is one pipeline stage's counter snapshot: records (or tick
 // batches) in and out, drops, the deepest queue observed on the stage's
-// input edge, and wall time spent inside the stage body.
+// input edge, wall time spent inside the stage body, plus the stage's
+// hardening counters and supervision health.
 type StageStats struct {
 	Name     string
 	In       int64
@@ -125,6 +140,20 @@ type StageStats struct {
 	Dropped  int64
 	MaxQueue int
 	Wall     time.Duration
+
+	// Hardening counters: quarantined/deduplicated records (ingest) and
+	// shed records (overload).
+	Quarantined int64
+	Deduped     int64
+	Shed        int64
+
+	// Supervision health: recovered stage-body panics, supervised loop
+	// restarts, invocations bypassed with the breaker open, and the
+	// breaker state ("" when the stage runs unsupervised).
+	Panics   int64
+	Restarts int64
+	Bypassed int64
+	Health   string
 }
 
 // Result is the outcome of an online run.

@@ -1,0 +1,361 @@
+// Package resilience supervises the online pipeline's stage bodies so a
+// fault inside one stage degrades the monitor instead of killing it. It
+// provides the three classic supervision mechanisms, composed per stage:
+//
+//   - a panic barrier (Do / Recover) that converts a stage-body panic
+//     into an accounted failure while the stream keeps flowing;
+//   - a restart loop (Run) for goroutine-hosted stages, re-entering the
+//     stage loop after a jittered, capped exponential backoff that is
+//     context-aware (a cancelled run never sleeps out its backoff);
+//   - a circuit breaker that trips the stage into degraded/bypass mode
+//     after MaxFailures panics inside Window, half-opening again after
+//     Cooldown so a healed stage can close the breaker with one clean
+//     invocation.
+//
+// The supervisor is deliberately clock- and rand-injectable: chaos tests
+// drive it with a virtual clock and a fixed seed, so every breaker trip
+// and backoff schedule in the suite is reproducible.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Health is a stage's supervision state.
+type Health int32
+
+const (
+	// Healthy: the breaker is closed and the stage body runs normally.
+	Healthy Health = iota
+	// Restarting: the stage loop panicked and is sleeping out a backoff.
+	Restarting
+	// Degraded: the breaker is open; stage bodies are bypassed until a
+	// half-open probe succeeds.
+	Degraded
+)
+
+// String renders the health state for stage-counter output.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "ok"
+	case Restarting:
+		return "restarting"
+	case Degraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("health(%d)", int32(h))
+	}
+}
+
+// ErrTripped is returned (wrapped) by Run when the circuit breaker opens:
+// the stage exhausted its failure budget and must not be restarted again.
+var ErrTripped = errors.New("circuit breaker tripped")
+
+// Policy tunes one stage's supervision.
+type Policy struct {
+	// MaxFailures is how many panics within Window trip the breaker.
+	// <= 0 selects DefaultMaxFailures.
+	MaxFailures int
+	// Window is the sliding window the failure budget covers. <= 0
+	// selects DefaultWindow.
+	Window time.Duration
+	// Cooldown is how long an open breaker waits before half-opening to
+	// probe the stage with one real invocation. <= 0 selects
+	// DefaultCooldown.
+	Cooldown time.Duration
+	// BaseBackoff/MaxBackoff bound the exponential restart backoff of
+	// Run: attempt n sleeps min(BaseBackoff<<n, MaxBackoff), jittered.
+	// <= 0 selects the defaults.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter is the fraction of the backoff randomised away (0..1): the
+	// sleep is d * (1 - Jitter/2 + Jitter*u) for uniform u. Negative
+	// values select DefaultJitter; 0 keeps the default too (use a tiny
+	// positive value for truly jitterless backoff — lockstep restarts
+	// are almost never what a fleet wants).
+	Jitter float64
+	// Seed seeds the supervisor's private jitter source; the same seed
+	// reproduces the same backoff schedule.
+	Seed int64
+	// Clock injects the time source consulted by the failure window and
+	// cooldown logic. nil selects the wall clock.
+	Clock func() time.Time
+}
+
+// Supervision defaults.
+const (
+	DefaultMaxFailures = 5
+	DefaultWindow      = time.Minute
+	DefaultCooldown    = 30 * time.Second
+	DefaultBaseBackoff = 5 * time.Millisecond
+	DefaultMaxBackoff  = 2 * time.Second
+	DefaultJitter      = 0.5
+)
+
+// DefaultPolicy returns the supervision parameters the pipeline uses.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxFailures: DefaultMaxFailures,
+		Window:      DefaultWindow,
+		Cooldown:    DefaultCooldown,
+		BaseBackoff: DefaultBaseBackoff,
+		MaxBackoff:  DefaultMaxBackoff,
+		Jitter:      DefaultJitter,
+	}
+}
+
+// normalised fills policy defaults in place.
+func (p Policy) normalised() Policy {
+	if p.MaxFailures <= 0 {
+		p.MaxFailures = DefaultMaxFailures
+	}
+	if p.Window <= 0 {
+		p.Window = DefaultWindow
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = DefaultCooldown
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = DefaultBaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultMaxBackoff
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = DefaultJitter
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	if p.Clock == nil {
+		p.Clock = time.Now
+	}
+	return p
+}
+
+// Stats is a point-in-time snapshot of a supervisor's health counters.
+type Stats struct {
+	Panics    int64  // stage-body panics recovered
+	Restarts  int64  // stage-loop restarts performed by Run
+	Bypassed  int64  // invocations skipped while the breaker was open
+	Health    Health // current breaker/loop state
+	LastPanic string // rendered value of the most recent panic ("" if none)
+}
+
+// Supervisor guards one pipeline stage. All methods are safe for
+// concurrent use, though each stage body is expected to be invoked from
+// one goroutine at a time (the pipeline's stage-per-goroutine layout).
+type Supervisor struct {
+	name string
+	pol  Policy
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	failures  []time.Time // panic times inside the current window
+	trippedAt time.Time
+	probing   bool // a half-open probe invocation is in flight
+
+	health    atomic.Int32
+	panics    atomic.Int64
+	restarts  atomic.Int64
+	bypassed  atomic.Int64
+	lastPanic atomic.Value // string
+}
+
+// New returns a supervisor for the named stage.
+func New(name string, pol Policy) *Supervisor {
+	pol = pol.normalised()
+	return &Supervisor{
+		name: name,
+		pol:  pol,
+		rng:  rand.New(rand.NewSource(pol.Seed)),
+	}
+}
+
+// Name returns the supervised stage's name.
+func (s *Supervisor) Name() string { return s.name }
+
+// Health returns the current supervision state.
+func (s *Supervisor) Health() Health { return Health(s.health.Load()) }
+
+// Degraded reports whether the breaker is open (stage bodies bypassed).
+func (s *Supervisor) Degraded() bool { return s.Health() == Degraded }
+
+// Stats snapshots the supervisor's counters.
+func (s *Supervisor) Stats() Stats {
+	st := Stats{
+		Panics:   s.panics.Load(),
+		Restarts: s.restarts.Load(),
+		Bypassed: s.bypassed.Load(),
+		Health:   s.Health(),
+	}
+	if v, ok := s.lastPanic.Load().(string); ok {
+		st.LastPanic = v
+	}
+	return st
+}
+
+// Allow reports whether the stage body should run now. With the breaker
+// closed it always allows; with it open it denies until Cooldown has
+// elapsed, then admits exactly one half-open probe at a time. Callers
+// that are denied must apply the stage's bypass semantics (and should
+// count the bypass via the return path they own).
+func (s *Supervisor) Allow() bool {
+	if Health(s.health.Load()) != Degraded {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if Health(s.health.Load()) != Degraded {
+		return true
+	}
+	if s.probing || s.pol.Clock().Sub(s.trippedAt) < s.pol.Cooldown {
+		s.bypassed.Add(1)
+		return false
+	}
+	s.probing = true
+	return true
+}
+
+// Do invokes fn behind the panic barrier. It returns false when fn
+// panicked; the panic has been recorded (and may have tripped the
+// breaker) and must not propagate further.
+func (s *Supervisor) Do(fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recordPanic(r)
+			ok = false
+		}
+	}()
+	fn()
+	s.OK()
+	return true
+}
+
+// Recover is the deferred form of the panic barrier for callers that
+// cannot afford a closure: `defer sup.Recover()` at the top of the
+// guarded call, `sup.OK()` as its last statement.
+func (s *Supervisor) Recover() {
+	if r := recover(); r != nil {
+		s.recordPanic(r)
+	}
+}
+
+// OK records a successful invocation. Its only observable effect is
+// closing the breaker after a successful half-open probe; on the healthy
+// fast path it is one atomic load.
+func (s *Supervisor) OK() {
+	if Health(s.health.Load()) != Degraded {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.probing {
+		s.probing = false
+		s.failures = s.failures[:0]
+		s.health.Store(int32(Healthy))
+	}
+}
+
+// recordPanic accounts one panic and trips the breaker when the failure
+// budget for the window is exhausted (or a half-open probe failed).
+func (s *Supervisor) recordPanic(r interface{}) {
+	s.panics.Add(1)
+	s.lastPanic.Store(fmt.Sprint(r))
+	now := s.pol.Clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.probing {
+		// The half-open probe failed: re-open for another cooldown.
+		s.probing = false
+		s.trippedAt = now
+		s.health.Store(int32(Degraded))
+		return
+	}
+	keep := s.failures[:0]
+	for _, t := range s.failures {
+		if now.Sub(t) <= s.pol.Window {
+			keep = append(keep, t)
+		}
+	}
+	s.failures = append(keep, now)
+	if len(s.failures) >= s.pol.MaxFailures {
+		s.trippedAt = now
+		s.failures = s.failures[:0]
+		s.health.Store(int32(Degraded))
+	}
+}
+
+// Run executes loop under full supervision: a panic inside loop restarts
+// it after a jittered exponential backoff, successive panics widen the
+// backoff, and exhausting the failure budget trips the breaker and ends
+// the loop with an error wrapping ErrTripped. Run returns loop's own
+// return value when it completes without panicking, and ctx.Err() when
+// the context ends first (including during a backoff sleep).
+func (s *Supervisor) Run(ctx context.Context, loop func() error) error {
+	for attempt := 0; ; attempt++ {
+		err, panicked := s.guard(loop)
+		if !panicked {
+			return err
+		}
+		if s.Degraded() {
+			return fmt.Errorf("resilience: stage %s: %w", s.name, ErrTripped)
+		}
+		s.restarts.Add(1)
+		if !s.sleep(ctx, s.backoff(attempt)) {
+			return ctx.Err()
+		}
+	}
+}
+
+// guard runs loop once behind the panic barrier.
+func (s *Supervisor) guard(loop func() error) (err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recordPanic(r)
+			panicked = true
+		}
+	}()
+	return loop(), false
+}
+
+// backoff computes the jittered, capped exponential delay for a restart
+// attempt.
+func (s *Supervisor) backoff(attempt int) time.Duration {
+	d := s.pol.BaseBackoff
+	for i := 0; i < attempt && d < s.pol.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > s.pol.MaxBackoff {
+		d = s.pol.MaxBackoff
+	}
+	s.mu.Lock()
+	u := s.rng.Float64()
+	s.mu.Unlock()
+	scale := 1 - s.pol.Jitter/2 + s.pol.Jitter*u
+	return time.Duration(float64(d) * scale)
+}
+
+// sleep waits d out under supervision state Restarting, returning false
+// when ctx ended first.
+func (s *Supervisor) sleep(ctx context.Context, d time.Duration) bool {
+	if Health(s.health.Load()) == Healthy {
+		s.health.Store(int32(Restarting))
+		defer s.health.CompareAndSwap(int32(Restarting), int32(Healthy))
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

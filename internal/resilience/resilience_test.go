@@ -1,0 +1,236 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// virtualClock is a hand-advanced time source for deterministic breaker
+// tests.
+type virtualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *virtualClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *virtualClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testPolicy(clk *virtualClock) Policy {
+	return Policy{
+		MaxFailures: 3,
+		Window:      time.Minute,
+		Cooldown:    30 * time.Second,
+		BaseBackoff: time.Microsecond,
+		MaxBackoff:  10 * time.Microsecond,
+		Seed:        1,
+		Clock:       clk.now,
+	}
+}
+
+func TestDoRecoversPanics(t *testing.T) {
+	clk := &virtualClock{t: time.Unix(0, 0)}
+	s := New("stage", testPolicy(clk))
+	if ok := s.Do(func() { panic("boom") }); ok {
+		t.Fatal("Do reported a panicking body as ok")
+	}
+	if ok := s.Do(func() {}); !ok {
+		t.Fatal("Do reported a clean body as failed")
+	}
+	st := s.Stats()
+	if st.Panics != 1 {
+		t.Errorf("Panics = %d, want 1", st.Panics)
+	}
+	if st.LastPanic != "boom" {
+		t.Errorf("LastPanic = %q, want %q", st.LastPanic, "boom")
+	}
+	if st.Health != Healthy {
+		t.Errorf("Health = %v, want Healthy", st.Health)
+	}
+}
+
+func TestBreakerTripsAfterBudgetExhausted(t *testing.T) {
+	clk := &virtualClock{t: time.Unix(0, 0)}
+	s := New("stage", testPolicy(clk))
+	for i := 0; i < 3; i++ {
+		if !s.Allow() {
+			t.Fatalf("Allow denied before trip (failure %d)", i)
+		}
+		s.Do(func() { panic(i) })
+		clk.advance(time.Second)
+	}
+	if !s.Degraded() {
+		t.Fatal("breaker did not trip after MaxFailures panics in window")
+	}
+	if s.Allow() {
+		t.Fatal("open breaker allowed an invocation before cooldown")
+	}
+	if got := s.Stats().Bypassed; got != 1 {
+		t.Errorf("Bypassed = %d, want 1", got)
+	}
+}
+
+func TestBreakerStaysClosedWhenFailuresSpreadPastWindow(t *testing.T) {
+	clk := &virtualClock{t: time.Unix(0, 0)}
+	s := New("stage", testPolicy(clk))
+	for i := 0; i < 6; i++ {
+		s.Do(func() { panic(i) })
+		clk.advance(40 * time.Second) // only ~1.5 failures per window
+	}
+	if s.Degraded() {
+		t.Fatal("breaker tripped although failures never clustered in one window")
+	}
+}
+
+func TestHalfOpenProbeClosesBreakerOnSuccess(t *testing.T) {
+	clk := &virtualClock{t: time.Unix(0, 0)}
+	s := New("stage", testPolicy(clk))
+	for i := 0; i < 3; i++ {
+		s.Do(func() { panic(i) })
+	}
+	if !s.Degraded() {
+		t.Fatal("breaker did not trip")
+	}
+	clk.advance(31 * time.Second) // past cooldown: next Allow is a probe
+	if !s.Allow() {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	s.Do(func() {})
+	if s.Degraded() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if !s.Allow() {
+		t.Fatal("closed breaker denied an invocation")
+	}
+}
+
+func TestHalfOpenProbeReopensOnFailure(t *testing.T) {
+	clk := &virtualClock{t: time.Unix(0, 0)}
+	s := New("stage", testPolicy(clk))
+	for i := 0; i < 3; i++ {
+		s.Do(func() { panic(i) })
+	}
+	clk.advance(31 * time.Second)
+	if !s.Allow() {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	s.Do(func() { panic("still broken") })
+	if !s.Degraded() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	// A fresh cooldown applies from the failed probe.
+	clk.advance(time.Second)
+	if s.Allow() {
+		t.Fatal("re-opened breaker allowed before the new cooldown elapsed")
+	}
+	clk.advance(30 * time.Second)
+	if !s.Allow() {
+		t.Fatal("re-opened breaker denied after the new cooldown")
+	}
+}
+
+func TestRunRestartsWithBackoffThenTrips(t *testing.T) {
+	clk := &virtualClock{t: time.Unix(0, 0)}
+	s := New("stage", testPolicy(clk))
+	calls := 0
+	err := s.Run(context.Background(), func() error {
+		calls++
+		panic("loop bug")
+	})
+	if !errors.Is(err, ErrTripped) {
+		t.Fatalf("err = %v, want ErrTripped", err)
+	}
+	// MaxFailures=3: three invocations, breaker trips on the third.
+	if calls != 3 {
+		t.Errorf("loop ran %d times, want 3", calls)
+	}
+	st := s.Stats()
+	if st.Restarts != 2 {
+		t.Errorf("Restarts = %d, want 2", st.Restarts)
+	}
+	if st.Health != Degraded {
+		t.Errorf("Health = %v, want Degraded", st.Health)
+	}
+}
+
+func TestRunReturnsLoopResult(t *testing.T) {
+	clk := &virtualClock{t: time.Unix(0, 0)}
+	s := New("stage", testPolicy(clk))
+	want := errors.New("clean exit")
+	if err := s.Run(context.Background(), func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+	if err := s.Run(context.Background(), func() error { return nil }); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}
+
+func TestRunHonoursContextDuringBackoff(t *testing.T) {
+	clk := &virtualClock{t: time.Unix(0, 0)}
+	pol := testPolicy(clk)
+	pol.BaseBackoff = time.Hour // only cancellation can end the sleep
+	pol.MaxBackoff = time.Hour
+	s := New("stage", pol)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Run(ctx, func() error { panic("always") })
+	}()
+	time.Sleep(10 * time.Millisecond) // let the first panic land in backoff
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation during backoff")
+	}
+}
+
+func TestBackoffIsJitteredCappedAndDeterministic(t *testing.T) {
+	clk := &virtualClock{t: time.Unix(0, 0)}
+	pol := testPolicy(clk)
+	pol.BaseBackoff = time.Millisecond
+	pol.MaxBackoff = 8 * time.Millisecond
+	pol.Seed = 42
+	a := New("a", pol)
+	b := New("b", pol)
+	for attempt := 0; attempt < 8; attempt++ {
+		da := a.backoff(attempt)
+		db := b.backoff(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: same seed produced %v vs %v", attempt, da, db)
+		}
+		// Jitter 0.5 bounds the sleep in [0.75, 1.25] * capped exponential.
+		if max := time.Duration(float64(pol.MaxBackoff) * 1.25); da > max {
+			t.Fatalf("attempt %d: backoff %v exceeds jittered cap %v", attempt, da, max)
+		}
+		if da <= 0 {
+			t.Fatalf("attempt %d: non-positive backoff %v", attempt, da)
+		}
+	}
+}
+
+func TestRecoverDeferredForm(t *testing.T) {
+	clk := &virtualClock{t: time.Unix(0, 0)}
+	s := New("stage", testPolicy(clk))
+	func() {
+		defer s.Recover()
+		panic("deferred barrier")
+	}()
+	if got := s.Stats().Panics; got != 1 {
+		t.Errorf("Panics = %d, want 1", got)
+	}
+}

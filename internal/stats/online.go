@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"encoding/json"
+	"math"
+)
 
 // Online accumulates count, mean and variance of a stream using Welford's
 // algorithm. The zero value is ready to use. It is the building block for
@@ -75,4 +78,30 @@ func (o *Online) Merge(other Online) {
 		o.max = other.max
 	}
 	o.n = n
+}
+
+// onlineJSON is the serialised form of Online; the accumulator's fields
+// stay unexported so the zero-value-ready contract survives, but a
+// monitor snapshot must round-trip the analysis-time accumulator.
+type onlineJSON struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON encodes the accumulator's full state.
+func (o Online) MarshalJSON() ([]byte, error) {
+	return json.Marshal(onlineJSON{N: o.n, Mean: o.mean, M2: o.m2, Min: o.min, Max: o.max})
+}
+
+// UnmarshalJSON restores an accumulator serialised by MarshalJSON.
+func (o *Online) UnmarshalJSON(data []byte) error {
+	var s onlineJSON
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	*o = Online{n: s.N, mean: s.Mean, m2: s.M2, min: s.Min, max: s.Max}
+	return nil
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -81,5 +82,29 @@ func TestOnlineMergeEmpty(t *testing.T) {
 	b.Merge(a) // merging into empty copies
 	if b.N() != 2 || b.Mean() != 2 {
 		t.Error("merge into empty did not copy")
+	}
+}
+
+func TestOnlineJSONRoundTrip(t *testing.T) {
+	var o Online
+	for _, x := range []float64{3, 1, 4, 1.5, 9, 2.6} {
+		o.Add(x)
+	}
+	data, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Online
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != o {
+		t.Fatalf("round trip changed state: %+v vs %+v", back, o)
+	}
+	// The restored accumulator must keep accumulating identically.
+	o.Add(7)
+	back.Add(7)
+	if back != o {
+		t.Fatalf("post-restore accumulation diverged: %+v vs %+v", back, o)
 	}
 }

@@ -117,3 +117,44 @@ func (q *StreamingQuantile) Value() float64 {
 	}
 	return q.heights[2]
 }
+
+// QuantileState is the serialisable form of a StreamingQuantile: the
+// five P-square markers plus the warm-up buffer. A monitor snapshot
+// persists one per adaptive-window tracker so a restarted process keeps
+// the windows it had already tightened.
+type QuantileState struct {
+	P       float64    `json:"p"`
+	N       int64      `json:"n"`
+	Heights [5]float64 `json:"heights"`
+	Pos     [5]float64 `json:"pos"`
+	Want    [5]float64 `json:"want"`
+	Warm    []float64  `json:"warm,omitempty"`
+}
+
+// State snapshots the estimator.
+func (q *StreamingQuantile) State() QuantileState {
+	return QuantileState{
+		P:       q.p,
+		N:       q.n,
+		Heights: q.heights,
+		Pos:     q.pos,
+		Want:    q.want,
+		Warm:    append([]float64(nil), q.warm...),
+	}
+}
+
+// RestoreStreamingQuantile rebuilds an estimator from a snapshot taken
+// by State. The increment vector is derived from P, everything else is
+// copied verbatim, so the restored estimator continues the stream
+// bit-identically.
+func RestoreStreamingQuantile(st QuantileState) *StreamingQuantile {
+	q := NewStreamingQuantile(st.P)
+	q.n = st.N
+	q.heights = st.Heights
+	q.pos = st.Pos
+	if st.N >= 5 {
+		q.want = st.Want
+	}
+	q.warm = append([]float64(nil), st.Warm...)
+	return q
+}

@@ -98,3 +98,26 @@ func TestStreamingQuantileMonotoneHeights(t *testing.T) {
 		}
 	}
 }
+
+func TestStreamingQuantileStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, warm := range []int{0, 3, 5, 50, 500} {
+		a := NewStreamingQuantile(0.9)
+		for i := 0; i < warm; i++ {
+			a.Add(rng.ExpFloat64() * 10)
+		}
+		b := RestoreStreamingQuantile(a.State())
+		if a.Value() != b.Value() || a.N() != b.N() {
+			t.Fatalf("warm %d: restored estimator differs immediately (%v/%d vs %v/%d)",
+				warm, a.Value(), a.N(), b.Value(), b.N())
+		}
+		for i := 0; i < 200; i++ {
+			x := rng.ExpFloat64() * 10
+			a.Add(x)
+			b.Add(x)
+			if a.Value() != b.Value() {
+				t.Fatalf("warm %d, obs %d: values diverge: %v vs %v", warm, i, a.Value(), b.Value())
+			}
+		}
+	}
+}

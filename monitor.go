@@ -23,6 +23,7 @@ import (
 type Monitor struct {
 	model   *Model
 	session *pipeline.Session
+	result  *PredictResult
 }
 
 // NewMonitor arms the model for incremental prediction, with the first
@@ -51,8 +52,16 @@ func (mo *Monitor) AdvanceTo(now time.Time) []Prediction {
 }
 
 // Close flushes the open ticks and returns the accumulated run result,
-// including the per-stage pipeline counters in Stats.Stages.
-func (mo *Monitor) Close() *PredictResult { return mo.session.Close() }
+// including the per-stage pipeline counters in Stats.Stages. Close is
+// idempotent: a second call performs no work and returns the same
+// cached result — a daemon's signal handler and its deferred shutdown
+// path can both call it safely.
+func (mo *Monitor) Close() *PredictResult {
+	if mo.result == nil {
+		mo.result = mo.session.Close()
+	}
+	return mo.result
+}
 
 // Result returns the accumulated result so far without closing.
 func (mo *Monitor) Result() *PredictResult { return mo.session.Result() }

@@ -1,6 +1,7 @@
 package elsa
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -28,6 +29,38 @@ type heloEnvelope struct {
 // modelFormatVersion increments on breaking changes to the envelope.
 const modelFormatVersion = 1
 
+// ErrVersionMismatch reports a persisted artefact written under a
+// different format version than this build reads, naming both. Check for
+// it with errors.As — it is the signal to retrain (models) or discard
+// the snapshot and start a fresh monitor (monitor snapshots) rather than
+// to treat the file as corrupt.
+type ErrVersionMismatch struct {
+	Kind string // "model" or "monitor snapshot"
+	Got  int
+	Want int
+}
+
+func (e *ErrVersionMismatch) Error() string {
+	return fmt.Sprintf("elsa: %s format version %d, want %d", e.Kind, e.Got, e.Want)
+}
+
+// checkVersion probes only the version field, loosely, before the strict
+// decode: a file written by a future format must report the version
+// mismatch, not whichever unknown field the strict decoder trips on
+// first.
+func checkVersion(kind string, data []byte, want int) error {
+	var probe struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("elsa: load %s: %w", kind, err)
+	}
+	if probe.Version != want {
+		return &ErrVersionMismatch{Kind: kind, Got: probe.Version, Want: want}
+	}
+	return nil
+}
+
 // Save serialises the model as versioned JSON.
 func (m *Model) Save(w io.Writer) error {
 	env := modelEnvelope{
@@ -47,14 +80,23 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadModel deserialises a model written by Save.
+// LoadModel deserialises a model written by Save. Decoding is strict:
+// unknown fields are rejected (a mangled or hand-edited file fails
+// loudly instead of silently dropping state), and a file from another
+// format version fails with ErrVersionMismatch.
 func LoadModel(r io.Reader) (*Model, error) {
-	var env modelEnvelope
-	if err := json.NewDecoder(r).Decode(&env); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("elsa: load model: %w", err)
 	}
-	if env.Version != modelFormatVersion {
-		return nil, fmt.Errorf("elsa: model format version %d, want %d", env.Version, modelFormatVersion)
+	if err := checkVersion("model", data, modelFormatVersion); err != nil {
+		return nil, err
+	}
+	var env modelEnvelope
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("elsa: load model: %w", err)
 	}
 	if env.Model == nil {
 		return nil, fmt.Errorf("elsa: model envelope missing model")
@@ -62,9 +104,30 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if env.Model.Profiles == nil || env.Model.Thresholds == nil || env.Model.Severity == nil {
 		return nil, fmt.Errorf("elsa: model envelope incomplete")
 	}
+	org, err := restoreOrganizer(env.HELO)
+	if err != nil {
+		return nil, fmt.Errorf("elsa: load model: %w", err)
+	}
 	return &Model{
 		inner:     env.Model,
 		profiles:  env.Locations,
-		organizer: helo.Restore(env.HELO.Threshold, env.HELO.Templates),
+		organizer: org,
 	}, nil
+}
+
+// restoreOrganizer validates a persisted template set before handing it
+// to helo.Restore (which panics on malformed input — fine for internal
+// callers, wrong for a file read off disk).
+func restoreOrganizer(env heloEnvelope) (*helo.Organizer, error) {
+	seen := make([]bool, len(env.Templates))
+	for i, t := range env.Templates {
+		if t == nil {
+			return nil, fmt.Errorf("template %d is null", i)
+		}
+		if t.ID < 0 || t.ID >= len(env.Templates) || seen[t.ID] {
+			return nil, fmt.Errorf("template ids not dense (id %d of %d)", t.ID, len(env.Templates))
+		}
+		seen[t.ID] = true
+	}
+	return helo.Restore(env.Threshold, env.Templates), nil
 }

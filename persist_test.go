@@ -1,6 +1,7 @@
 package elsa
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -71,6 +72,39 @@ func TestLoadModelRejectsBadInput(t *testing.T) {
 	}
 	if _, err := LoadModel(strings.NewReader(`{"version":1,"model":{}}`)); err == nil {
 		t.Error("incomplete model accepted")
+	}
+}
+
+func TestLoadModelVersionMismatchIsTyped(t *testing.T) {
+	var vErr *ErrVersionMismatch
+	_, err := LoadModel(strings.NewReader(`{"version": 99}`))
+	if !errors.As(err, &vErr) {
+		t.Fatalf("err = %v, want ErrVersionMismatch", err)
+	}
+	if vErr.Got != 99 || vErr.Want != modelFormatVersion || vErr.Kind != "model" {
+		t.Errorf("ErrVersionMismatch = %+v, want Got 99 / Want %d / Kind %q", vErr, modelFormatVersion, "model")
+	}
+	// The version probe runs before strict decoding: a future-format
+	// file reports the mismatch, not whichever unknown field the strict
+	// decoder would trip on first.
+	_, err = LoadModel(strings.NewReader(`{"version": 2, "new_fangled": true}`))
+	if !errors.As(err, &vErr) {
+		t.Fatalf("future-format err = %v, want ErrVersionMismatch", err)
+	}
+}
+
+func TestLoadModelRejectsUnknownFields(t *testing.T) {
+	model, _, _ := trainSmallModel(t, 62)
+	var sb strings.Builder
+	if err := model.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(sb.String(), `"helo"`, `"helo_typo"`, 1)
+	if mangled == sb.String() {
+		t.Fatal("could not mangle the envelope; layout changed?")
+	}
+	if _, err := LoadModel(strings.NewReader(mangled)); err == nil {
+		t.Error("envelope with an unknown field accepted (state silently dropped)")
 	}
 }
 

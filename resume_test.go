@@ -1,0 +1,152 @@
+package elsa
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestResumedMonitorMatchesUninterrupted is the crash-resume acceptance
+// test at the public API: run a monitor over half the stream, snapshot
+// it (mid-stream, wherever the split lands), save and reload the model,
+// resume a fresh monitor from the snapshot, feed the second half — and
+// the combined prediction stream must match an uninterrupted monitor's
+// exactly: no prediction repeated, none missing, every field identical.
+func TestResumedMonitorMatchesUninterrupted(t *testing.T) {
+	log := GenerateBGL(85, apiStart, 4*24*time.Hour)
+	cut := apiStart.Add(2 * 24 * time.Hour)
+	train, test, _ := log.Split(cut)
+
+	// Uninterrupted reference (fresh identical model: monitors mutate
+	// organizer state by learning online).
+	ref := Train(train, apiStart, cut, DefaultTrainConfig()).NewMonitor(cut)
+	var want []Prediction
+	for _, r := range test {
+		want = append(want, ref.Feed(r)...)
+	}
+	want = append(want, ref.AdvanceTo(log.End)...)
+	ref.Close()
+	if len(want) == 0 {
+		t.Fatal("reference monitor emitted no predictions; the fixture is too quiet to test resume")
+	}
+
+	// First incarnation: half the stream, then the crash artefacts — a
+	// saved model and a monitor snapshot.
+	model := Train(train, apiStart, cut, DefaultTrainConfig())
+	mon := model.NewMonitor(cut)
+	var got []Prediction
+	half := len(test) / 2
+	for _, r := range test[:half] {
+		got = append(got, mon.Feed(r)...)
+	}
+	var modelBlob, snapBlob strings.Builder
+	if err := model.Save(&modelBlob); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := mon.Snapshot(&snapBlob); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	// Second incarnation: a new process — model reloaded from disk,
+	// monitor resumed from the snapshot, rest of the stream fed.
+	reloaded, err := LoadModel(strings.NewReader(modelBlob.String()))
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	resumed, err := reloaded.ResumeMonitor(strings.NewReader(snapBlob.String()))
+	if err != nil {
+		t.Fatalf("ResumeMonitor: %v", err)
+	}
+	for _, r := range test[half:] {
+		got = append(got, resumed.Feed(r)...)
+	}
+	got = append(got, resumed.AdvanceTo(log.End)...)
+	res := resumed.Close()
+
+	if len(got) != len(want) {
+		t.Fatalf("resumed stream emitted %d predictions, uninterrupted %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("prediction %d differs:\nresumed       %+v\nuninterrupted %+v", i, got[i], want[i])
+		}
+	}
+	// The accumulated result carries the full history across the crash.
+	if len(res.Predictions) != len(want) {
+		t.Errorf("resumed result holds %d predictions, want %d", len(res.Predictions), len(want))
+	}
+}
+
+func TestSnapshotOfClosedMonitorFails(t *testing.T) {
+	model, _, cut := trainSmallModel(t, 86)
+	mon := model.NewMonitor(cut)
+	mon.Close()
+	var sb strings.Builder
+	if err := mon.Snapshot(&sb); err == nil {
+		t.Fatal("Snapshot of a closed monitor did not fail")
+	}
+}
+
+func TestResumeMonitorRejectsBadSnapshots(t *testing.T) {
+	model, _, cut := trainSmallModel(t, 87)
+
+	if _, err := model.ResumeMonitor(strings.NewReader("{broken")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+
+	var vErr *ErrVersionMismatch
+	_, err := model.ResumeMonitor(strings.NewReader(`{"version": 99}`))
+	if !errors.As(err, &vErr) {
+		t.Fatalf("err = %v, want ErrVersionMismatch", err)
+	}
+	if vErr.Got != 99 || vErr.Want != monitorFormatVersion || vErr.Kind != "monitor snapshot" {
+		t.Errorf("ErrVersionMismatch = %+v, want Got 99 / Want %d / Kind %q", vErr, monitorFormatVersion, "monitor snapshot")
+	}
+
+	if _, err := model.ResumeMonitor(strings.NewReader(`{"version": 1}`)); err == nil {
+		t.Error("snapshot without session state accepted")
+	}
+	if _, err := model.ResumeMonitor(strings.NewReader(`{"version": 1, "bogus": true}`)); err == nil {
+		t.Error("snapshot with unknown fields accepted")
+	}
+
+	// A snapshot referencing state the model does not have (here: a
+	// detector for an event the model never mined) must be refused, not
+	// resumed into silent corruption.
+	mon := model.NewMonitor(cut)
+	var snap strings.Builder
+	if err := mon.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	doctored := strings.Replace(snap.String(), `"detectors": {`, `"detectors": {"999999": {"raw": [1]},`, 1)
+	if doctored == snap.String() {
+		t.Fatal("could not doctor the snapshot; envelope layout changed?")
+	}
+	if _, err := model.ResumeMonitor(strings.NewReader(doctored)); err == nil {
+		t.Error("snapshot referencing an unknown detector accepted")
+	}
+}
+
+func TestMonitorCloseIdempotent(t *testing.T) {
+	model, log, cut := trainSmallModel(t, 89)
+	_, test, _ := log.Split(cut)
+	if len(test) > 2000 {
+		test = test[:2000]
+	}
+	mon := model.NewMonitor(cut)
+	for _, r := range test {
+		mon.Feed(r)
+	}
+	res1 := mon.Close()
+	res2 := mon.Close()
+	if res1 != res2 {
+		t.Fatal("second Close returned a different result pointer")
+	}
+	if preds := mon.Feed(Record{Time: log.End, EventID: 0}); preds != nil {
+		t.Error("closed monitor accepted a record")
+	}
+	if preds := mon.AdvanceTo(log.End.Add(time.Hour)); preds != nil {
+		t.Error("closed monitor advanced")
+	}
+}
