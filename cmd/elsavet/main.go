@@ -1,20 +1,72 @@
 // Command elsavet is the project's vettool: the internal/lint analyzer
 // suite packaged as a unitchecker so the standard go vet driver runs it
-// over the whole module with full type information and caching:
+// over the whole module with full type information, caching and
+// cross-package facts:
 //
 //	go build -o bin/elsavet ./cmd/elsavet
 //	go vet -vettool=$PWD/bin/elsavet ./...
+//
+// It also carries a standalone mode for the workflows go vet cannot
+// drive — applying SuggestedFixes:
+//
+//	elsavet -fix   [moduleRoot]   # rewrite files in place
+//	elsavet -diff  [moduleRoot]   # print would-be fixes; exit 1 if any
+//	elsavet -stand [moduleRoot]   # report only, no unitchecker protocol
 //
 // See internal/lint for the contracts the suite enforces and DESIGN.md
 // §10 for the annotation and suppression conventions.
 package main
 
 import (
+	"flag"
+	"fmt"
+	"os"
+
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"github.com/elsa-hpc/elsa/internal/lint"
 )
 
 func main() {
+	// The unitchecker protocol invokes the tool with *.cfg files and its
+	// own flags; only explicit standalone flags divert from it.
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-fix", "--fix", "-diff", "--diff", "-stand", "--stand":
+			os.Exit(standalone(os.Args[1:]))
+		}
+	}
 	unitchecker.Main(lint.Analyzers...)
+}
+
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("elsavet", flag.ExitOnError)
+	fix := fs.Bool("fix", false, "apply suggested fixes in place")
+	diff := fs.Bool("diff", false, "print suggested fixes as a diff; exit 1 if any exist")
+	fs.Bool("stand", false, "standalone report mode (no fixes)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	root := "."
+	if fs.NArg() > 0 {
+		root = fs.Arg(0)
+	}
+	findings, fixable, err := lint.RunStandalone(lint.StandaloneOptions{
+		Root:      root,
+		Fix:       *fix,
+		Diff:      *diff,
+		Analyzers: lint.Analyzers,
+	}, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elsavet:", err)
+		return 2
+	}
+	if *diff && fixable > 0 {
+		fmt.Fprintf(os.Stderr, "elsavet: %d file(s) have unapplied autofixes; run elsavet -fix\n", fixable)
+		return 1
+	}
+	if len(findings) > 0 && !*fix {
+		return 1
+	}
+	return 0
 }

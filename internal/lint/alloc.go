@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// AllocAnalyzer is the dataflow layer of the hot-path contract: where
+// elsahotpath is a fast syntactic pre-pass over constructs that always
+// cost an allocation (fmt, goroutines, string conversions, boxing,
+// append growth), elsaalloc proves or refutes the allocation sites the
+// compiler may optimize away. A make/new/composite literal/closure in
+// a //elsa:hotpath kernel is accepted exactly when the value provably
+// never escapes the frame and its size is a compile-time constant —
+// the same conditions under which the compiler stack-allocates it —
+// and flagged with the concrete escape path otherwise.
+//
+// A function whose body is proven free of heap allocation sites
+// exports an AllocFreeFact, so the proof is visible to analysis of
+// importing packages under go vet's facts pipeline.
+//
+// elsaalloc honors //nolint:elsahotpath suppressions as well as its
+// own: the two analyzers enforce one contract at two depths, and a
+// reasoned suppression of the syntactic layer covers the proof layer.
+var AllocAnalyzer = &analysis.Analyzer{
+	Name: "elsaalloc",
+	Doc: "prove //elsa:hotpath allocation sites stack-allocatable (non-escaping, constant size) " +
+		"or report them with their escape path",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*AllocFreeFact)(nil)},
+	Run:       runAlloc,
+}
+
+// AllocFreeFact marks a function proven free of per-call heap
+// allocation sites by the flow layer.
+type AllocFreeFact struct{}
+
+func (*AllocFreeFact) AFact()         {}
+func (*AllocFreeFact) String() string { return "allocfree" }
+
+func runAlloc(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	rep := newReporter(pass)
+	// elsahotpath suppressions cover the proof layer too (one contract,
+	// two depths).
+	rep.sup.aliases = []string{HotPathAnalyzer.Name}
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if !isHotPath(fn) || fn.Body == nil {
+			return
+		}
+		flow := analyzeFlow(pass, fn)
+		clean := true
+		for _, site := range flow.sites {
+			if d, fix := allocVerdict(pass, site); d != "" {
+				clean = false
+				diag := analysis.Diagnostic{Pos: site.node.Pos(), Message: d}
+				if fix != nil {
+					diag.SuggestedFixes = []analysis.SuggestedFix{*fix}
+				}
+				rep.report(diag)
+			}
+		}
+		if clean {
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok && obj.Exported() {
+				pass.ExportObjectFact(obj, &AllocFreeFact{})
+			}
+		}
+	})
+	return nil, nil
+}
+
+// allocVerdict decides one allocation site: "" when proven
+// stack-allocatable, a diagnostic otherwise.
+func allocVerdict(pass *analysis.Pass, site *allocSite) (string, *analysis.SuggestedFix) {
+	c := site.cell
+	where := func() string {
+		if c.sinkPos.IsValid() {
+			p := pass.Fset.Position(c.sinkPos)
+			return fmt.Sprintf("%s at line %d", c.sink, p.Line)
+		}
+		return c.sink
+	}
+	switch site.kind {
+	case allocMakeMap, allocMapLit:
+		return fmt.Sprintf("alloc: %s in a hotpath kernel is not provably allocation-free "+
+			"(map storage is heap-allocated); hoist it into reusable scratch state", site.kind), nil
+	case allocMakeChan:
+		return "alloc: make(chan) in a hotpath kernel allocates; channels belong to setup, not the per-call path", nil
+	case allocClosure:
+		if !c.escaped {
+			return "", nil // non-escaping closures are stack-allocated
+		}
+		msg := fmt.Sprintf("alloc: closure escapes (%s) and heap-allocates per call", where())
+		if len(site.captures) > 0 {
+			names := make([]string, 0, len(site.captures))
+			for _, o := range site.captures {
+				names = append(names, o.Name())
+			}
+			sort.Strings(names)
+			msg += fmt.Sprintf("; it captures %s by reference", strings.Join(names, ", "))
+		}
+		return msg, nil
+	case allocMakeSlice, allocSliceLit:
+		if c.escaped {
+			return fmt.Sprintf("alloc: %s escapes (%s) and heap-allocates per call", site.kind, where()), nil
+		}
+		if site.constLen < 0 {
+			return fmt.Sprintf("alloc: %s has a non-constant size, so it heap-allocates "+
+				"even though it does not escape; use a fixed-size or reusable buffer", site.kind), nil
+		}
+		if size := siteByteSize(pass, site); size > maxStackAlloc {
+			return fmt.Sprintf("alloc: %s is %d bytes, past the %d-byte stack-allocation bound",
+				site.kind, size, maxStackAlloc), nil
+		}
+		return "", nil
+	case allocNew, allocPtrLit:
+		if c.escaped {
+			return fmt.Sprintf("alloc: %s escapes (%s) and heap-allocates per call", site.kind, where()), nil
+		}
+		if size := siteByteSize(pass, site); size > maxStackAlloc {
+			return fmt.Sprintf("alloc: %s is %d bytes, past the %d-byte stack-allocation bound",
+				site.kind, size, maxStackAlloc), nil
+		}
+		return "", nil
+	}
+	return "", nil
+}
+
+// siteByteSize computes the byte size a site would occupy on the
+// stack: element size × constant length for slices, pointee size for
+// new/&T{}.
+func siteByteSize(pass *analysis.Pass, site *allocSite) int64 {
+	e, ok := site.node.(ast.Expr)
+	if !ok {
+		return 0
+	}
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return 0
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		if site.constLen < 0 {
+			return 0
+		}
+		return pass.TypesSizes.Sizeof(u.Elem()) * site.constLen
+	case *types.Pointer:
+		return pass.TypesSizes.Sizeof(u.Elem())
+	}
+	return pass.TypesSizes.Sizeof(t)
+}

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// AtomicAnalyzer enforces access-mode consistency on shared counters:
+// a field that is touched through sync/atomic anywhere — package
+// functions like atomic.AddInt64(&s.f, 1), or the typed wrappers
+// atomic.Int64 and friends — must never also be read or written with
+// plain loads and stores. One plain access is enough to reintroduce
+// the data race the atomic discipline was bought to prevent.
+//
+// Fields accessed atomically in their defining package export an
+// AtomicFact, so a plain access from an importing package is flagged
+// under go vet's facts pipeline even though the atomic call is out of
+// view.
+//
+// Mechanical findings carry SuggestedFixes: plain reads become
+// atomic.LoadXxx, plain stores atomic.StoreXxx, and ++/--/+= updates
+// atomic.AddXxx.
+var AtomicAnalyzer = &analysis.Analyzer{
+	Name:      "elsaatomic",
+	Doc:       "flag fields accessed both atomically (sync/atomic) and via plain loads or stores",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*AtomicFact)(nil)},
+	Run:       runAtomic,
+}
+
+// AtomicFact marks a struct field as atomically accessed in its
+// defining package: importing packages must not touch it plainly.
+type AtomicFact struct{}
+
+func (*AtomicFact) AFact()         {}
+func (*AtomicFact) String() string { return "atomic" }
+
+func runAtomic(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	rep := newReporter(pass)
+
+	// Pass 1: find every &x.f handed to a sync/atomic function. Those
+	// selectors are the sanctioned accesses; the fields they name make
+	// up the atomic set.
+	atomicAt := make(map[types.Object]token.Pos) // field -> first atomic access
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !isAtomicPkgCall(pass, call) {
+			return
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			fld := fieldObj(pass, sel)
+			if fld == nil {
+				continue
+			}
+			sanctioned[sel] = true
+			if _, seen := atomicAt[fld]; !seen {
+				atomicAt[fld] = sel.Pos()
+			}
+		}
+	})
+	for fld := range atomicAt {
+		if fld.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(fld, &AtomicFact{})
+		}
+	}
+
+	// Pass 2: every remaining selector of an atomic-set field is a
+	// plain access; typed atomic fields (atomic.Int64 etc.) may only
+	// appear as method-call receivers or under &.
+	ins.WithStack([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		sel := n.(*ast.SelectorExpr)
+		fld := fieldObj(pass, sel)
+		if fld == nil {
+			return true
+		}
+		var parent ast.Node
+		if len(stack) >= 2 {
+			parent = stack[len(stack)-2]
+		}
+		if isAtomicWrapperType(fld.Type()) {
+			checkTypedAtomicUse(pass, rep, sel, fld, parent)
+			return true
+		}
+		if sanctioned[sel] {
+			return true
+		}
+		var src string
+		if pos, local := atomicAt[fld]; local {
+			src = fmt.Sprintf("(line %d)", pass.Fset.Position(pos).Line)
+		} else {
+			if fld.Pkg() == pass.Pkg || !pass.ImportObjectFact(fld, new(AtomicFact)) {
+				return true // never accessed atomically anywhere we can see
+			}
+			src = "in package " + fld.Pkg().Path()
+		}
+		reportPlainAccess(pass, rep, sel, fld, parent, stack, src)
+		return true
+	})
+	return nil, nil
+}
+
+// isAtomicPkgCall reports whether call invokes a sync/atomic
+// package-level function.
+func isAtomicPkgCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// fieldObj resolves a selector to the struct field it names, or nil.
+func fieldObj(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isAtomicWrapperType reports whether t is one of the typed atomics
+// (atomic.Int64, atomic.Bool, atomic.Value, ...).
+func isAtomicWrapperType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// checkTypedAtomicUse flags uses of a typed atomic field other than
+// method calls and address-taking: copying the wrapper reads its word
+// non-atomically and detaches the copy from every future update.
+func checkTypedAtomicUse(pass *analysis.Pass, rep *reporter, sel *ast.SelectorExpr, fld *types.Var, parent ast.Node) {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return // receiver of a method call: the sanctioned use
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return // &s.f, e.g. passed to a helper operating on the atomic
+		}
+	}
+	rep.reportf(sel.Pos(), "atomic: field %s has type %s and must be used via its methods; copying it reads the value non-atomically",
+		fld.Name(), types.TypeString(fld.Type(), types.RelativeTo(pass.Pkg)))
+}
+
+// reportPlainAccess diagnoses one plain access of an atomic-set field
+// and, where the rewrite is mechanical, attaches the fix.
+func reportPlainAccess(pass *analysis.Pass, rep *reporter, sel *ast.SelectorExpr, fld *types.Var, parent ast.Node, stack []ast.Node, src string) {
+	qual := atomicImportName(stack)
+	suffix := atomicSuffix(fld.Type())
+	fix := func(edit analysis.TextEdit, verb string) []analysis.SuggestedFix {
+		if qual == "" || suffix == "" {
+			return nil
+		}
+		return []analysis.SuggestedFix{{
+			Message:   fmt.Sprintf("rewrite as %s.%s%s", qual, verb, suffix),
+			TextEdits: []analysis.TextEdit{edit},
+		}}
+	}
+	selSrc := render(pass.Fset, sel)
+
+	diag := func(mode, hint string, fixes []analysis.SuggestedFix) {
+		rep.report(analysis.Diagnostic{
+			Pos: sel.Pos(),
+			Message: fmt.Sprintf("atomic: field %s is accessed atomically %s but %s plainly here; use %s",
+				fld.Name(), src, mode, hint),
+			SuggestedFixes: fixes,
+		})
+	}
+	hintPkg := qual
+	if hintPkg == "" {
+		hintPkg = "atomic"
+	}
+
+	switch p := parent.(type) {
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			rep.reportf(sel.Pos(), "atomic: address of atomically accessed field %s escapes sync/atomic here", fld.Name())
+			return
+		}
+	case *ast.IncDecStmt:
+		delta := "1"
+		if p.Tok == token.DEC {
+			delta = "-1"
+		}
+		edit := analysis.TextEdit{Pos: p.Pos(), End: p.End(),
+			NewText: []byte(fmt.Sprintf("%s.Add%s(&%s, %s)", qual, suffix, selSrc, delta))}
+		diag("updated", hintPkg+".Add"+suffix, fix(edit, "Add"))
+		return
+	case *ast.AssignStmt:
+		if len(p.Lhs) == 1 && len(p.Rhs) == 1 && ast.Unparen(p.Lhs[0]) == sel {
+			rhsSrc := render(pass.Fset, p.Rhs[0])
+			switch p.Tok {
+			case token.ASSIGN:
+				edit := analysis.TextEdit{Pos: p.Pos(), End: p.End(),
+					NewText: []byte(fmt.Sprintf("%s.Store%s(&%s, %s)", qual, suffix, selSrc, rhsSrc))}
+				diag("written", hintPkg+".Store"+suffix, fix(edit, "Store"))
+				return
+			case token.ADD_ASSIGN, token.SUB_ASSIGN:
+				if p.Tok == token.SUB_ASSIGN {
+					rhsSrc = "-(" + rhsSrc + ")"
+				}
+				edit := analysis.TextEdit{Pos: p.Pos(), End: p.End(),
+					NewText: []byte(fmt.Sprintf("%s.Add%s(&%s, %s)", qual, suffix, selSrc, rhsSrc))}
+				diag("updated", hintPkg+".Add"+suffix, fix(edit, "Add"))
+				return
+			}
+		}
+		for _, l := range p.Lhs {
+			if ast.Unparen(l) == sel {
+				diag("written", hintPkg+".Store"+suffix, nil)
+				return
+			}
+		}
+	}
+	// Everything else is a read.
+	edit := analysis.TextEdit{Pos: sel.Pos(), End: sel.End(),
+		NewText: []byte(fmt.Sprintf("%s.Load%s(&%s)", qual, suffix, selSrc))}
+	diag("read", hintPkg+".Load"+suffix, fix(edit, "Load"))
+}
+
+// atomicImportName returns the name sync/atomic is imported under in
+// the file at the bottom of the traversal stack, or "" when the file
+// does not import it (no fix can be offered then).
+func atomicImportName(stack []ast.Node) string {
+	if len(stack) == 0 {
+		return ""
+	}
+	file, ok := stack[0].(*ast.File)
+	if !ok {
+		return ""
+	}
+	for _, imp := range file.Imports {
+		if imp.Path.Value != `"sync/atomic"` {
+			continue
+		}
+		if imp.Name == nil {
+			return "atomic"
+		}
+		if imp.Name.Name == "_" || imp.Name.Name == "." {
+			return ""
+		}
+		return imp.Name.Name
+	}
+	return ""
+}
+
+// atomicSuffix maps a plain integer type to the sync/atomic function
+// suffix operating on it.
+func atomicSuffix(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64:
+		return "Uint64"
+	case types.Uintptr:
+		return "Uintptr"
+	}
+	return ""
+}
+
+// render formats a node back to source for use inside fix text.
+func render(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := format.Node(&buf, fset, n); err != nil {
+		return ""
+	}
+	return buf.String()
+}

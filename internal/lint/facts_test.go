@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+// TestFactsGobRoundTrip proves every declared fact type survives the
+// gob serialization the unitchecker uses to ship facts between
+// packages under go vet -vettool. A fact that cannot round-trip would
+// silently break cross-package analysis.
+func TestFactsGobRoundTrip(t *testing.T) {
+	for _, a := range Analyzers {
+		for _, fact := range a.FactTypes {
+			// FactTypes holds typed nil pointers; encode a fresh value.
+			in := reflect.New(reflect.TypeOf(fact).Elem())
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).EncodeValue(in); err != nil {
+				t.Errorf("%s: fact %T does not gob-encode: %v", a.Name, fact, err)
+				continue
+			}
+			out := reflect.New(reflect.TypeOf(fact).Elem())
+			if err := gob.NewDecoder(&buf).DecodeValue(out); err != nil {
+				t.Errorf("%s: fact %T does not gob-decode: %v", a.Name, fact, err)
+			}
+		}
+	}
+
+	// A fact with payload keeps it across the trip.
+	in := &EphemeralFact{Reason: "derived cache"}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	var out EphemeralFact
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Reason != in.Reason {
+		t.Fatalf("EphemeralFact reason lost in transit: %q != %q", out.Reason, in.Reason)
+	}
+}

@@ -9,15 +9,18 @@ import (
 	"golang.org/x/tools/go/ast/inspector"
 )
 
-// HotPathAnalyzer enforces the //elsa:hotpath contract: the annotated
-// function must not contain syntax that allocates per call. The training
-// fast path (PR 2) earned its 0 allocs/op the hard way — scratch reuse,
-// two-pointer sweeps, prefix-sum scoring — and this analyzer keeps any
-// future edit from quietly paying them back.
+// HotPathAnalyzer is the fast syntactic pre-pass of the //elsa:hotpath
+// contract: it flags the constructs that cost an allocation no matter
+// what escape analysis concludes — append growth, fmt formatting,
+// goroutine launches, string<->[]byte conversions and implicit
+// concrete→interface boxing. The allocation sites the compiler may
+// optimize away (make, new, composite literals, closures) are the
+// domain of elsaalloc, the dataflow layer that proves them
+// stack-allocatable or reports their escape path.
 var HotPathAnalyzer = &analysis.Analyzer{
 	Name: "elsahotpath",
-	Doc: "report allocating constructs (append, make, slice/map/pointer literals, closures, fmt calls, " +
-		"interface conversions, string<->[]byte conversions) inside functions marked //elsa:hotpath",
+	Doc: "report constructs that always allocate per call (append growth, fmt calls, goroutine " +
+		"launches, interface boxing, string<->[]byte conversions) inside functions marked //elsa:hotpath",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      runHotPath,
 }
@@ -36,29 +39,14 @@ func runHotPath(pass *analysis.Pass) (interface{}, error) {
 }
 
 func checkHotBody(pass *analysis.Pass, rep *reporter, fn *ast.FuncDecl) {
-	info := pass.TypesInfo
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			checkHotCall(pass, rep, n)
-		case *ast.CompositeLit:
-			switch info.TypeOf(n).Underlying().(type) {
-			case *types.Slice:
-				rep.reportf(n.Pos(), "hotpath: slice literal allocates")
-			case *types.Map:
-				rep.reportf(n.Pos(), "hotpath: map literal allocates")
-			}
-		case *ast.UnaryExpr:
-			if n.Op.String() == "&" {
-				if _, ok := n.X.(*ast.CompositeLit); ok {
-					rep.reportf(n.Pos(), "hotpath: &composite literal allocates (escapes to heap)")
-				}
-			}
-		case *ast.FuncLit:
-			rep.reportf(n.Pos(), "hotpath: closure allocates (and may capture by reference)")
-			return false // its body is not part of the annotated function's per-call cost
 		case *ast.GoStmt:
 			rep.reportf(n.Pos(), "hotpath: goroutine launch allocates a stack")
+		case *ast.ReturnStmt:
+			checkReturnBoxing(pass, rep, fn, n)
 		}
 		checkIfaceConv(pass, rep, n)
 		return true
@@ -70,15 +58,8 @@ func checkHotCall(pass *analysis.Pass, rep *reporter, call *ast.CallExpr) {
 	info := pass.TypesInfo
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
-		if b, ok := info.Uses[fun].(*types.Builtin); ok {
-			switch b.Name() {
-			case "append":
-				rep.reportf(call.Pos(), "hotpath: append may grow and allocate; preallocate in a scratch buffer")
-			case "make":
-				rep.reportf(call.Pos(), "hotpath: make allocates")
-			case "new":
-				rep.reportf(call.Pos(), "hotpath: new allocates")
-			}
+		if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" {
+			rep.reportf(call.Pos(), "hotpath: append may grow and allocate; preallocate in a scratch buffer")
 		}
 	case *ast.SelectorExpr:
 		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
@@ -112,22 +93,41 @@ func isStringBytesConv(to, from types.Type) bool {
 	return (isStr(to) && isByteSlice(from)) || (isByteSlice(to) && isStr(from))
 }
 
+// checkReturnBoxing flags returns whose result slot is an interface
+// fed a concrete value — boxing the kernel's own return path.
+func checkReturnBoxing(pass *analysis.Pass, rep *reporter, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := obj.Type().(*types.Signature).Results()
+	if results.Len() != len(ret.Results) {
+		return // naked return or tuple-splitting call; nothing to pair up
+	}
+	for i, e := range ret.Results {
+		flagIfaceConv(pass, rep, e, results.At(i).Type())
+	}
+}
+
+// flagIfaceConv reports e if assigning it to type to boxes a concrete
+// value into an interface.
+func flagIfaceConv(pass *analysis.Pass, rep *reporter, e ast.Expr, to types.Type) {
+	if e == nil || to == nil || !types.IsInterface(to) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil || types.IsInterface(tv.Type) || tv.IsNil() {
+		return
+	}
+	rep.reportf(e.Pos(), "hotpath: implicit conversion of %s to interface %s allocates",
+		types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)),
+		types.TypeString(to, types.RelativeTo(pass.Pkg)))
+}
+
 // checkIfaceConv flags implicit concrete-to-interface conversions in
-// call arguments, assignments and returns — each one boxes its operand.
+// call arguments and assignments — each one boxes its operand.
 func checkIfaceConv(pass *analysis.Pass, rep *reporter, n ast.Node) {
 	info := pass.TypesInfo
-	flag := func(e ast.Expr, to types.Type) {
-		if e == nil || to == nil || !types.IsInterface(to) {
-			return
-		}
-		tv, ok := info.Types[e]
-		if !ok || tv.Type == nil || types.IsInterface(tv.Type) || tv.IsNil() {
-			return
-		}
-		rep.reportf(e.Pos(), "hotpath: implicit conversion of %s to interface %s allocates",
-			types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)),
-			types.TypeString(to, types.RelativeTo(pass.Pkg)))
-	}
 	switch n := n.(type) {
 	case *ast.CallExpr:
 		sig, ok := info.TypeOf(n.Fun).(*types.Signature)
@@ -145,14 +145,14 @@ func checkIfaceConv(pass *analysis.Pass, rep *reporter, n ast.Node) {
 			} else if i < params.Len() {
 				pt = params.At(i).Type()
 			}
-			flag(arg, pt)
+			flagIfaceConv(pass, rep, arg, pt)
 		}
 	case *ast.AssignStmt:
 		if len(n.Lhs) != len(n.Rhs) {
 			return
 		}
 		for i := range n.Lhs {
-			flag(n.Rhs[i], info.TypeOf(n.Lhs[i]))
+			flagIfaceConv(pass, rep, n.Rhs[i], info.TypeOf(n.Lhs[i]))
 		}
 	}
 }

@@ -4,12 +4,17 @@
 // lock usage — into compile-time contracts instead of benchmark
 // aspirations.
 //
-// The suite ships five analyzers:
+// The suite ships eight analyzers:
 //
-//   - elsahotpath: functions annotated //elsa:hotpath must not contain
-//     constructs that allocate per call (append, make, slice/map
-//     literals, closures, fmt formatting, implicit interface
+//   - elsahotpath: a fast syntactic pre-pass over //elsa:hotpath
+//     functions for constructs that always cost an allocation (append
+//     growth, fmt formatting, goroutine launches, implicit interface
 //     conversions, string<->[]byte conversions).
+//   - elsaalloc: the dataflow layer of the same contract — make, new,
+//     composite literals and closures in //elsa:hotpath kernels are
+//     proven stack-allocatable (non-escaping, constant size) or
+//     reported with their concrete escape path; proven functions
+//     export an AllocFreeFact.
 //   - elsadeterminism: the training packages (sig, gradual, correlate,
 //     predict) must not read wall clocks, use the global math/rand
 //     source, or let map iteration order escape into ordered output
@@ -22,6 +27,15 @@
 //     assignments, range copies), WaitGroup.Add called inside the
 //     goroutine it guards, and goroutines launched from cancellable
 //     functions with neither a cancellation nor a join path.
+//   - elsasnapshot: the resume-equality guard — every field of a
+//     struct marked //elsa:snapshot must be handled by the
+//     //elsa:snapshotter encode AND decode paths or annotated
+//     //elsa:ephemeral with a reason, and every struct reachable from
+//     an //elsa:snapshot-envelope root must not silently drop state
+//     through unexported (encoding/json-invisible) fields.
+//   - elsaatomic: a field accessed through sync/atomic anywhere in a
+//     package (or, via facts, in any importing package) must never
+//     also be accessed with plain loads or stores.
 //   - elsanolint: audits the //nolint:elsa... escape hatches themselves
 //     — every suppression must name known analyzers and carry a reason.
 //
@@ -46,9 +60,12 @@ import (
 // Analyzers is the full elsavet suite, in stable order.
 var Analyzers = []*analysis.Analyzer{
 	HotPathAnalyzer,
+	AllocAnalyzer,
 	DeterminismAnalyzer,
 	CtxFlowAnalyzer,
 	LockSafeAnalyzer,
+	SnapshotAnalyzer,
+	AtomicAnalyzer,
 	NolintAnalyzer,
 }
 
@@ -59,9 +76,12 @@ func analyzerNames() map[string]bool {
 	return map[string]bool{
 		"elsa":            true,
 		"elsahotpath":     true,
+		"elsaalloc":       true,
 		"elsadeterminism": true,
 		"elsactxflow":     true,
 		"elsalocksafe":    true,
+		"elsasnapshot":    true,
+		"elsaatomic":      true,
 		"elsanolint":      true,
 	}
 }
@@ -73,15 +93,32 @@ const hotPathDirective = "//elsa:hotpath"
 // isHotPath reports whether fn carries the //elsa:hotpath directive in
 // its doc comment.
 func isHotPath(fn *ast.FuncDecl) bool {
-	if fn.Doc == nil {
-		return false
+	return hasDirective(fn.Doc, hotPathDirective)
+}
+
+// hasDirective reports whether a comment group carries the given
+// //elsa:... directive, matched as a whole word so //elsa:snapshot
+// does not match //elsa:snapshot-envelope.
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	_, ok := directiveArg(cg, directive)
+	return ok
+}
+
+// directiveArg returns the text following a directive comment (""
+// when the directive stands alone) and whether the directive appears.
+func directiveArg(cg *ast.CommentGroup, directive string) (string, bool) {
+	if cg == nil {
+		return "", false
 	}
-	for _, c := range fn.Doc.List {
-		if c.Text == hotPathDirective || strings.HasPrefix(c.Text, hotPathDirective+" ") {
-			return true
+	for _, c := range cg.List {
+		if c.Text == directive {
+			return "", true
+		}
+		if strings.HasPrefix(c.Text, directive+" ") {
+			return strings.TrimSpace(c.Text[len(directive)+1:]), true
 		}
 	}
-	return false
+	return "", false
 }
 
 // nolintEntry is one parsed //nolint comment.
@@ -121,6 +158,7 @@ func parseNolint(text string) (e nolintEntry, ok bool) {
 type suppressor struct {
 	fset    *token.FileSet
 	entries map[string]map[int][]nolintEntry // filename -> line -> entries
+	aliases []string                         // extra analyzer names accepted as suppressing this pass
 }
 
 func newSuppressor(pass *analysis.Pass) *suppressor {
@@ -164,6 +202,11 @@ func (s *suppressor) suppressed(name string, pos token.Pos) bool {
 				if n == name || n == "elsa" {
 					return true
 				}
+				for _, a := range s.aliases {
+					if n == a {
+						return true
+					}
+				}
 			}
 		}
 	}
@@ -186,6 +229,15 @@ func (r *reporter) reportf(pos token.Pos, format string, args ...interface{}) {
 		return
 	}
 	r.pass.Reportf(pos, format, args...)
+}
+
+// report is reportf for a fully built diagnostic (used when the
+// finding carries SuggestedFixes).
+func (r *reporter) report(d analysis.Diagnostic) {
+	if r.sup.suppressed(r.pass.Analyzer.Name, d.Pos) {
+		return
+	}
+	r.pass.Report(d)
 }
 
 // inTestFile reports whether pos lands in a _test.go file.

@@ -1,0 +1,93 @@
+package lint
+
+// Mutation-style guard for the resume-equality property: elsasnapshot
+// must reject a state field the moment it exists without a
+// serialization path, not merely bless the current field set. The test
+// builds a miniature session-state package modeled on
+// internal/pipeline's sampler/SessionState pair, verifies it clean,
+// then injects an unserialized field and demands a finding.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const sessionFixtureTmpl = `package sess
+
+//elsa:snapshot
+type session struct {
+	origin int64
+	step   int64
+	open   bool
+%s}
+
+type state struct {
+	Origin int64 ` + "`json:\"origin\"`" + `
+	Step   int64 ` + "`json:\"step\"`" + `
+	Open   bool  ` + "`json:\"open\"`" + `
+}
+
+//elsa:snapshotter encode
+func (s *session) snap() state {
+	return state{Origin: s.origin, Step: s.step, Open: s.open}
+}
+
+//elsa:snapshotter decode
+func resume(st state) *session {
+	return &session{origin: st.Origin, step: st.Step, open: st.Open}
+}
+`
+
+// loadSource writes src into a temp package dir and loads it with the
+// fixture machinery.
+func loadSource(t *testing.T, src string) *fixture {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "sess.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return loadFixture(t, dir)
+}
+
+func TestSnapshotMutationGuard(t *testing.T) {
+	// Control: the unmutated session state is fully covered.
+	clean := fmt.Sprintf(sessionFixtureTmpl, "")
+	if diags := runAnalyzers(t, loadSource(t, clean), []*analysis.Analyzer{SnapshotAnalyzer}); len(diags) != 0 {
+		t.Fatalf("control fixture should be clean, got: %v", diags)
+	}
+
+	// Mutant: one new mutable field, no serialization path.
+	mutant := fmt.Sprintf(sessionFixtureTmpl, "\tlastTick int64\n")
+	diags := runAnalyzers(t, loadSource(t, mutant), []*analysis.Analyzer{SnapshotAnalyzer})
+	if len(diags) != 1 {
+		t.Fatalf("mutant should produce exactly one finding, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "lastTick") ||
+		!strings.Contains(d.Message, "encode and decode snapshotter paths") {
+		t.Fatalf("finding does not name the unserialized field: %s", d.Message)
+	}
+	// The mechanical escape hatch rides along as a suggested fix.
+	if len(d.SuggestedFixes) == 0 || len(d.SuggestedFixes[0].TextEdits) == 0 {
+		t.Fatalf("finding should carry an //elsa:ephemeral stub fix")
+	}
+	if txt := string(d.SuggestedFixes[0].TextEdits[0].NewText); !strings.Contains(txt, "//elsa:ephemeral") {
+		t.Fatalf("fix should insert an //elsa:ephemeral stub, got %q", txt)
+	}
+}
+
+// TestSnapshotMutationPartial drops only the decode side: the finding
+// must say which half of the path is missing.
+func TestSnapshotMutationPartial(t *testing.T) {
+	src := fmt.Sprintf(sessionFixtureTmpl, "")
+	src = strings.Replace(src, "origin: st.Origin, ", "", 1)
+	diags := runAnalyzers(t, loadSource(t, src), []*analysis.Analyzer{SnapshotAnalyzer})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "the decode snapshotter path") {
+		t.Fatalf("want one decode-side finding, got: %v", diags)
+	}
+}

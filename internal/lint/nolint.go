@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"sort"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -19,6 +20,11 @@ var NolintAnalyzer = &analysis.Analyzer{
 
 func runNolint(pass *analysis.Pass) (interface{}, error) {
 	known := analyzerNames()
+	valid := make([]string, 0, len(known))
+	for name := range known {
+		valid = append(valid, name)
+	}
+	sort.Strings(valid)
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -32,7 +38,7 @@ func runNolint(pass *analysis.Pass) (interface{}, error) {
 						elsaTargeted = true
 					}
 					if strings.HasPrefix(name, "elsa") && !known[name] {
-						pass.Reportf(c.Pos(), "nolint: unknown analyzer %q (valid: elsa, elsahotpath, elsadeterminism, elsactxflow, elsalocksafe, elsanolint)", name)
+						pass.Reportf(c.Pos(), "nolint: unknown analyzer %q (valid: %s)", name, strings.Join(valid, ", "))
 					}
 				}
 				if elsaTargeted && e.reason == "" {

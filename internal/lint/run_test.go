@@ -2,10 +2,11 @@ package lint
 
 // A minimal analysistest: golang.org/x/tools/go/analysis/analysistest is
 // not vendored, so fixtures are loaded with go/parser + go/types and the
-// source importer, analyzers run over a hand-built analysis.Pass, and
-// diagnostics are matched against // want "regexp" comments — the same
-// convention the real analysistest uses, minus facts and suggested
-// fixes, which this suite does not employ.
+// source importer, analyzers run over a hand-built analysis.Pass with an
+// in-memory fact store, and diagnostics are matched against
+// // want "regexp" comments — the same convention the real analysistest
+// uses. Suggested fixes are carried through on the diagnostics for
+// tests that assert on them.
 
 import (
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strings"
@@ -109,13 +111,53 @@ func loadFixture(t *testing.T, dir string) *fixture {
 	return fx
 }
 
-// runOn loads the fixture at testdata/<dir> and runs the analyzers over
-// it, checking every diagnostic against the // want comments.
-func runOn(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
-	t.Helper()
-	fx := loadFixture(t, filepath.Join("testdata", dir))
+// factStore is the harness's in-memory stand-in for the driver's fact
+// storage: facts exported by one analyzer are visible to later
+// analyzers of the same runAnalyzers call, mirroring how go vet feeds
+// facts forward (minus the gob round-trip, covered by its own test).
+type factStore struct {
+	objs map[types.Object][]analysis.Fact
+	pkgs map[*types.Package][]analysis.Fact
+}
 
+func newFactStore() *factStore {
+	return &factStore{
+		objs: make(map[types.Object][]analysis.Fact),
+		pkgs: make(map[*types.Package][]analysis.Fact),
+	}
+}
+
+// set records fact in the slice, replacing an existing fact of the
+// same concrete type (the analysis framework's semantics).
+func setFact(facts []analysis.Fact, fact analysis.Fact) []analysis.Fact {
+	t := reflect.TypeOf(fact)
+	for i, f := range facts {
+		if reflect.TypeOf(f) == t {
+			facts[i] = fact
+			return facts
+		}
+	}
+	return append(facts, fact)
+}
+
+// get copies a stored fact of fact's concrete type into fact.
+func getFact(facts []analysis.Fact, fact analysis.Fact) bool {
+	t := reflect.TypeOf(fact)
+	for _, f := range facts {
+		if reflect.TypeOf(f) == t {
+			reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// runAnalyzers executes the analyzers over a loaded fixture, collecting
+// diagnostics and threading facts between them.
+func runAnalyzers(t *testing.T, fx *fixture, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
 	var diags []analysis.Diagnostic
+	store := newFactStore()
 	results := map[*analysis.Analyzer]interface{}{
 		inspect.Analyzer: inspector.New(fx.files),
 	}
@@ -134,16 +176,44 @@ func runOn(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 			TypesSizes: types.SizesFor("gc", "amd64"),
 			ResultOf:   results,
 			Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				store.objs[obj] = setFact(store.objs[obj], fact)
+			},
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				return getFact(store.objs[obj], fact)
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				store.pkgs[fx.pkg] = setFact(store.pkgs[fx.pkg], fact)
+			},
+			ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+				return getFact(store.pkgs[pkg], fact)
+			},
+			AllObjectFacts:  func() []analysis.ObjectFact { return nil },
+			AllPackageFacts: func() []analysis.PackageFact { return nil },
 		}
 		if _, err := a.Run(pass); err != nil {
 			t.Fatalf("analyzer %s: %v", a.Name, err)
 		}
 	}
+	return diags
+}
 
+// runOn loads the fixture at testdata/<dir> and runs the analyzers over
+// it, checking every diagnostic against the // want comments.
+func runOn(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	fx := loadFixture(t, filepath.Join("testdata", dir))
+	diags := runAnalyzers(t, fx, analyzers)
+
+	// Index diagnostics by line so unmatched wants can say what WAS
+	// reported there — the difference between "tweak the regexp" and
+	// "rerun under a debugger".
+	got := make(map[string][]string)
 	var problems []string
 	for _, d := range diags {
 		pos := fx.fset.Position(d.Pos)
 		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		got[key] = append(got[key], d.Message)
 		found := false
 		for _, w := range fx.wants[key] {
 			if w.rx.MatchString(d.Message) {
@@ -156,9 +226,14 @@ func runOn(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 	}
 	for key, ws := range fx.wants {
 		for _, w := range ws {
-			if !w.matched {
-				problems = append(problems, fmt.Sprintf("%s: expected diagnostic matching %q, got none", key, w.rx))
+			if w.matched {
+				continue
 			}
+			detail := "no diagnostics on this line"
+			if msgs := got[key]; len(msgs) > 0 {
+				detail = "diagnostics on this line: " + strings.Join(msgs, " | ")
+			}
+			problems = append(problems, fmt.Sprintf("%s: expected diagnostic matching %q, got none (%s)", key, w.rx, detail))
 		}
 	}
 	sort.Strings(problems)
@@ -168,6 +243,9 @@ func runOn(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 }
 
 func TestHotPath(t *testing.T)     { runOn(t, "hotpath", HotPathAnalyzer) }
+func TestAlloc(t *testing.T)       { runOn(t, "alloc", AllocAnalyzer) }
+func TestSnapshot(t *testing.T)    { runOn(t, "snapshotfix", SnapshotAnalyzer) }
+func TestAtomic(t *testing.T)      { runOn(t, "atomicmix", AtomicAnalyzer) }
 func TestDeterminism(t *testing.T) { runOn(t, "determinism", DeterminismAnalyzer) }
 func TestCtxFlow(t *testing.T)     { runOn(t, "ctxflow", CtxFlowAnalyzer) }
 func TestLockSafe(t *testing.T)    { runOn(t, "locksafe", LockSafeAnalyzer) }

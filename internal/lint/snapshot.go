@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Snapshot-contract directives. A struct marked //elsa:snapshot must
+// have every field either referenced by at least one
+// "//elsa:snapshotter encode" function AND one "//elsa:snapshotter
+// decode" function in its package, or annotated "//elsa:ephemeral
+// <reason>". A struct marked //elsa:snapshot-envelope is the root of a
+// JSON persistence envelope: no struct reachable from it may carry
+// state in unexported fields, because encoding/json drops those
+// silently and the kill/resume equality guarantee dies with them.
+const (
+	snapshotDirective    = "//elsa:snapshot"
+	snapshotterDirective = "//elsa:snapshotter"
+	ephemeralDirective   = "//elsa:ephemeral"
+	envelopeDirective    = "//elsa:snapshot-envelope"
+)
+
+// SnapshotAnalyzer guards resume equality by construction: adding a
+// mutable field to a snapshot-contract struct without serializing it
+// (or explaining why it may be dropped) is a vet error, not a code
+// review hope. See the directive constants above for the contract.
+//
+// Ephemeral annotations export an EphemeralFact per field, so envelope
+// walks from importing packages honor exemptions granted where the
+// struct is defined.
+var SnapshotAnalyzer = &analysis.Analyzer{
+	Name: "elsasnapshot",
+	Doc: "check //elsa:snapshot structs for fields missed by the encode/decode snapshotter " +
+		"paths and //elsa:snapshot-envelope roots for unexported (encoding/json-invisible) state",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*EphemeralFact)(nil)},
+	Run:       runSnapshot,
+}
+
+// EphemeralFact records that a field is deliberately not serialized.
+type EphemeralFact struct{ Reason string }
+
+func (*EphemeralFact) AFact()           {}
+func (f *EphemeralFact) String() string { return "ephemeral: " + f.Reason }
+
+func runSnapshot(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	rep := newReporter(pass)
+
+	enc, dec := collectSnapshotters(pass, rep, ins)
+	eph := collectEphemerals(pass, rep, ins)
+
+	ins.Preorder([]ast.Node{(*ast.GenDecl)(nil)}, func(n ast.Node) {
+		gd := n.(*ast.GenDecl)
+		if gd.Tok != token.TYPE {
+			return
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			marked := hasDirective(gd.Doc, snapshotDirective) || hasDirective(ts.Doc, snapshotDirective)
+			if marked {
+				checkSnapshotStruct(pass, rep, ts, st, enc, dec, eph)
+			}
+			if hasDirective(gd.Doc, envelopeDirective) || hasDirective(ts.Doc, envelopeDirective) {
+				checkEnvelope(pass, rep, ts, eph)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// collectSnapshotters gathers the union of struct fields referenced by
+// the package's annotated encode and decode functions. Any identifier
+// resolving to a field counts: selector reads/writes and keyed
+// composite-literal keys both appear in types.Info.Uses.
+func collectSnapshotters(pass *analysis.Pass, rep *reporter, ins *inspector.Inspector) (enc, dec map[types.Object]bool) {
+	enc, dec = make(map[types.Object]bool), make(map[types.Object]bool)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		mode, ok := directiveArg(fn.Doc, snapshotterDirective)
+		if !ok {
+			return
+		}
+		var into map[types.Object]bool
+		switch mode {
+		case "encode":
+			into = enc
+		case "decode":
+			into = dec
+		default:
+			rep.reportf(fn.Pos(), "snapshot: snapshotter mode must be encode or decode, got %q", mode)
+			return
+		}
+		if fn.Body == nil {
+			return
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && v.IsField() {
+					into[v] = true
+				}
+			}
+			return true
+		})
+	})
+	return enc, dec
+}
+
+// collectEphemerals indexes every //elsa:ephemeral field annotation in
+// the package, reports reasonless ones, and exports the facts.
+func collectEphemerals(pass *analysis.Pass, rep *reporter, ins *inspector.Inspector) map[types.Object]string {
+	eph := make(map[types.Object]string)
+	ins.Preorder([]ast.Node{(*ast.StructType)(nil)}, func(n ast.Node) {
+		st := n.(*ast.StructType)
+		for _, fld := range st.Fields.List {
+			reason, ok := directiveArg(fld.Doc, ephemeralDirective)
+			if !ok {
+				reason, ok = directiveArg(fld.Comment, ephemeralDirective)
+			}
+			if !ok {
+				continue
+			}
+			if reason == "" {
+				rep.reportf(fld.Pos(), "snapshot: //elsa:ephemeral needs a reason explaining why dropping this field on resume is safe")
+			}
+			for _, name := range fld.Names {
+				if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					eph[obj] = reason
+					pass.ExportObjectFact(obj, &EphemeralFact{Reason: reason})
+				}
+			}
+		}
+	})
+	return eph
+}
+
+// checkSnapshotStruct verifies the field-coverage contract of one
+// //elsa:snapshot struct.
+func checkSnapshotStruct(pass *analysis.Pass, rep *reporter, ts *ast.TypeSpec, st *ast.StructType,
+	enc, dec map[types.Object]bool, eph map[types.Object]string) {
+	for _, fld := range st.Fields.List {
+		for _, name := range fld.Names {
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if _, isEph := eph[obj]; isEph {
+				continue
+			}
+			var missing string
+			switch {
+			case !enc[obj] && !dec[obj]:
+				missing = "the encode and decode snapshotter paths"
+			case !enc[obj]:
+				missing = "the encode snapshotter path"
+			case !dec[obj]:
+				missing = "the decode snapshotter path"
+			default:
+				continue
+			}
+			indent := strings.Repeat("\t", max(pass.Fset.Position(fld.Pos()).Column-1, 1))
+			rep.report(analysis.Diagnostic{
+				Pos: name.Pos(),
+				Message: fmt.Sprintf("snapshot: field %s of %s is not handled by %s; "+
+					"serialize it or annotate it //elsa:ephemeral <reason>", name.Name, ts.Name.Name, missing),
+				SuggestedFixes: []analysis.SuggestedFix{{
+					Message: "annotate the field //elsa:ephemeral (fill in the reason)",
+					TextEdits: []analysis.TextEdit{{
+						Pos:     fld.Pos(),
+						End:     fld.Pos(),
+						NewText: []byte(ephemeralDirective + " TODO: why is dropping this on resume safe?\n" + indent),
+					}},
+				}},
+			})
+		}
+	}
+}
+
+// checkEnvelope walks the type closure of a persistence envelope and
+// flags unexported struct fields: encoding/json drops them silently,
+// so state stored there does not survive a kill/resume cycle.
+func checkEnvelope(pass *analysis.Pass, rep *reporter, ts *ast.TypeSpec, eph map[types.Object]string) {
+	root, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	visited := make(map[types.Type]bool)
+	var walk func(t types.Type, path string)
+	walk = func(t types.Type, path string) {
+		if t == nil || visited[t] {
+			return
+		}
+		visited[t] = true
+		if named, ok := t.(*types.Named); ok {
+			if hasMarshalJSON(named) {
+				return // the type controls its own wire form
+			}
+			if path == "" {
+				path = named.Obj().Name()
+			}
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Pointer:
+			walk(u.Elem(), path)
+		case *types.Slice:
+			walk(u.Elem(), path+"[]")
+		case *types.Array:
+			walk(u.Elem(), path+"[]")
+		case *types.Map:
+			walk(u.Key(), path+"(key)")
+			walk(u.Elem(), path+"[]")
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				if tag := reflect.StructTag(u.Tag(i)).Get("json"); tag == "-" {
+					continue // explicitly dropped: a decision, not an accident
+				}
+				if !f.Exported() {
+					if _, isEph := eph[f]; isEph {
+						continue
+					}
+					if f.Pkg() != pass.Pkg && pass.ImportObjectFact(f, new(EphemeralFact)) {
+						continue
+					}
+					pos, where := ts.Name.Pos(), fmt.Sprintf("%s.%s", path, f.Name())
+					if f.Pkg() == pass.Pkg {
+						pos = f.Pos()
+					}
+					rep.reportf(pos, "snapshot: unexported field %s is reachable from envelope %s and invisible to "+
+						"encoding/json; export it, annotate it //elsa:ephemeral <reason>, or marshal it explicitly",
+						where, root.Name())
+					continue // dropped fields don't contribute reachable types
+				}
+				walk(f.Type(), path+"."+f.Name())
+			}
+		}
+	}
+	walk(root.Type(), "")
+}
+
+// hasMarshalJSON structurally detects a json.Marshaler implementation
+// on t or *t (func () ([]byte, error)).
+func hasMarshalJSON(t types.Type) bool {
+	for _, recv := range []types.Type{t, types.NewPointer(t)} {
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, nil, "MarshalJSON")
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Params().Len() == 0 && sig.Results().Len() == 2 {
+			return true
+		}
+	}
+	return false
+}

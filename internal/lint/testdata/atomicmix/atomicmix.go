@@ -1,0 +1,65 @@
+// Package atomicmix seeds the elsaatomic fixture: fields accessed
+// both through sync/atomic and via plain loads/stores, plus the
+// sanctioned patterns that must stay silent.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits   int64
+	misses int64
+	flags  atomic.Int32
+	plain  int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want "field hits is accessed atomically .* but read plainly"
+}
+
+func (c *counter) reset() {
+	c.misses = 0 // want "field misses is accessed atomically .* but written plainly"
+}
+
+func (c *counter) incr() {
+	c.hits++ // want "field hits is accessed atomically .* but updated plainly"
+}
+
+func (c *counter) grow(n int64) {
+	c.misses += n // want "field misses is accessed atomically .* but updated plainly"
+}
+
+func (c *counter) leakAddr() *int64 {
+	return &c.hits // want "address of atomically accessed field hits"
+}
+
+// racyValueArg: the address arg is sanctioned, but the value operand is
+// a plain read of another atomic field.
+func (c *counter) racyValueArg() {
+	atomic.StoreInt64(&c.hits, c.misses) // want "field misses is accessed atomically .* but read plainly"
+}
+
+func (c *counter) copyTyped() int32 {
+	v := c.flags // want "field flags has type .* must be used via its methods"
+	return v.Load()
+}
+
+// Sanctioned uses: methods on typed atomics, & for helpers, and plain
+// fields never touched atomically.
+func (c *counter) clean(other *atomic.Int32) int64 {
+	c.flags.Store(other.Load())
+	bumpHelper(&c.flags)
+	c.plain++
+	return c.plain + int64(c.flags.Load())
+}
+
+func bumpHelper(f *atomic.Int32) { f.Add(1) }
+
+// suppressed: a reasoned nolint covers a deliberate post-quiescence read.
+func (c *counter) drain() int64 {
+	return c.hits //nolint:elsaatomic // called after all writers have joined; no concurrency left
+}

@@ -43,3 +43,20 @@ func foreignTarget(xs []int) int {
 	}
 	return n
 }
+
+// the invariant-suite names added with the dataflow analyzers are
+// accepted suppression targets.
+func newSuiteNames() int {
+	n := 1 //nolint:elsasnapshot // fixture: name-validation only
+	n++    //nolint:elsaatomic // fixture: name-validation only
+	n++    //nolint:elsaalloc // fixture: name-validation only
+	return n
+}
+
+// the valid-name list is derived from the registry, so it names the
+// dataflow analyzers too.
+func derivedList() int {
+	// want "unknown analyzer .elsasnapshots. .valid: elsa, elsaalloc, elsaatomic, elsactxflow"
+	n := 1 //nolint:elsasnapshots // near-miss of a real name
+	return n
+}

@@ -1,0 +1,76 @@
+// Package snapshotfix seeds the elsasnapshot fixture: snapshot-contract
+// structs with covered, missed and ephemeral fields, and a persistence
+// envelope reaching unexported state.
+package snapshotfix
+
+// ring is fully covered: slots and head travel through both
+// snapshotter paths, tmp is reasoned ephemeral.
+//
+//elsa:snapshot
+type ring struct {
+	slots []int
+	head  int
+	tmp   []int //elsa:ephemeral scratch; rebuilt lazily on first use
+}
+
+type ringState struct {
+	Slots []int `json:"slots"`
+	Head  int   `json:"head"`
+}
+
+//elsa:snapshotter encode
+func (r *ring) state() ringState {
+	return ringState{Slots: r.slots, Head: r.head}
+}
+
+//elsa:snapshotter decode
+func restore(st ringState) *ring {
+	return &ring{slots: st.Slots, head: st.Head}
+}
+
+//elsa:snapshot
+type leaky struct {
+	a int
+	b int // want "field b of leaky is not handled by the decode snapshotter path"
+	c int // want "field c of leaky is not handled by the encode and decode snapshotter paths"
+	//elsa:ephemeral
+	d int // want "//elsa:ephemeral needs a reason"
+	e int //nolint:elsasnapshot // migration in flight; serialized in the next schema rev
+}
+
+//elsa:snapshotter encode
+func encodeLeaky(l *leaky) (int, int) { return l.a, l.b }
+
+//elsa:snapshotter decode
+func decodeLeaky(a int) *leaky { return &leaky{a: a} }
+
+//elsa:snapshotter transcode
+func bogus() {} // want "snapshotter mode must be encode or decode"
+
+// envelope is a persistence root: everything reachable must be
+// json-visible or deliberately excluded.
+//
+//elsa:snapshot-envelope
+type envelope struct {
+	V     int     `json:"v"`
+	Inner inner   `json:"inner"`
+	Skip  int     `json:"-"`
+	When  stamped `json:"when"`
+	Deep  []outer `json:"deep"`
+}
+
+type inner struct {
+	Kept    int
+	dropped int   // want "unexported field .* invisible to encoding/json"
+	scratch []int //elsa:ephemeral derived cache; repopulated on first access
+}
+
+type outer struct {
+	Name string
+	meta map[string]int // want "unexported field .* invisible to encoding/json"
+}
+
+// stamped marshals itself, so its unexported word is its own business.
+type stamped struct{ ns int64 }
+
+func (stamped) MarshalJSON() ([]byte, error) { return []byte("0"), nil }

@@ -144,21 +144,29 @@ func DefaultConfig() Config {
 // driver configuration into a runnable stage graph. A Pipeline carries
 // the engine's (stateful) signal and chain state: use one Pipeline per
 // run — either a single Run call or a single Session.
+//
+//elsa:snapshot
 type Pipeline struct {
 	eng *predict.Engine
+	//elsa:ephemeral the resume path restores the organizer from the snapshot's HELO envelope before the pipeline is built
 	org TemplateLearner
+	//elsa:ephemeral driver configuration is a constructor argument, not stream state
 	cfg Config
 
-	ids    []int   // all dense-detector event ids, ascending
+	//elsa:ephemeral model-derived wiring rebuilt by New
+	ids []int // all dense-detector event ids, ascending
+	//elsa:ephemeral model-derived wiring rebuilt by New
 	shards [][]int // ids partitioned for the filter fan-out
 
 	counters [numStages]stageCounter
 
 	// Input hardening and supervision state (see harden.go).
-	quar     quarantine
-	dedup    *dedupRing // nil when Config.DedupWindow <= 0
-	shedding atomic.Bool
+	//elsa:ephemeral ingest diagnostics; the aggregate counts persist via the stage counters
+	quar  quarantine
+	dedup *dedupRing // nil when Config.DedupWindow <= 0
+	//elsa:ephemeral supervision health is deliberately not restored; see restoreCounters
 	sups     [numStages]*resilience.Supervisor // nil when unsupervised
+	shedding atomic.Bool
 }
 
 // New builds a pipeline over an engine. org may be nil when every record
@@ -224,6 +232,8 @@ func (p *Pipeline) Stats() []predict.StageStats {
 
 // fillStats populates a result's stage snapshot plus the run-level
 // hardening aggregates from the pipeline counters.
+//
+//elsa:snapshotter encode
 func (p *Pipeline) fillStats(st *predict.Stats) {
 	st.Stages = p.Stats()
 	st.QuarantinedRecords = int(p.counters[stageSource].quarantined.Load())

@@ -26,21 +26,29 @@ type tickBatch struct {
 // sampled without corrupting already-filtered signal state. Explicit
 // wall-clock advancement (advanceTo) is authoritative and closes ticks
 // without grace.
+//
+//elsa:snapshot
 type sampler struct {
 	origin time.Time
 	step   time.Duration
 	grace  int
-	limit  int // ticks in the run window; < 0 means unbounded (live session)
+	//elsa:ephemeral run-window bound is a constructor argument; resumed sessions are always unbounded
+	limit int // ticks in the run window; < 0 means unbounded (live session)
 
-	next     int // next tick index to close
-	hw       time.Time
-	open     map[int]*predict.Tick
+	next int // next tick index to close
+	hw   time.Time
+	open map[int]*predict.Tick
+	//elsa:ephemeral derived from the open tick aggregates; recomputed on resume
 	buffered int // records currently held in open ticks
 
 	late    int64 // dropped: older than the newest closed tick
 	outside int64 // dropped: outside the [start, end) run window
 }
 
+// newSampler is also the first half of the resume path: ResumeSession
+// rebuilds the cursor through it before overlaying the snapshot fields.
+//
+//elsa:snapshotter decode
 func newSampler(origin time.Time, step time.Duration, grace, limit int) *sampler {
 	return &sampler{
 		origin: origin,

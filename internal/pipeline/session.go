@@ -19,10 +19,13 @@ import (
 // result's LateRecords. AdvanceTo is wall-clock-authoritative: ticks it
 // closes are final regardless of grace. A Session is not safe for
 // concurrent use.
+//
+//elsa:snapshot
 type Session struct {
-	p      *Pipeline
-	smp    *sampler
-	res    *predict.Result
+	p   *Pipeline
+	smp *sampler
+	res *predict.Result
+	//elsa:ephemeral snapshots of closed sessions are rejected, so a resumed session always starts open
 	closed bool
 }
 

@@ -19,6 +19,8 @@ import (
 // The state is pure data — it references the model only through stable
 // keys (event ids, chain keys), which Pipeline.ResumeSession resolves
 // and validates against the model it runs over.
+//
+//elsa:snapshot-envelope
 type SessionState struct {
 	Origin    time.Time             `json:"origin"`
 	Step      time.Duration         `json:"step"`
@@ -40,6 +42,8 @@ type SessionState struct {
 // feeding the session afterwards cannot mutate it. Snapshotting a closed
 // session is an error: its open ticks were already flushed, so resuming
 // from it would double-emit their predictions.
+//
+//elsa:snapshotter encode
 func (s *Session) State() (*SessionState, error) {
 	if s.closed {
 		return nil, errors.New("pipeline: cannot snapshot a closed session")
@@ -80,6 +84,8 @@ func (s *Session) State() (*SessionState, error) {
 // key, and any mismatch is an error rather than a silently corrupted
 // resume. The first tick the resumed session closes is exactly the one
 // the snapshotted session would have closed next.
+//
+//elsa:snapshotter decode
 func (p *Pipeline) ResumeSession(st *SessionState) (*Session, error) {
 	if st == nil {
 		return nil, errors.New("pipeline: nil session state")
@@ -135,6 +141,8 @@ func (p *Pipeline) ResumeSession(st *SessionState) (*Session, error) {
 // budget (the panics of a previous incarnation say nothing about this
 // one), while the cumulative panic counts live on in the snapshot's
 // result history.
+//
+//elsa:snapshotter decode
 func (p *Pipeline) restoreCounters(stages []predict.StageStats) {
 	for _, ss := range stages {
 		for i := range stageNames {

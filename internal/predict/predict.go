@@ -217,24 +217,34 @@ func SampleTick(recs []logs.Record, tickStart time.Time) *Tick {
 }
 
 // instance is a partially matched chain occurrence.
+//elsa:snapshot
 type instance struct {
 	chain     *correlate.Chain
 	startTick int
 	matched   []bool
-	nMatched  int
-	trigger   topology.Location
-	fired     bool
+	//elsa:ephemeral popcount of matched; Restore recomputes it
+	nMatched int
+	trigger  topology.Location
+	fired    bool
 }
 
 // Engine is the online predictor. Build one with NewEngine per test run;
 // it is not safe for concurrent use.
+//
+//elsa:snapshot
 type Engine struct {
-	model    *correlate.Model
+	//elsa:ephemeral trained-model reference; Restore resolves the snapshot against it
+	model *correlate.Model
+	//elsa:ephemeral trained location profiles, loaded with the model
 	profiles map[string]*location.Profile
-	cfg      Config
+	//elsa:ephemeral engine configuration is a constructor argument, not stream state
+	cfg Config
 
-	chains      []correlate.Chain
-	byEvent     map[int][]chainRef // event id -> positions in chains
+	//elsa:ephemeral model-derived wiring rebuilt by NewEngine
+	chains []correlate.Chain
+	//elsa:ephemeral model-derived wiring rebuilt by NewEngine
+	byEvent map[int][]chainRef // event id -> positions in chains
+	//elsa:ephemeral model-derived wiring rebuilt by NewEngine
 	firstEvents map[int][]*correlate.Chain
 
 	detectors map[int]*outlier.Detector // dense events only
@@ -244,6 +254,8 @@ type Engine struct {
 
 // spanTracker accumulates the observed trigger-to-terminal spans of one
 // chain (in ticks) to adapt its prediction window.
+//
+//elsa:snapshot
 type spanTracker struct {
 	q10, q90 *stats.StreamingQuantile
 	n        int

@@ -14,6 +14,8 @@ import (
 // per-chain adaptive-window trackers. Together with the sampler cursor
 // (owned by internal/pipeline) it is everything a crashed monitor needs
 // to resume mid-stream without retraining and without double-emitting.
+//
+//elsa:snapshot-envelope
 type EngineState struct {
 	Detectors map[int]outlier.DetectorState `json:"detectors,omitempty"`
 	Active    []InstanceState               `json:"active,omitempty"`
@@ -40,6 +42,8 @@ type SpanState struct {
 // State snapshots the engine's online state. The active-instance order
 // is preserved exactly: prediction emission order depends on it, and the
 // resume contract is bit-identical continuation.
+//
+//elsa:snapshotter encode
 func (e *Engine) State() *EngineState {
 	st := &EngineState{
 		Detectors: make(map[int]outlier.DetectorState, len(e.detectors)),
@@ -69,6 +73,8 @@ func (e *Engine) State() *EngineState {
 // the snapshot was taken from: detector ids and chain keys are resolved
 // against the model, and any mismatch is an error (the snapshot belongs
 // to a different model, resuming would corrupt predictions silently).
+//
+//elsa:snapshotter decode
 func (e *Engine) Restore(st *EngineState) error {
 	if st == nil {
 		return fmt.Errorf("predict: nil engine state")

@@ -20,10 +20,13 @@ import (
 // counted (Stats.LateRecords and the sample stage's Dropped counter)
 // rather than corrupting tick state. AdvanceTo is wall-clock
 // authoritative: ticks it closes are final.
+//
+//elsa:snapshot
 type Monitor struct {
 	model   *Model
 	session *pipeline.Session
-	result  *PredictResult
+	//elsa:ephemeral caches Close's result, and a closed monitor cannot be snapshotted
+	result *PredictResult
 }
 
 // NewMonitor arms the model for incremental prediction, with the first

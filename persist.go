@@ -14,6 +14,8 @@ import (
 // modelEnvelope is the on-disk form of a trained model. The format is
 // versioned JSON: small enough to inspect by hand, stable enough to ship
 // between the training host and the online monitor.
+//
+//elsa:snapshot-envelope
 type modelEnvelope struct {
 	Version   int                          `json:"version"`
 	HELO      heloEnvelope                 `json:"helo"`

@@ -17,6 +17,8 @@ import (
 // and the session state — sampler cursor, open tick aggregates, signal
 // windows, partially matched chains and the accumulated result. It is
 // written next to, and versioned independently of, the model envelope.
+//
+//elsa:snapshot-envelope
 type monitorEnvelope struct {
 	Version int                    `json:"version"`
 	Start   time.Time              `json:"start"`
@@ -34,6 +36,8 @@ const monitorFormatVersion = 1
 // the ones still pending in open ticks. Snapshotting a closed monitor is
 // an error: its open ticks were already flushed, so a resume would
 // double-emit their predictions.
+//
+//elsa:snapshotter encode
 func (mo *Monitor) Snapshot(w io.Writer) error {
 	st, err := mo.session.State()
 	if err != nil {
@@ -76,6 +80,8 @@ func (m *Model) ResumeMonitor(r io.Reader) (*Monitor, error) {
 // configuration, which must match the one the snapshotted monitor ran
 // with (the sampling step is validated; the rest is the caller's
 // contract, as for LoadModel).
+//
+//elsa:snapshotter decode
 func (m *Model) ResumeMonitorWith(r io.Reader, cfg PredictConfig) (*Monitor, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
