@@ -68,6 +68,14 @@ func runAlloc(pass *analysis.Pass) (interface{}, error) {
 				rep.report(diag)
 			}
 		}
+		// A variable whose address escapes is moved to the heap — an
+		// allocation with no make/new/literal site of its own.
+		for _, ac := range heapMovedLocals(flow) {
+			clean = false
+			p := pass.Fset.Position(ac.cell.sinkPos)
+			rep.reportf(ac.pos, "alloc: %s escapes (%s at line %d), moving %s to the heap; it allocates per call",
+				ac.cell.label, ac.cell.sink, p.Line, ac.base.obj.Name())
+		}
 		if clean {
 			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok && obj.Exported() {
 				pass.ExportObjectFact(obj, &AllocFreeFact{})
@@ -75,6 +83,25 @@ func runAlloc(pass *analysis.Pass) (interface{}, error) {
 		}
 	})
 	return nil, nil
+}
+
+// heapMovedLocals returns the escaping address-of cells, one per
+// addressed variable (the first escaping & in source order wins).
+// Only the pointer cell's escape counts: a plain value return of the
+// variable marks the variable's own cell escaped without heap-moving
+// its storage.
+func heapMovedLocals(flow *funcFlow) []*addrCell {
+	var out []*addrCell
+	seen := make(map[types.Object]bool)
+	addrs := append([]*addrCell(nil), flow.addrs...)
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].pos < addrs[j].pos })
+	for _, ac := range addrs {
+		if ac.cell.escaped && !seen[ac.base.obj] {
+			seen[ac.base.obj] = true
+			out = append(out, ac)
+		}
+	}
+	return out
 }
 
 // allocVerdict decides one allocation site: "" when proven

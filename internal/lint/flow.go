@@ -79,8 +79,9 @@ const maxStackAlloc = 64 << 10
 
 // cell is one storage node of the value graph.
 type cell struct {
-	obj  types.Object // local variable, nil for allocation sites
-	site *allocSite   // non-nil for allocation-site cells
+	obj   types.Object // local variable, nil for allocation sites
+	site  *allocSite   // non-nil for allocation-site cells
+	label string       // diagnostic name for cells with neither (address-of pointers)
 
 	held []*cell // cells whose values this cell's storage can reach
 
@@ -104,12 +105,27 @@ type allocSite struct {
 	constLen int64          // slice sites: element count when constant, else -1
 }
 
+// addrCell tracks one &x pointer value whose target is a variable's
+// own frame storage (no pointer hop between the & and the variable).
+// The pointer cell holds the variable, so the variable escapes with
+// the pointer — and when the pointer cell escapes, the compiler moves
+// the variable to the heap: an allocation with no make/new/literal
+// site of its own, which elsaalloc reports from here. A plain value
+// read of the variable (return x) never escapes this cell, keeping
+// value escape distinct from storage escape.
+type addrCell struct {
+	cell *cell
+	base *cell     // the addressed frame variable
+	pos  token.Pos // the & expression
+}
+
 // funcFlow is the per-function analysis state.
 type funcFlow struct {
 	pass  *analysis.Pass
 	fn    *ast.FuncDecl
 	cells map[types.Object]*cell
 	sites []*allocSite
+	addrs []*addrCell
 }
 
 // analyzeFlow builds the value graph of fn's body and runs escape
@@ -210,6 +226,8 @@ func (f *funcFlow) propagate() {
 						via = fmt.Sprintf("%s escapes (%s)", c.obj.Name(), c.sink)
 					} else if c.site != nil {
 						via = fmt.Sprintf("holding %s escapes (%s)", c.site.kind, c.sink)
+					} else if c.label != "" {
+						via = fmt.Sprintf("%s escapes (%s)", c.label, c.sink)
 					}
 					f.escapeCell(h, c.sinkPos, via)
 					changed = true
@@ -220,9 +238,12 @@ func (f *funcFlow) propagate() {
 }
 
 func (f *funcFlow) allCells() []*cell {
-	out := make([]*cell, 0, len(f.cells)+len(f.sites))
+	out := make([]*cell, 0, len(f.cells)+len(f.sites)+len(f.addrs))
 	for _, s := range f.sites {
 		out = append(out, s.cell)
+	}
+	for _, a := range f.addrs {
+		out = append(out, a.cell)
 	}
 	for _, c := range f.cells {
 		out = append(out, c)
@@ -544,9 +565,28 @@ func (f *funcFlow) scanExpr(e ast.Expr) []*cell {
 			if cl, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
 				return []*cell{f.addSite(e, allocPtrLit, f.litElems(cl), -1).cell}
 			}
-			// &localVar: a pointer into the frame; treat it as carrying
-			// the variable's cell so the var's contents escape with it.
-			return f.scanExpr(e.X)
+			// &lvalue: a pointer into storage. Resolve the addressed base
+			// without the value-type refGate — &xs[i] of a []int still
+			// points into xs's backing array even though an int element
+			// carries no references — so the container's cells ride the
+			// pointer and escape with it. When the address lands in a
+			// frame variable's own storage, the pointer gets a cell of
+			// its own: its escape heap-moves the variable.
+			cells, direct := f.scanAddr(e.X)
+			if !direct {
+				return cells
+			}
+			out := make([]*cell, 0, len(cells))
+			for _, c := range cells {
+				if c.obj == nil {
+					out = append(out, c)
+					continue
+				}
+				ac := &addrCell{cell: &cell{label: "&" + exprString(e.X), held: []*cell{c}}, base: c, pos: e.Pos()}
+				f.addrs = append(f.addrs, ac)
+				out = append(out, ac.cell)
+			}
+			return out
 		}
 		return f.scanExpr(e.X)
 	case *ast.BinaryExpr:
@@ -579,6 +619,49 @@ func (f *funcFlow) scanExpr(e ast.Expr) []*cell {
 		return f.scanCall(e)
 	}
 	return nil
+}
+
+// scanAddr resolves the cells behind the operand of an address-of
+// expression by walking the l-value structure (ident, field select,
+// index, deref) with no refGate: the gate reasons about the *value*
+// read, but a pointer into a container reaches the container's storage
+// regardless of what the element type can carry. direct reports
+// whether the chain stayed inside the variable's own frame storage
+// (no pointer, slice or map hop): only then does an escaping pointer
+// move the variable itself to the heap.
+func (f *funcFlow) scanAddr(e ast.Expr) (cells []*cell, direct bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if c := f.cellFor(objOf(f.pass.TypesInfo, e)); c != nil {
+			return []*cell{c}, true
+		}
+		return nil, false
+	case *ast.ParenExpr:
+		return f.scanAddr(e.X)
+	case *ast.SelectorExpr:
+		if t := f.pass.TypesInfo.TypeOf(e.X); t != nil {
+			if _, ok := t.Underlying().(*types.Pointer); ok {
+				// &p.f: the address lands in p's pointee, not the frame.
+				return f.scanExpr(e.X), false
+			}
+		}
+		return f.scanAddr(e.X)
+	case *ast.IndexExpr:
+		f.scanExpr(e.Index)
+		if t := f.pass.TypesInfo.TypeOf(e.X); t != nil {
+			if _, ok := t.Underlying().(*types.Array); ok {
+				return f.scanAddr(e.X)
+			}
+		}
+		// Slice or *array element: the address points into the backing
+		// storage the base value references.
+		return f.scanExpr(e.X), false
+	case *ast.StarExpr:
+		// &*p is p: whatever p carries.
+		return f.scanExpr(e.X), false
+	default:
+		return f.scanExpr(e), false
+	}
 }
 
 // refGate drops the carried cells of a read whose result type cannot

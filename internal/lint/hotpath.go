@@ -39,14 +39,32 @@ func runHotPath(pass *analysis.Pass) (interface{}, error) {
 }
 
 func checkHotBody(pass *analysis.Pass, rep *reporter, fn *ast.FuncDecl) {
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+	var sig *types.Signature
+	if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+		sig = obj.Type().(*types.Signature)
+	}
+	checkHotScope(pass, rep, fn.Body, sig)
+}
+
+// checkHotScope checks one function body against its own signature.
+// Nested func literals recurse with the literal's signature, so each
+// return statement pairs with its innermost enclosing function — a
+// closure returning int inside a kernel returning any is not a boxing
+// site, and boxing inside the closure is judged against the closure's
+// results.
+func checkHotScope(pass *analysis.Pass, rep *reporter, body *ast.BlockStmt, sig *types.Signature) {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.FuncLit:
+			lsig, _ := pass.TypesInfo.TypeOf(n).(*types.Signature)
+			checkHotScope(pass, rep, n.Body, lsig)
+			return false
 		case *ast.CallExpr:
 			checkHotCall(pass, rep, n)
 		case *ast.GoStmt:
 			rep.reportf(n.Pos(), "hotpath: goroutine launch allocates a stack")
 		case *ast.ReturnStmt:
-			checkReturnBoxing(pass, rep, fn, n)
+			checkReturnBoxing(pass, rep, sig, n)
 		}
 		checkIfaceConv(pass, rep, n)
 		return true
@@ -94,13 +112,12 @@ func isStringBytesConv(to, from types.Type) bool {
 }
 
 // checkReturnBoxing flags returns whose result slot is an interface
-// fed a concrete value — boxing the kernel's own return path.
-func checkReturnBoxing(pass *analysis.Pass, rep *reporter, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
-	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
-	if !ok {
+// fed a concrete value — boxing the enclosing function's return path.
+func checkReturnBoxing(pass *analysis.Pass, rep *reporter, sig *types.Signature, ret *ast.ReturnStmt) {
+	if sig == nil {
 		return
 	}
-	results := obj.Type().(*types.Signature).Results()
+	results := sig.Results()
 	if results.Len() != len(ret.Results) {
 		return // naked return or tuple-splitting call; nothing to pair up
 	}

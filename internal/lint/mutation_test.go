@@ -81,6 +81,19 @@ func TestSnapshotMutationGuard(t *testing.T) {
 	}
 }
 
+// TestSnapshotStubStaysRed applies the suggested //elsa:ephemeral TODO
+// stub to the mutant and asserts the analyzer still reports: the
+// mechanical autofix must never green a genuine resume-equality hole,
+// only convert it into an explicit, still-failing TODO.
+func TestSnapshotStubStaysRed(t *testing.T) {
+	stubbed := fmt.Sprintf(sessionFixtureTmpl,
+		"\t//elsa:ephemeral TODO: why is dropping this on resume safe?\n\tlastTick int64\n")
+	diags := runAnalyzers(t, loadSource(t, stubbed), []*analysis.Analyzer{SnapshotAnalyzer})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "TODO stub") {
+		t.Fatalf("TODO-stubbed field must stay red, got: %v", diags)
+	}
+}
+
 // TestSnapshotMutationPartial drops only the decode side: the finding
 // must say which half of the path is missing.
 func TestSnapshotMutationPartial(t *testing.T) {

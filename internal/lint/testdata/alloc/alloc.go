@@ -87,7 +87,47 @@ func escapesIndirectly() *scratch {
 	tmp := make([]int, 8) // want "escapes"
 	var s scratch
 	s.buf = tmp
-	return &s
+	return &s // want "&s escapes .returned.*moving s to the heap"
+}
+
+// the refGate soundness hole: &xs[i] of a []int points into the
+// backing array even though an int element carries no references, so
+// the make must escape with the pointer.
+//
+//elsa:hotpath
+func escapesByElemAddr() *int {
+	xs := make([]int, 4) // want "escapes .*returned"
+	return &xs[0]
+}
+
+// same hole through a selector + index chain.
+//
+//elsa:hotpath
+func escapesByFieldElemAddr() *int {
+	s := scratch{buf: make([]int, 2)} // want "escapes .*returned"
+	return &s.buf[0]
+}
+
+type pair struct{ a, b int }
+
+// no allocation site at all: the address of a plain local escapes, so
+// the compiler moves the variable itself to the heap.
+//
+//elsa:hotpath
+func heapMovedByFieldAddr() *int {
+	var p pair
+	return &p.a // want "&p.a escapes .returned at line.*moving p to the heap"
+}
+
+// addresses that never leave the frame prove out clean.
+//
+//elsa:hotpath
+func addrStaysLocal() int {
+	xs := make([]int, 4)
+	var p pair
+	q, r := &xs[0], &p.a
+	*q, *r = 3, 4
+	return xs[0] + p.a
 }
 
 // suppressedLegacy: a reasoned //nolint:elsahotpath covers the proof

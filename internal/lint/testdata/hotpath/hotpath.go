@@ -75,6 +75,24 @@ func spawns() {
 	go func() {}() // want "goroutine launch allocates a stack"
 }
 
+// closure returns pair with the closure's own signature, not the
+// kernel's: the int return below is not a boxing site even though the
+// kernel returns any, and boxing inside a closure is judged against
+// the closure's own results.
+//
+//elsa:hotpath
+func closureReturns() any {
+	f := func() int { return 1 }
+	sum := f()
+	g := func() boxer {
+		var v impl
+		return v // want "implicit conversion of impl to interface"
+	}
+	g()
+	_ = sum
+	return nil
+}
+
 // suppressed shows the escape hatch: amortized growth into a reused
 // buffer, with the reason recorded.
 //
