@@ -1,0 +1,82 @@
+// Command elsaload is the serving-path soak harness: it replays months
+// of synthetic BG/L-profile logs through a pluggable ingest backend
+// into a live monitor and writes the measurements — sustained
+// throughput, feed latency percentiles, shed/quarantine rates — as one
+// committed point of the perf record (BENCH_serve.json), in the format
+// BENCH_train.json established.
+//
+// Usage:
+//
+//	elsaload -backend segdir -days 30 -out BENCH_serve.json
+//	elsaload -backend socket -days 2 -rate 50000 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/load"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "elsaload:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one soak invocation; flags live on a private FlagSet and
+// I/O goes through the parameters so tests drive it in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("elsaload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		backend  = fs.String("backend", "segdir", "ingest backend to soak: segdir, file or socket")
+		days     = fs.Int("days", 30, "generated serve-stream length in days")
+		events   = fs.Int("events", 0, "scale the profile to this many event types (0 = base Blue Gene/L)")
+		rate     = fs.Float64("rate", 0, "throttle the replay to this many records/second (0 = unthrottled)")
+		duration = fs.Duration("duration", 0, "stop the replay after this much wall clock (0 = replay everything)")
+		seed     = fs.Int64("seed", 7, "generator seed")
+		dir      = fs.String("dir", "", "working directory for backend artifacts (default: throwaway temp dir)")
+		outPath  = fs.String("out", "", "write the JSON report here (default: stdout)")
+		quiet    = fs.Bool("quiet", false, "suppress per-day progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *days <= 0 {
+		return fmt.Errorf("-days must be positive")
+	}
+	opts := load.Options{
+		Backend:     *backend,
+		Dir:         *dir,
+		Days:        *days,
+		EventTypes:  *events,
+		Rate:        *rate,
+		MaxDuration: *duration,
+		Seed:        *seed,
+	}
+	if !*quiet {
+		opts.Progress = stderr
+	}
+	t0 := time.Now()
+	rep, err := load.Run(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "elsaload: soak finished in %s\n%s", time.Since(t0).Round(time.Millisecond), rep.Summary())
+
+	w := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return rep.WriteJSON(w)
+}

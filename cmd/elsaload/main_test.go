@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var stdout, stderr strings.Builder
+	err := run([]string{"-backend", "segdir", "-days", "1", "-quiet",
+		"-dir", t.TempDir(), "-out", out}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Backend    string `json:"backend"`
+		Records    int    `json:"records"`
+		Benchmarks []struct {
+			Name string `json:"name"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Backend != "segdir" || rep.Records == 0 || len(rep.Benchmarks) == 0 {
+		t.Errorf("report incomplete: %+v", rep)
+	}
+	if !strings.Contains(stderr.String(), "soak finished") {
+		t.Errorf("summary missing from stderr:\n%s", stderr.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-days", "0"}, &stdout, &stderr); err == nil {
+		t.Error("non-positive -days accepted")
+	}
+	if err := run([]string{"-backend", "kafka", "-days", "1"}, &stdout, &stderr); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}

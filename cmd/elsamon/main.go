@@ -1,11 +1,19 @@
 // Command elsamon is the online monitor daemon: it loads a trained model,
-// tails a log stream on stdin and prints failure forecasts as soon as they
-// fire — the deployment shape of the paper's online phase.
+// tails a log stream and prints failure forecasts as soon as they fire —
+// the deployment shape of the paper's online phase.
 //
 // Usage:
 //
 //	elsa -log history.log -train-days 5 -save model.json
 //	tail -f /var/log/system.log | elsamon -model model.json -format syslog
+//
+// Besides stdin, -ingest selects a pluggable backend (package
+// internal/ingest): a flat log file, a unix/TCP socket speaking
+// CRC-framed records, or a segmented append-only log directory that the
+// monitor can tail across segment rolls and resume by offset:
+//
+//	elsamon -model model.json -ingest segdir -in /var/lib/elsa/log -follow
+//	elsamon -model model.json -ingest socket -listen unix:/tmp/elsa.sock
 //
 // Each prediction is printed as one line:
 //
@@ -22,6 +30,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +40,7 @@ import (
 	"time"
 
 	elsa "github.com/elsa-hpc/elsa"
+	"github.com/elsa-hpc/elsa/internal/ingest"
 )
 
 func main() {
@@ -52,6 +63,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		snapPath  = fs.String("snapshot", "", "periodically write the monitor state to this path (atomic rename)")
 		snapEvery = fs.Int("snapshot-every", 10000, "records between periodic snapshots (with -snapshot)")
 		resumeP   = fs.String("resume", "", "resume the monitor from a snapshot written by -snapshot")
+		ingestS   = fs.String("ingest", "", "ingest backend: file, socket or segdir (default: lines on stdin)")
+		inPath    = fs.String("in", "", "input path: log file (-ingest file) or segment directory (-ingest segdir)")
+		listenS   = fs.String("listen", "", "listen address as net:addr, e.g. unix:/tmp/elsa.sock or tcp:127.0.0.1:7700 (-ingest socket)")
+		follow    = fs.Bool("follow", false, "with -ingest segdir: tail the directory for new records instead of stopping at the end")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,8 +90,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "elsamon: model with %d event types, %d chains loaded; waiting for records on stdin\n",
-		model.EventCount(), len(model.PredictiveChains()))
+	feed := "stdin"
+	if *ingestS != "" {
+		feed = "-ingest " + *ingestS
+	}
+	fmt.Fprintf(stderr, "elsamon: model with %d event types, %d chains loaded; waiting for records (%s)\n",
+		model.EventCount(), len(model.PredictiveChains()), feed)
 
 	var monitor *elsa.Monitor
 	if *resumeP != "" {
@@ -90,6 +109,32 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stderr, "elsamon: resumed from %s\n", *resumeP)
+	}
+
+	if *ingestS != "" {
+		if *formatS != "canonical" {
+			return fmt.Errorf("-ingest backends carry canonical records; -format must stay canonical")
+		}
+		b, err := openBackend(*ingestS, *inPath, *listenS, *follow)
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		if monitor != nil {
+			if off, ok := monitor.IngestOffset(); ok {
+				switch err := b.Seek(off); {
+				case err == nil:
+					fmt.Fprintf(stderr, "elsamon: ingest resumed at record %d\n", off.Records)
+				case errors.Is(err, ingest.ErrNotSeekable):
+					// A push backend cannot replay; the producer decides
+					// where the resumed stream starts.
+					fmt.Fprintf(stderr, "elsamon: ingest: %v; continuing from the live position\n", err)
+				default:
+					return fmt.Errorf("seek to snapshot offset %d: %w", off.Records, err)
+				}
+			}
+		}
+		return runBackend(b, model, monitor, stdout, stderr, *showLate, *snapPath, *snapEvery)
 	}
 
 	sc := bufio.NewScanner(stdin)
@@ -141,6 +186,88 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	st := res.Stats
 	fmt.Fprintf(stderr, "elsamon: %d records over %d ticks, %d predictions (%d late), %d undecodable lines, %d stragglers dropped\n",
 		st.Messages, st.Ticks, len(res.Predictions), st.LatePreds, dropped, st.LateRecords)
+	if st.QuarantinedRecords > 0 || st.DedupedRecords > 0 || st.ShedRecords > 0 || st.Degraded {
+		fmt.Fprintf(stderr, "elsamon: hardening: %d quarantined, %d deduplicated, %d shed, %d degraded ticks\n",
+			st.QuarantinedRecords, st.DedupedRecords, st.ShedRecords, st.DegradedTicks)
+	}
+	printStages(stderr, st.Stages)
+	return nil
+}
+
+// openBackend builds the ingest.Backend the -ingest flag selected.
+func openBackend(kind, in, listen string, follow bool) (ingest.Backend, error) {
+	switch kind {
+	case "file":
+		if in == "" {
+			return nil, fmt.Errorf("-ingest file requires -in <logfile>")
+		}
+		return ingest.OpenFile(in)
+	case "segdir":
+		if in == "" {
+			return nil, fmt.Errorf("-ingest segdir requires -in <segment-dir>")
+		}
+		return ingest.OpenSegDir(in, ingest.SegDirOptions{Follow: follow})
+	case "socket":
+		network, addr, ok := strings.Cut(listen, ":")
+		if !ok || network == "" || addr == "" {
+			return nil, fmt.Errorf("-ingest socket requires -listen net:addr (e.g. unix:/tmp/elsa.sock)")
+		}
+		return ingest.ListenSocket(network, addr, 1024)
+	default:
+		return nil, fmt.Errorf("unknown -ingest backend %q (want file, socket or segdir)", kind)
+	}
+}
+
+// runBackend drives the monitor from an ingest backend: the same feed
+// loop and snapshot cadence as the stdin path, with the backend's resume
+// offset riding in every snapshot so -resume can Seek back to it.
+func runBackend(b ingest.Backend, model *elsa.Model, monitor *elsa.Monitor, stdout, stderr io.Writer, showLate bool, snapPath string, snapEvery int) error {
+	ctx := context.Background()
+	out := bufio.NewWriter(stdout)
+	defer out.Flush()
+	fed := 0
+	for {
+		rec, err := b.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if monitor == nil {
+			// Anchor tick 0 at the first record's time.
+			monitor = model.NewMonitor(rec.Time.Truncate(10 * time.Second))
+		}
+		for _, p := range monitor.Feed(rec) {
+			emit(out, model, p, showLate)
+		}
+		out.Flush()
+		fed++
+		if snapPath != "" && fed%snapEvery == 0 {
+			monitor.SetIngestOffset(b.Offset())
+			if err := writeSnapshot(monitor, snapPath); err != nil {
+				fmt.Fprintln(stderr, "elsamon: snapshot:", err)
+			}
+		}
+	}
+	if monitor == nil {
+		return fmt.Errorf("no records received")
+	}
+	if snapPath != "" {
+		// Final snapshot before Close flushes the open ticks, carrying the
+		// end-of-stream offset so a later -resume continues exactly here.
+		monitor.SetIngestOffset(b.Offset())
+		if err := writeSnapshot(monitor, snapPath); err != nil {
+			fmt.Fprintln(stderr, "elsamon: snapshot:", err)
+		}
+	}
+	res := monitor.Close()
+	st := res.Stats
+	bs := b.Stats()
+	fmt.Fprintf(stderr, "elsamon: %d records over %d ticks, %d predictions (%d late), %d stragglers dropped\n",
+		st.Messages, st.Ticks, len(res.Predictions), st.LatePreds, st.LateRecords)
+	fmt.Fprintf(stderr, "elsamon: ingest: %d delivered, %d quarantined, %d resyncs, %d connections (%d aborted)\n",
+		bs.Delivered, bs.Quarantined, bs.Resyncs, bs.Conns, bs.AbortedConns)
 	if st.QuarantinedRecords > 0 || st.DedupedRecords > 0 || st.ShedRecords > 0 || st.Degraded {
 		fmt.Fprintf(stderr, "elsamon: hardening: %d quarantined, %d deduplicated, %d shed, %d degraded ticks\n",
 			st.QuarantinedRecords, st.DedupedRecords, st.ShedRecords, st.DegradedTicks)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	elsa "github.com/elsa-hpc/elsa"
+	"github.com/elsa-hpc/elsa/internal/ingest"
 )
 
 var testStart = time.Date(2006, 1, 2, 15, 0, 0, 0, time.UTC)
@@ -111,6 +113,154 @@ func TestRunSnapshotResume(t *testing.T) {
 	}
 	if !strings.Contains(errw.String(), "resumed from") {
 		t.Errorf("resume not announced on stderr:\n%s", errw.String())
+	}
+
+	if got, want := first.String()+second.String(), whole.String(); got != want {
+		t.Errorf("combined prediction output differs from the uninterrupted run:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// fillSegDir appends recs to a segment directory, with segments small
+// enough that a real stream crosses several rolls.
+func fillSegDir(t *testing.T, dir string, recs []elsa.Record) {
+	t.Helper()
+	w, err := ingest.CreateSegmentDir(dir, ingest.SegmentOptions{SegmentBytes: 16 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunIngestBackendsEquivalence pins the pluggable-ingest contract at
+// the daemon level: the same stream fed over stdin, a flat file, a
+// segment directory and a unix socket produces byte-identical prediction
+// output.
+func TestRunIngestBackendsEquivalence(t *testing.T) {
+	modelPath, stream := fixture(t)
+	text := canonical(t, stream)
+
+	var want, errw strings.Builder
+	if err := run([]string{"-model", modelPath, "-late"},
+		strings.NewReader(text), &want, &errw); err != nil {
+		t.Fatalf("stdin run: %v", err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("fixture produced no predictions; equivalence proves nothing")
+	}
+
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "stream.log")
+	if err := os.WriteFile(logPath, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fileOut strings.Builder
+	errw.Reset()
+	if err := run([]string{"-model", modelPath, "-late", "-ingest", "file", "-in", logPath},
+		strings.NewReader(""), &fileOut, &errw); err != nil {
+		t.Fatalf("file run: %v\nstderr:\n%s", err, errw.String())
+	}
+	if fileOut.String() != want.String() {
+		t.Error("file backend output differs from the stdin run")
+	}
+
+	segDir := filepath.Join(dir, "segs")
+	fillSegDir(t, segDir, stream)
+	var segOut strings.Builder
+	errw.Reset()
+	if err := run([]string{"-model", modelPath, "-late", "-ingest", "segdir", "-in", segDir},
+		strings.NewReader(""), &segOut, &errw); err != nil {
+		t.Fatalf("segdir run: %v\nstderr:\n%s", err, errw.String())
+	}
+	if segOut.String() != want.String() {
+		t.Error("segdir backend output differs from the stdin run")
+	}
+
+	sock := filepath.Join(dir, "elsa.sock")
+	done := make(chan error, 1)
+	go func() {
+		// The listener comes up inside run; retry the dial until it does.
+		var conn net.Conn
+		var err error
+		for i := 0; i < 200; i++ {
+			if conn, err = net.Dial("unix", sock); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		fc := ingest.NewFrameConn(conn)
+		for _, rec := range stream {
+			if err := fc.WriteRecord(rec); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- fc.End()
+	}()
+	var sockOut strings.Builder
+	errw.Reset()
+	if err := run([]string{"-model", modelPath, "-late", "-ingest", "socket", "-listen", "unix:" + sock},
+		strings.NewReader(""), &sockOut, &errw); err != nil {
+		t.Fatalf("socket run: %v\nstderr:\n%s", err, errw.String())
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("socket producer: %v", err)
+	}
+	if sockOut.String() != want.String() {
+		t.Error("socket backend output differs from the stdin run")
+	}
+}
+
+// TestRunIngestSegdirKillResume extends the crash-resume equality test
+// across the segmented store: the first incarnation reads the directory
+// as far as it goes and snapshots (the ingest offset rides along), the
+// writer appends the rest, and a -resume incarnation Seeks back to the
+// offset and continues — combined output equal to one uninterrupted run.
+func TestRunIngestSegdirKillResume(t *testing.T) {
+	modelPath, stream := fixture(t)
+	half := len(stream) / 2
+
+	full := filepath.Join(t.TempDir(), "full")
+	fillSegDir(t, full, stream)
+	var whole, errw strings.Builder
+	if err := run([]string{"-model", modelPath, "-late", "-ingest", "segdir", "-in", full},
+		strings.NewReader(""), &whole, &errw); err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "segs")
+	fillSegDir(t, dir, stream[:half])
+	snap := filepath.Join(t.TempDir(), "mon.snap")
+	var first, second strings.Builder
+	errw.Reset()
+	if err := run([]string{"-model", modelPath, "-late", "-ingest", "segdir", "-in", dir,
+		"-snapshot", snap, "-snapshot-every", "50"},
+		strings.NewReader(""), &first, &errw); err != nil {
+		t.Fatalf("first incarnation: %v\nstderr:\n%s", err, errw.String())
+	}
+
+	// The daemon is dead; the collector keeps appending to the store.
+	fillSegDir(t, dir, stream[half:])
+
+	errw.Reset()
+	if err := run([]string{"-model", modelPath, "-late", "-ingest", "segdir", "-in", dir,
+		"-resume", snap},
+		strings.NewReader(""), &second, &errw); err != nil {
+		t.Fatalf("resumed incarnation: %v\nstderr:\n%s", err, errw.String())
+	}
+	if !strings.Contains(errw.String(), "ingest resumed at record") {
+		t.Errorf("offset seek not announced on stderr:\n%s", errw.String())
 	}
 
 	if got, want := first.String()+second.String(), whole.String(); got != want {

@@ -1,0 +1,234 @@
+package chaos_test
+
+import (
+	"context"
+	"io"
+	"net"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/chaos"
+	"github.com/elsa-hpc/elsa/internal/gen"
+	"github.com/elsa-hpc/elsa/internal/ingest"
+	"github.com/elsa-hpc/elsa/internal/logs"
+)
+
+var storageStart = time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// storageRecords generates a deterministic stream, round-tripped through
+// the text codec so it matches what backends deliver.
+func storageRecords(t *testing.T, hours int) []logs.Record {
+	t.Helper()
+	res := gen.New(gen.BlueGeneL(), 19).Generate(storageStart, time.Duration(hours)*time.Hour)
+	out := make([]logs.Record, len(res.Records))
+	for i, r := range res.Records {
+		rec, err := logs.ParseRecord(r.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = rec
+	}
+	if len(out) < 50 {
+		t.Fatalf("generator produced only %d records; faults would not bite", len(out))
+	}
+	return out
+}
+
+func fillSegDir(t *testing.T, recs []logs.Record, segBytes int64) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "segs")
+	w, err := ingest.CreateSegmentDir(dir, ingest.SegmentOptions{SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func drainIngest(t *testing.T, b ingest.Backend) []logs.Record {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var out []logs.Record
+	for {
+		rec, err := b.Next(ctx)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next after %d records: %v", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// TestSegDirSurvivesTornActiveTail pins the crashed-writer case: a torn
+// partial frame at the end of the active segment is quarantined and the
+// stream ends cleanly with every intact record delivered.
+func TestSegDirSurvivesTornActiveTail(t *testing.T) {
+	recs := storageRecords(t, 36)
+	dir := fillSegDir(t, recs, 1<<20) // one segment: its tail is the log's tail
+	// A few bytes is less than one frame: exactly the last record is torn.
+	if cut, err := chaos.TearSegmentTail(dir, 5); err != nil || cut != 5 {
+		t.Fatalf("TearSegmentTail = %d, %v", cut, err)
+	}
+
+	r, err := ingest.OpenSegDir(dir, ingest.SegDirOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := drainIngest(t, r)
+	if want := recs[:len(recs)-1]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("delivered %d records, want the %d intact ones", len(got), len(want))
+	}
+	st := r.Stats()
+	if st.Quarantined == 0 || st.Resyncs == 0 {
+		t.Errorf("torn tail not accounted: %+v", st)
+	}
+}
+
+// TestSegDirSurvivesTornSealedSegment pins the resync case: torn bytes
+// at the end of a sealed segment abandon the rest of that segment, the
+// swallowed records count as quarantined, and every record of the
+// following segments still arrives.
+func TestSegDirSurvivesTornSealedSegment(t *testing.T) {
+	recs := storageRecords(t, 36)
+	dir := fillSegDir(t, recs, 8*1024) // several segments
+	if cut, err := chaos.TearSealedSegment(dir, 1, 5); err != nil || cut != 5 {
+		t.Fatalf("TearSealedSegment = %d, %v", cut, err)
+	}
+
+	r, err := ingest.OpenSegDir(dir, ingest.SegDirOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := drainIngest(t, r)
+	st := r.Stats()
+	if st.Resyncs == 0 || st.Quarantined == 0 {
+		t.Fatalf("sealed torn tail not accounted: %+v", st)
+	}
+	if int(st.Delivered)+int(st.Quarantined) != len(recs) {
+		t.Errorf("delivered %d + quarantined %d != %d records written",
+			st.Delivered, st.Quarantined, len(recs))
+	}
+	// The damage is confined to the torn segment: everything before the
+	// tear and everything from the next segment on arrives intact and in
+	// order — got is recs with one contiguous run removed.
+	gap := len(recs) - len(got)
+	if gap < 1 {
+		t.Fatalf("tear swallowed no records")
+	}
+	for i := 0; i < len(got); i++ {
+		if got[i] == recs[i] {
+			continue
+		}
+		if !reflect.DeepEqual(got[i:], recs[i+gap:]) {
+			t.Fatalf("post-resync records diverge at delivered index %d", i)
+		}
+		return
+	}
+	t.Fatal("all delivered records are a prefix: the segments after the tear never arrived")
+}
+
+// TestSegDirSurvivesFlippedByte pins the bit-rot case: a frame whose CRC
+// no longer matches is quarantined, and the frames after it still
+// arrive (here the flip hits the final frame's payload).
+func TestSegDirSurvivesFlippedByte(t *testing.T) {
+	recs := storageRecords(t, 36)
+	dir := fillSegDir(t, recs, 1<<20)
+	if err := chaos.FlipSegmentByte(dir, -1); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := ingest.OpenSegDir(dir, ingest.SegDirOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := drainIngest(t, r)
+	if want := recs[:len(recs)-1]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("delivered %d records, want the %d uncorrupted ones", len(got), len(want))
+	}
+	if st := r.Stats(); st.Quarantined != 1 {
+		t.Errorf("flipped byte quarantined %d frames, want 1: %+v", st.Quarantined, st)
+	}
+}
+
+// TestSocketSurvivesMidFrameDisconnect pins the transport case: a
+// producer dying mid-frame aborts only its own connection; a
+// reconnecting producer resumes the stream and nothing intact is lost.
+func TestSocketSurvivesMidFrameDisconnect(t *testing.T) {
+	recs := storageRecords(t, 12)
+	sock := filepath.Join(t.TempDir(), "elsa.sock")
+	b, err := ingest.ListenSocket("unix", sock, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	half := len(recs) / 2
+	done := make(chan error, 1)
+	go func() {
+		// First producer dies mid-frame on record half.
+		conn, err := net.Dial("unix", sock)
+		if err != nil {
+			done <- err
+			return
+		}
+		fc := ingest.NewFrameConn(conn)
+		for _, rec := range recs[:half] {
+			if err := fc.WriteRecord(rec); err != nil {
+				done <- err
+				return
+			}
+		}
+		if err := chaos.AbortMidFrame(conn, recs[half], 12); err != nil {
+			done <- err
+			return
+		}
+		// Wait for the first connection's records to drain, so the two
+		// connections' streams cannot interleave and the delivered order
+		// stays deterministic.
+		for i := 0; b.Offset().Records < int64(half) && i < 5000; i++ {
+			time.Sleep(time.Millisecond)
+		}
+		// Second producer reconnects and replays from its cursor.
+		conn2, err := net.Dial("unix", sock)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn2.Close()
+		fc2 := ingest.NewFrameConn(conn2)
+		for _, rec := range recs[half:] {
+			if err := fc2.WriteRecord(rec); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- fc2.End()
+	}()
+
+	got := drainIngest(t, b)
+	if err := <-done; err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("delivered %d records, want all %d across the disconnect", len(got), len(recs))
+	}
+	st := b.Stats()
+	if st.Resyncs != 1 || st.AbortedConns != 1 || st.Conns != 2 {
+		t.Errorf("disconnect not accounted: %+v", st)
+	}
+}

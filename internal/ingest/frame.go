@@ -1,0 +1,136 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame format shared by the socket and segment backends: an 8-byte
+// header — u32 payload length, u32 IEEE CRC of the payload, both
+// big-endian — followed by the payload, a canonical record text line
+// without the trailing newline. A zero-length frame (CRC 0) is the
+// producer's end-of-stream marker on the socket backend and is invalid
+// inside a segment.
+
+// frameHeaderLen is the fixed frame header size.
+const frameHeaderLen = 8
+
+// MaxFramePayload bounds a frame's payload. It tracks the largest line
+// the log codec accepts; anything bigger did not come out of a sane
+// producer and is treated as stream corruption.
+const MaxFramePayload = 1 << 20
+
+// errFrameTorn reports a frame cut short by the end of the available
+// bytes — the tail of an actively written segment, or a connection that
+// died mid-frame.
+var errFrameTorn = fmt.Errorf("ingest: torn frame")
+
+// errFrameInvalid reports an impossible header (oversized length): the
+// stream position does not hold a frame boundary.
+var errFrameInvalid = fmt.Errorf("ingest: invalid frame header")
+
+// errFrameCRC reports a complete frame whose payload failed its CRC.
+var errFrameCRC = fmt.Errorf("ingest: frame CRC mismatch")
+
+// appendFrame appends the framed payload to dst and returns it.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// writeFrame writes one framed payload to w.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// writeEndFrame writes the zero-length end-of-stream marker.
+func writeEndFrame(w io.Writer) error {
+	var hdr [frameHeaderLen]byte
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// readFrame reads one frame from r into buf (grown as needed), returning
+// the payload view and the total frame size consumed. A zero-length
+// frame returns (nil, frameHeaderLen, nil). Torn streams surface as
+// errFrameTorn (clean EOF before any header byte stays io.EOF).
+func readFrame(r io.Reader, buf []byte) (payload, newBuf []byte, size int, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, buf, 0, io.EOF
+		}
+		return nil, buf, 0, errFrameTorn
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	crc := binary.BigEndian.Uint32(hdr[4:8])
+	if n == 0 {
+		if crc != 0 {
+			return nil, buf, 0, errFrameInvalid
+		}
+		return nil, buf, frameHeaderLen, nil
+	}
+	if n > MaxFramePayload {
+		return nil, buf, 0, errFrameInvalid
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, buf, 0, errFrameTorn
+	}
+	if crc32.ChecksumIEEE(buf) != crc {
+		return buf, buf, frameHeaderLen + int(n), errFrameCRC
+	}
+	return buf, buf, frameHeaderLen + int(n), nil
+}
+
+// readFrameAt decodes the frame starting at byte pos of r, whose
+// readable size is limit. It returns the payload (in buf, grown as
+// needed) and the frame size. pos == limit is io.EOF; a frame crossing
+// limit is errFrameTorn.
+func readFrameAt(r io.ReaderAt, limit, pos int64, buf []byte) (payload, newBuf []byte, size int64, err error) {
+	if pos >= limit {
+		return nil, buf, 0, io.EOF
+	}
+	var hdr [frameHeaderLen]byte
+	if pos+frameHeaderLen > limit {
+		return nil, buf, 0, errFrameTorn
+	}
+	if _, err := r.ReadAt(hdr[:], pos); err != nil {
+		return nil, buf, 0, errFrameTorn
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	crc := binary.BigEndian.Uint32(hdr[4:8])
+	if n == 0 || n > MaxFramePayload {
+		return nil, buf, 0, errFrameInvalid
+	}
+	size = frameHeaderLen + int64(n)
+	if pos+size > limit {
+		return nil, buf, 0, errFrameTorn
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := r.ReadAt(buf, pos+frameHeaderLen); err != nil {
+		return nil, buf, 0, errFrameTorn
+	}
+	if crc32.ChecksumIEEE(buf) != crc {
+		return buf, buf, size, errFrameCRC
+	}
+	return buf, buf, size, nil
+}

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package trainstore
+
+import "os"
+
+// mapping on platforms without syscall.Mmap falls back to reading the
+// whole file: still one flat buffer the accessors view zero-copy, just
+// not demand-paged.
+type mapping struct {
+	data []byte
+}
+
+func openMapping(path string) (mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return mapping{}, err
+	}
+	return mapping{data: data}, nil
+}
+
+func (m mapping) bytes() []byte { return m.data }
+
+func (m mapping) close() error { return nil }

@@ -1,0 +1,44 @@
+//go:build unix
+
+package trainstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapping is a read-only view of a file's bytes. On unix it is a real
+// mmap: the kernel pages train data in on demand and shares it across
+// processes opening the same store.
+type mapping struct {
+	data []byte
+}
+
+func openMapping(path string) (mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return mapping{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return mapping{}, err
+	}
+	if st.Size() == 0 {
+		return mapping{}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return mapping{}, err
+	}
+	return mapping{data: data}, nil
+}
+
+func (m mapping) bytes() []byte { return m.data }
+
+func (m mapping) close() error {
+	if m.data == nil {
+		return nil
+	}
+	return syscall.Munmap(m.data)
+}

@@ -1,0 +1,209 @@
+// Package trainstore is a memory-mapped, zero-copy store for packed
+// event trains. Training over months of logs rebuilds the same spike
+// trains (sorted outlier sample indices per event type) from raw
+// records on every run; the store persists them once, packed, and maps
+// them back in so the sweep kernels in internal/sig read directly from
+// the mapped segment — no decode, no copy, no per-train allocation.
+//
+// File layout (little-endian, 8-byte aligned throughout):
+//
+//	offset 0:  magic "ELTS" (4B) | version u32
+//	offset 8:  train count u64
+//	offset 16: table: count × [event i64 | start u64 | len u64]
+//	...        data: sum(len) × i64 spike sample indices
+//
+// The table is sorted by event id, so the hot accessor is a binary
+// search plus a slice view into the mapping. On 64-bit platforms the
+// view is a direct reinterpretation of the mapped bytes (int == int64);
+// the store refuses to open on 32-bit platforms rather than corrupt
+// silently.
+package trainstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"unsafe"
+
+	"github.com/elsa-hpc/elsa/internal/sig"
+)
+
+var magic = [4]byte{'E', 'L', 'T', 'S'}
+
+const version = 1
+
+const headerLen = 16
+
+// tableEntry mirrors one on-disk table row.
+type tableEntry struct {
+	event int64
+	start uint64 // element index into the data section
+	n     uint64
+}
+
+// Store is an open train store. The mapped data stays valid until
+// Close; slices returned by Train alias it and must not be used after.
+type Store struct {
+	m     mapping
+	table []tableEntry
+	data  []int64 // view over the data section
+}
+
+// Write packs trains into path. Events are written in ascending id
+// order, each train verbatim.
+func Write(path string, trains sig.SpikeTrains) error {
+	ids := make([]int, 0, len(trains))
+	total := 0
+	for id, tr := range trains {
+		ids = append(ids, id)
+		total += len(tr)
+	}
+	sort.Ints(ids)
+
+	buf := make([]byte, 0, headerLen+24*len(ids)+8*total)
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, version)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(ids)))
+	start := uint64(0)
+	for _, id := range ids {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(id)))
+		buf = binary.LittleEndian.AppendUint64(buf, start)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(trains[id])))
+		start += uint64(len(trains[id]))
+	}
+	for _, id := range ids {
+		for _, t := range trains[id] {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(t)))
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Open maps path read-only.
+func Open(path string) (*Store, error) {
+	if strconv.IntSize != 64 {
+		return nil, fmt.Errorf("trainstore: requires a 64-bit platform (int is %d bits)", strconv.IntSize)
+	}
+	if !littleEndian() {
+		return nil, fmt.Errorf("trainstore: requires a little-endian platform")
+	}
+	m, err := openMapping(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := parse(m)
+	if err != nil {
+		m.close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func parse(m mapping) (*Store, error) {
+	b := m.bytes()
+	if len(b) < headerLen {
+		return nil, fmt.Errorf("trainstore: file too short (%d bytes)", len(b))
+	}
+	if [4]byte(b[0:4]) != magic {
+		return nil, fmt.Errorf("trainstore: bad magic %q", b[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != version {
+		return nil, fmt.Errorf("trainstore: unsupported version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(b[8:16])
+	tableBytes := count * 24
+	if uint64(len(b)) < headerLen+tableBytes {
+		return nil, fmt.Errorf("trainstore: truncated table (%d trains, %d bytes)", count, len(b))
+	}
+	dataBytes := uint64(len(b)) - headerLen - tableBytes
+	if dataBytes%8 != 0 {
+		return nil, fmt.Errorf("trainstore: data section not 8-byte aligned (%d bytes)", dataBytes)
+	}
+	s := &Store{m: m}
+	if count > 0 {
+		s.table = unsafe.Slice((*tableEntry)(unsafe.Pointer(&b[headerLen])), count)
+	}
+	if dataBytes > 0 {
+		s.data = unsafe.Slice((*int64)(unsafe.Pointer(&b[headerLen+tableBytes])), dataBytes/8)
+	}
+	// Validate the table once at open so the hot accessor can trust it.
+	prev := int64(-1 << 62)
+	for i, e := range s.table {
+		if e.event <= prev {
+			return nil, fmt.Errorf("trainstore: table not sorted at entry %d", i)
+		}
+		if e.start+e.n > uint64(len(s.data)) {
+			return nil, fmt.Errorf("trainstore: train %d overruns data section", e.event)
+		}
+		prev = e.event
+	}
+	return s, nil
+}
+
+// Len returns the number of stored trains.
+func (s *Store) Len() int { return len(s.table) }
+
+// Events returns the stored event ids in ascending order.
+func (s *Store) Events() []int {
+	out := make([]int, len(s.table))
+	for i, e := range s.table {
+		out[i] = int(e.event)
+	}
+	return out
+}
+
+// Train returns the packed spike train for event id as a zero-copy view
+// into the mapping (nil when the event is not stored). The view aliases
+// mapped memory: it is valid until Close and must not be written.
+//
+//elsa:hotpath
+func (s *Store) Train(id int) []int {
+	lo, hi := 0, len(s.table)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.table[mid].event < int64(id) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(s.table) || s.table[lo].event != int64(id) {
+		return nil
+	}
+	e := s.table[lo]
+	if e.n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int)(unsafe.Pointer(&s.data[e.start])), e.n)
+}
+
+// SpikeTrains returns the whole store as a sig.SpikeTrains whose slices
+// are zero-copy views into the mapping — the sweep kernels consume it
+// directly. The map itself is freshly allocated; the trains are not.
+func (s *Store) SpikeTrains() sig.SpikeTrains {
+	out := make(sig.SpikeTrains, len(s.table))
+	for _, e := range s.table {
+		out[int(e.event)] = s.Train(int(e.event))
+	}
+	return out
+}
+
+// Close unmaps the store. Views returned earlier become invalid.
+func (s *Store) Close() error {
+	s.table, s.data = nil, nil
+	return s.m.close()
+}
+
+// littleEndian reports the platform byte order: the zero-copy table and
+// data views reinterpret mapped bytes natively, and the file format is
+// little-endian.
+func littleEndian() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}

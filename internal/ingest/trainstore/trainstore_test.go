@@ -1,0 +1,132 @@
+package trainstore
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/elsa-hpc/elsa/internal/sig"
+)
+
+// randomTrains builds a deterministic train set with sparse and dense
+// trains, including an empty one.
+func randomTrains(seed int64) sig.SpikeTrains {
+	rng := rand.New(rand.NewSource(seed))
+	trains := make(sig.SpikeTrains)
+	for id := 0; id < 60; id++ {
+		n := rng.Intn(200)
+		if id == 7 {
+			n = 0 // empty train round-trips too
+		}
+		tr := make([]int, 0, n)
+		t := 0
+		for i := 0; i < n; i++ {
+			t += 1 + rng.Intn(50)
+			tr = append(tr, t)
+		}
+		trains[id*3] = tr // non-contiguous ids exercise the search
+	}
+	return trains
+}
+
+func openStore(t *testing.T, trains sig.SpikeTrains) *Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trains.elts")
+	if err := Write(path, trains); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	trains := randomTrains(11)
+	s := openStore(t, trains)
+	nonEmpty := 0
+	for id, tr := range trains {
+		if len(tr) > 0 {
+			nonEmpty++
+		}
+		got := s.Train(id)
+		if len(tr) == 0 {
+			if got != nil {
+				t.Errorf("event %d: empty train came back with %d spikes", id, len(got))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, tr) {
+			t.Errorf("event %d: train differs after round trip", id)
+		}
+	}
+	if s.Len() != len(trains) {
+		t.Errorf("Len = %d, want %d", s.Len(), len(trains))
+	}
+	if s.Train(999999) != nil || s.Train(-5) != nil {
+		t.Error("lookup of an unknown event returned a train")
+	}
+}
+
+// TestKernelEquivalence is the point of the store: the sweep kernels
+// over mapped trains produce bit-identical correlations to the same
+// kernels over in-memory trains.
+func TestKernelEquivalence(t *testing.T) {
+	trains := randomTrains(23)
+	s := openStore(t, trains)
+	mapped := s.SpikeTrains()
+
+	cfg := sig.DefaultCrossCorrConfig()
+	cfg.Horizon = 12000
+	want := sig.AllPairs(trains, cfg)
+	got := sig.AllPairs(mapped, cfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AllPairs over mapped trains differs: %d vs %d correlations", len(got), len(want))
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture produced no correlations; test proves nothing")
+	}
+}
+
+func TestOpenRejectsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	for name, blob := range map[string][]byte{
+		"short":     {1, 2, 3},
+		"bad-magic": append([]byte("NOPE"), make([]byte, 12)...),
+	} {
+		path := filepath.Join(dir, name)
+		if err := writeRaw(path, blob); err != nil {
+			t.Fatal(err)
+		}
+		if s, err := Open(path); err == nil {
+			s.Close()
+			t.Errorf("%s: corrupt store opened cleanly", name)
+		}
+	}
+}
+
+// TestTrainAllocFree pins the hotpath contract the elsaalloc analyzer
+// proves statically: a warm Train lookup performs zero allocations.
+func TestTrainAllocFree(t *testing.T) {
+	trains := randomTrains(31)
+	s := openStore(t, trains)
+	ids := s.Events()
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, id := range ids {
+			if tr := s.Train(id); len(tr) > 0 && tr[0] < 0 {
+				t.Fatal("impossible spike")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Train allocated %.1f times per sweep, want 0", allocs)
+	}
+}
+
+func writeRaw(path string, blob []byte) error {
+	return os.WriteFile(path, blob, 0o644)
+}

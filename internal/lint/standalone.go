@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -98,6 +99,12 @@ func (l *moduleLoader) loadPath(path string) (*modulePkg, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Respect //go:build constraints and _GOOS/_GOARCH suffixes for the
+		// host platform, as the build does — otherwise mutually exclusive
+		// files (mmap_unix.go / mmap_other.go) typecheck as redeclarations.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)

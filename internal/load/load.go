@@ -1,0 +1,389 @@
+// Package load is the replay-at-scale soak harness for the serving
+// path: it generates months of synthetic BG/L-profile logs, streams them
+// through a pluggable ingest backend into a live Monitor, and records
+// what serving at scale actually costs — sustained throughput, per-feed
+// latency percentiles, shed/quarantine rates and backend accounting —
+// as one committed point of the perf record (BENCH_serve.json), in the
+// same document format the training trajectory (BENCH_train.json) uses.
+//
+// The harness replays as fast as the monitor can swallow unless a target
+// rate throttles it, so the headline records_per_sec number is the
+// serving path's real capacity on the measuring machine, not a
+// configured rate echoed back.
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	elsa "github.com/elsa-hpc/elsa"
+	"github.com/elsa-hpc/elsa/internal/bench"
+	"github.com/elsa-hpc/elsa/internal/gen"
+	"github.com/elsa-hpc/elsa/internal/ingest"
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/predict"
+)
+
+// Options configures a soak run.
+type Options struct {
+	// Backend selects the ingest path: "segdir" (default), "file" or
+	// "socket".
+	Backend string
+	// Dir is the working directory for backend artifacts (segment
+	// directory, log file, unix socket). Empty selects a throwaway
+	// directory under os.TempDir, removed after the run.
+	Dir string
+	// Days is the serve-stream length in generated days (default 30 — a
+	// month of BG/L traffic; the generator streams day by day, so the
+	// whole stream is never in memory).
+	Days int
+	// EventTypes scales the generator profile as in the training
+	// benchmarks; <= 0 keeps the base Blue Gene/L profile.
+	EventTypes int
+	// Rate throttles the replay to a target records/second; <= 0 replays
+	// unthrottled (the capacity measurement).
+	Rate float64
+	// MaxDuration stops the replay after this much wall clock even if the
+	// stream has records left (the CI smoke budget); <= 0 replays
+	// everything.
+	MaxDuration time.Duration
+	// Seed drives the generators.
+	Seed int64
+	// Progress, when non-nil, receives one line per replayed day.
+	Progress io.Writer
+}
+
+// Report is the JSON document elsaload writes: the environment header
+// BENCH_train.json carries, plus the serving measurements.
+type Report struct {
+	Profile    string              `json:"profile"`
+	EventTypes int                 `json:"event_types"`
+	Records    int                 `json:"records"`
+	Backend    string              `json:"backend"`
+	Days       int                 `json:"days"`
+	GoVersion  string              `json:"go_version"`
+	GOOS       string              `json:"goos"`
+	GOARCH     string              `json:"goarch"`
+	NumCPU     int                 `json:"num_cpu"`
+	Benchmarks []bench.Measurement `json:"benchmarks"`
+}
+
+// latencyHist is a power-of-two-bucketed latency histogram: enough
+// resolution for p50/p99 over millions of feeds without keeping a
+// sample per record.
+type latencyHist struct {
+	buckets [40]int64 // bucket i counts durations in [2^i, 2^(i+1)) ns
+	total   int64
+}
+
+func (h *latencyHist) add(d time.Duration) {
+	n := int64(d)
+	if n < 1 {
+		n = 1
+	}
+	i := 0
+	for n > 1 && i < len(h.buckets)-1 {
+		n >>= 1
+		i++
+	}
+	h.buckets[i]++
+	h.total++
+}
+
+// quantile returns the q-quantile as the geometric midpoint of the
+// bucket holding it.
+func (h *latencyHist) quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			lo := int64(1) << uint(i)
+			return time.Duration(lo + lo/2)
+		}
+	}
+	return 0
+}
+
+// Run executes one soak: train on day zero, stream Days more days
+// through the chosen backend into a live monitor, measure.
+func Run(opts Options) (*Report, error) {
+	if opts.Backend == "" {
+		opts.Backend = "segdir"
+	}
+	if opts.Days <= 0 {
+		opts.Days = 30
+	}
+	dir := opts.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "elsaload")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	profile := gen.BlueGeneL()
+	if opts.EventTypes > 0 {
+		profile = bench.ScaledBGL(opts.EventTypes)
+	}
+	start := time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+
+	// Day zero trains the model the live monitor serves with.
+	trainRes := gen.New(profile, opts.Seed).Generate(start, 24*time.Hour)
+	model := elsa.Train(trainRes.Records, trainRes.Start, trainRes.End, elsa.DefaultTrainConfig())
+
+	rep := &Report{
+		Profile:    profile.Name,
+		EventTypes: model.EventCount(),
+		Backend:    opts.Backend,
+		Days:       opts.Days,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	serveStart := trainRes.End
+	b, appendMeas, err := stageBackend(dir, profile, opts, serveStart)
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	if appendMeas != nil {
+		rep.Benchmarks = append(rep.Benchmarks, *appendMeas)
+	}
+
+	res, err := replay(b, model, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Records = res.fed
+	rep.Benchmarks = append(rep.Benchmarks, res.measurements(b.Stats())...)
+	return rep, nil
+}
+
+// stageBackend materialises the serve stream behind the chosen backend.
+// For file and segdir the stream is written out first (the segdir write
+// is itself a measurement); for socket a producer goroutine frames the
+// generated records live.
+func stageBackend(dir string, profile gen.Profile, opts Options, start time.Time) (ingest.Backend, *bench.Measurement, error) {
+	switch opts.Backend {
+	case "segdir":
+		segs := filepath.Join(dir, "segs")
+		w, err := ingest.CreateSegmentDir(segs, ingest.SegmentOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		t0 := time.Now()
+		n, err := generate(profile, opts, start, func(rec logs.Record) error { return w.Append(rec) })
+		if err != nil {
+			w.Close()
+			return nil, nil, err
+		}
+		if err := w.Close(); err != nil {
+			return nil, nil, err
+		}
+		wall := time.Since(t0)
+		meas := &bench.Measurement{
+			Name:    "serve/segdir_append",
+			N:       n,
+			NsPerOp: float64(wall.Nanoseconds()) / float64(n),
+			Extra: map[string]float64{
+				"records_per_sec": float64(n) / wall.Seconds(),
+			},
+		}
+		b, err := ingest.OpenSegDir(segs, ingest.SegDirOptions{})
+		return b, meas, err
+	case "file":
+		path := filepath.Join(dir, "stream.log")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		bw := logs.NewWriter(f)
+		if _, err := generate(profile, opts, start, bw.Write); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, nil, err
+		}
+		b, err := ingest.OpenFile(path)
+		return b, nil, err
+	case "socket":
+		sock := filepath.Join(dir, "elsa.sock")
+		b, err := ingest.ListenSocket("unix", sock, 4096)
+		if err != nil {
+			return nil, nil, err
+		}
+		go func() {
+			conn, err := net.Dial("unix", sock)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			fc := ingest.NewFrameConn(conn)
+			if _, err := generate(profile, opts, start, fc.WriteRecord); err != nil {
+				return
+			}
+			fc.End()
+		}()
+		return b, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("load: unknown backend %q (want segdir, file or socket)", opts.Backend)
+	}
+}
+
+// generate streams opts.Days days of synthetic records into emit, one
+// generated day in memory at a time.
+func generate(profile gen.Profile, opts Options, start time.Time, emit func(logs.Record) error) (int, error) {
+	n := 0
+	day := start
+	for d := 0; d < opts.Days; d++ {
+		res := gen.New(profile, opts.Seed+int64(d)+1).Generate(day, 24*time.Hour)
+		for _, rec := range res.Records {
+			if err := emit(rec); err != nil {
+				return n, err
+			}
+			n++
+		}
+		day = res.End
+	}
+	return n, nil
+}
+
+// replayResult carries the replay-side measurements.
+type replayResult struct {
+	fed         int
+	wall        time.Duration
+	hist        latencyHist
+	predictions int
+	stats       predict.Stats
+}
+
+// replay drives the monitor from the backend as fast as allowed,
+// timing every Feed.
+func replay(b ingest.Backend, model *elsa.Model, opts Options) (*replayResult, error) {
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if opts.MaxDuration > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opts.MaxDuration)
+		defer cancel()
+	}
+
+	var monitor *elsa.Monitor
+	res := &replayResult{}
+	t0 := time.Now()
+	nextReport := 0
+	for {
+		rec, err := b.Next(ctx)
+		if err == io.EOF || err == context.DeadlineExceeded {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if monitor == nil {
+			monitor = model.NewMonitor(rec.Time.Truncate(10 * time.Second))
+		}
+		f0 := time.Now()
+		preds := monitor.Feed(rec)
+		res.hist.add(time.Since(f0))
+		res.predictions += len(preds)
+		res.fed++
+		if opts.Rate > 0 {
+			// Coarse-grained throttle: compare progress against the target
+			// schedule every 1024 records and sleep off any lead.
+			if res.fed%1024 == 0 {
+				ahead := time.Duration(float64(res.fed)/opts.Rate*float64(time.Second)) - time.Since(t0)
+				if ahead > time.Millisecond {
+					time.Sleep(ahead)
+				}
+			}
+		}
+		if opts.Progress != nil && res.fed >= nextReport {
+			elapsed := time.Since(t0)
+			fmt.Fprintf(opts.Progress, "elsaload: %d records in %s (%.0f rec/s)\n",
+				res.fed, elapsed.Round(time.Millisecond), float64(res.fed)/elapsed.Seconds())
+			nextReport = res.fed + 500000
+		}
+	}
+	res.wall = time.Since(t0)
+	if monitor == nil {
+		return nil, fmt.Errorf("load: backend delivered no records")
+	}
+	out := monitor.Close()
+	// Close flushes the still-open ticks; the accumulated result holds
+	// every prediction of the run, surfaced or not.
+	res.predictions = len(out.Predictions)
+	res.stats = out.Stats
+	return res, nil
+}
+
+// measurements renders the replay as committed-point entries.
+func (r *replayResult) measurements(bs ingest.Stats) []bench.Measurement {
+	perRec := float64(r.wall.Nanoseconds()) / float64(r.fed)
+	feed := bench.Measurement{
+		Name:    "serve/replay",
+		N:       r.fed,
+		NsPerOp: perRec,
+		Extra: map[string]float64{
+			"records_per_sec":    float64(r.fed) / r.wall.Seconds(),
+			"predictions":        float64(r.predictions),
+			"ticks":              float64(r.stats.Ticks),
+			"feed_p50_us":        float64(r.hist.quantile(0.50)) / 1e3,
+			"feed_p99_us":        float64(r.hist.quantile(0.99)) / 1e3,
+			"shed_records":       float64(r.stats.ShedRecords),
+			"quarantined_feed":   float64(r.stats.QuarantinedRecords),
+			"deduped_records":    float64(r.stats.DedupedRecords),
+			"late_records":       float64(r.stats.LateRecords),
+			"degraded_ticks":     float64(r.stats.DegradedTicks),
+			"ingest_quarantined": float64(bs.Quarantined),
+			"ingest_resyncs":     float64(bs.Resyncs),
+		},
+	}
+	return []bench.Measurement{feed}
+}
+
+// Summary renders a one-screen digest of the report.
+func (r *Report) Summary() string {
+	s := fmt.Sprintf("profile %s over %s: %d records, %d days (%s, %d cpu)\n",
+		r.Profile, r.Backend, r.Records, r.Days, r.GoVersion, r.NumCPU)
+	for _, m := range r.Benchmarks {
+		s += fmt.Sprintf("  %-20s %10.0f ns/op", m.Name, m.NsPerOp)
+		if rps, ok := m.Extra["records_per_sec"]; ok {
+			s += fmt.Sprintf("  %9.0f rec/s", rps)
+		}
+		if p50, ok := m.Extra["feed_p50_us"]; ok {
+			s += fmt.Sprintf("  p50=%.1fus p99=%.1fus", p50, m.Extra["feed_p99_us"])
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

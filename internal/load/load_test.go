@@ -1,0 +1,94 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistQuantile(t *testing.T) {
+	var h latencyHist
+	for i := 0; i < 199; i++ {
+		h.add(1 * time.Microsecond)
+	}
+	h.add(1 * time.Millisecond)
+	if p50 := h.quantile(0.50); p50 < 512*time.Nanosecond || p50 > 2*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1us", p50)
+	}
+	if p99 := h.quantile(0.99); p99 > 4*time.Microsecond {
+		t.Errorf("p99 = %v, want within the fast bucket range", p99)
+	}
+	// The single outlier owns the very tail.
+	if tail := h.quantile(0.999); tail < 512*time.Microsecond || tail > 2*time.Millisecond {
+		t.Errorf("p99.9 = %v, want ~1ms", tail)
+	}
+	var empty latencyHist
+	if empty.quantile(0.5) != 0 {
+		t.Error("empty histogram has a nonzero quantile")
+	}
+}
+
+// TestRunSegdirSmoke is the in-process shape of the CI soak smoke: one
+// generated day through the segmented store into a live monitor, with
+// the report carrying the committed-point fields.
+func TestRunSegdirSmoke(t *testing.T) {
+	rep, err := Run(Options{Backend: "segdir", Days: 1, Seed: 3, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records == 0 {
+		t.Fatal("soak replayed no records")
+	}
+	if rep.Backend != "segdir" || rep.GoVersion == "" || rep.NumCPU == 0 {
+		t.Errorf("report header incomplete: %+v", rep)
+	}
+	var replay bool
+	for _, m := range rep.Benchmarks {
+		if m.Name == "serve/segdir_append" && m.Extra["records_per_sec"] <= 0 {
+			t.Errorf("append measurement has no throughput: %+v", m)
+		}
+		if m.Name == "serve/replay" {
+			replay = true
+			if m.Extra["records_per_sec"] <= 0 || m.NsPerOp <= 0 {
+				t.Errorf("replay measurement has no throughput: %+v", m)
+			}
+			if m.Extra["feed_p99_us"] < m.Extra["feed_p50_us"] {
+				t.Errorf("p99 below p50: %+v", m.Extra)
+			}
+			if int(m.Extra["ticks"]) == 0 {
+				t.Errorf("replay closed no ticks: %+v", m.Extra)
+			}
+		}
+	}
+	if !replay {
+		t.Fatalf("no serve/replay measurement in %+v", rep.Benchmarks)
+	}
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "serve/replay") {
+		t.Error("JSON report missing the replay measurement")
+	}
+	if !strings.Contains(rep.Summary(), "rec/s") {
+		t.Error("summary missing the throughput column")
+	}
+}
+
+// TestRunSocketSmoke exercises the live-producer path: the generator
+// frames records over a unix socket while the monitor drains it.
+func TestRunSocketSmoke(t *testing.T) {
+	rep, err := Run(Options{Backend: "socket", Days: 1, Seed: 5, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records == 0 {
+		t.Fatal("socket soak replayed no records")
+	}
+}
+
+func TestRunRejectsUnknownBackend(t *testing.T) {
+	if _, err := Run(Options{Backend: "kafka", Days: 1}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

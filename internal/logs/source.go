@@ -84,7 +84,10 @@ type FuncSource struct {
 }
 
 // NewFuncSource wraps fn. fn is called once per Next; a non-nil error
-// ends the stream and surfaces via Err.
+// ends the stream and surfaces via Err. An error returned together with
+// a final record (ok true) does not drop that record: it is delivered
+// first and the stream ends on the following Next — the
+// record-then-error ordering io.Reader implementations use.
 func NewFuncSource(fn func() (Record, bool, error)) *FuncSource {
 	return &FuncSource{fn: fn}
 }
@@ -97,6 +100,9 @@ func (s *FuncSource) Next() (Record, bool) {
 	rec, ok, err := s.fn()
 	if err != nil {
 		s.err = err
+		if ok {
+			return rec, true
+		}
 		return Record{}, false
 	}
 	return rec, ok

@@ -93,3 +93,39 @@ func TestFuncSource(t *testing.T) {
 		t.Fatalf("Err = %v, want %v", err, wantErr)
 	}
 }
+
+// TestFuncSourceRecordThenError pins the record-then-error ordering: an
+// error arriving together with the final record (ok true) must deliver
+// that record first and end the stream on the following Next — not drop
+// the record, as backends that learn of a failure only while handing
+// over their last buffered record depend on.
+func TestFuncSourceRecordThenError(t *testing.T) {
+	recs := sourceRecords(3)
+	i := 0
+	wantErr := errors.New("socket reset after final frame")
+	src := NewFuncSource(func() (Record, bool, error) {
+		r := recs[i]
+		i++
+		if i == len(recs) {
+			return r, true, wantErr // final record and its error together
+		}
+		return r, true, nil
+	})
+	got, err := Drain(src)
+	if len(got) != len(recs) {
+		t.Fatalf("Drain delivered %d records, want %d (final record dropped?)", len(got), len(recs))
+	}
+	if got[len(got)-1].Message != recs[len(recs)-1].Message {
+		t.Error("final record differs")
+	}
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Drain error = %v, want %v", err, wantErr)
+	}
+	// The error is sticky: the stream stays ended afterwards.
+	if _, ok := src.Next(); ok {
+		t.Error("source continued past the delivered error")
+	}
+	if !errors.Is(src.Err(), wantErr) {
+		t.Errorf("Err = %v, want %v", src.Err(), wantErr)
+	}
+}

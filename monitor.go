@@ -3,9 +3,15 @@ package elsa
 import (
 	"time"
 
+	"github.com/elsa-hpc/elsa/internal/ingest"
 	"github.com/elsa-hpc/elsa/internal/pipeline"
 	"github.com/elsa-hpc/elsa/internal/predict"
 )
+
+// IngestOffset is a resume point in an ingest backend's stream (see
+// internal/ingest): it rides in monitor snapshots so a resumed daemon
+// can Seek its backend to exactly the record after the snapshot.
+type IngestOffset = ingest.Offset
 
 // Monitor is the incremental form of Predict: records are fed one at a
 // time (a daemon tailing the live log), and predictions surface as soon
@@ -25,6 +31,10 @@ import (
 type Monitor struct {
 	model   *Model
 	session *pipeline.Session
+	// ingestOff is the backend resume point last recorded via
+	// SetIngestOffset (or restored from a snapshot); nil when the feed
+	// is not offset-addressable (stdin, socket).
+	ingestOff *IngestOffset
 	//elsa:ephemeral caches Close's result, and a closed monitor cannot be snapshotted
 	result *PredictResult
 }
@@ -68,3 +78,21 @@ func (mo *Monitor) Close() *PredictResult {
 
 // Result returns the accumulated result so far without closing.
 func (mo *Monitor) Result() *PredictResult { return mo.session.Result() }
+
+// SetIngestOffset records the ingest backend's current resume point so
+// the next Snapshot carries it. A daemon calls it just before each
+// snapshot with Backend.Offset(); after ResumeMonitor, the restored
+// offset (IngestOffset) is handed back to Backend.Seek so the stream
+// continues at exactly the record after the snapshot.
+func (mo *Monitor) SetIngestOffset(off IngestOffset) {
+	mo.ingestOff = &off
+}
+
+// IngestOffset returns the offset recorded by SetIngestOffset (or
+// restored from a snapshot) and whether one was ever recorded.
+func (mo *Monitor) IngestOffset() (IngestOffset, bool) {
+	if mo.ingestOff == nil {
+		return IngestOffset{}, false
+	}
+	return *mo.ingestOff, true
+}

@@ -6,14 +6,42 @@ import (
 	"io"
 )
 
+// PredictionWriter streams predictions to w as JSON lines, one write
+// per prediction — nothing is buffered, so a monitor daemon or the soak
+// harness can emit an unbounded stream without holding a run's worth of
+// predictions in memory. Not safe for concurrent use.
+type PredictionWriter struct {
+	enc *json.Encoder
+	n   int
+}
+
+// NewPredictionWriter wraps w. Wrap w in a bufio.Writer (and Flush it)
+// only if per-prediction write syscalls are too expensive; the default
+// is flush-per-prediction so a crash loses nothing already emitted.
+func NewPredictionWriter(w io.Writer) *PredictionWriter {
+	return &PredictionWriter{enc: json.NewEncoder(w)}
+}
+
+// Write emits one prediction.
+func (pw *PredictionWriter) Write(p Prediction) error {
+	if err := pw.enc.Encode(p); err != nil {
+		return fmt.Errorf("elsa: prediction %d: %w", pw.n, err)
+	}
+	pw.n++
+	return nil
+}
+
+// Count returns how many predictions have been written.
+func (pw *PredictionWriter) Count() int { return pw.n }
+
 // WritePredictions encodes predictions as JSON lines, the handoff format
 // for downstream fault-tolerance tooling (schedulers, checkpoint
-// managers).
+// managers). It is the slice convenience over PredictionWriter.
 func WritePredictions(w io.Writer, preds []Prediction) error {
-	enc := json.NewEncoder(w)
-	for i, p := range preds {
-		if err := enc.Encode(p); err != nil {
-			return fmt.Errorf("elsa: prediction %d: %w", i, err)
+	pw := NewPredictionWriter(w)
+	for _, p := range preds {
+		if err := pw.Write(p); err != nil {
+			return err
 		}
 	}
 	return nil

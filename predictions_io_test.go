@@ -1,0 +1,90 @@
+package elsa
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// flushCounter counts the writes it receives, proving the streaming
+// writer emits one flush per prediction rather than buffering a run.
+type flushCounter struct {
+	sb     strings.Builder
+	writes int
+}
+
+func (f *flushCounter) Write(p []byte) (int, error) {
+	f.writes++
+	return f.sb.Write(p)
+}
+
+func TestPredictionWriterStreams(t *testing.T) {
+	log := GenerateBGL(48, apiStart, 5*24*time.Hour)
+	cut := apiStart.Add(2 * 24 * time.Hour)
+	train, test, _ := log.Split(cut)
+	model := Train(train, apiStart, cut, DefaultTrainConfig())
+	preds := model.Predict(test, cut, log.End).Predictions
+	if len(preds) < 2 {
+		t.Fatal("fixture yielded too few predictions to prove streaming")
+	}
+
+	var fc flushCounter
+	pw := NewPredictionWriter(&fc)
+	for i, p := range preds {
+		before := fc.sb.Len()
+		if err := pw.Write(p); err != nil {
+			t.Fatal(err)
+		}
+		if fc.sb.Len() == before {
+			t.Fatalf("prediction %d was buffered instead of written through", i)
+		}
+	}
+	if pw.Count() != len(preds) {
+		t.Errorf("Count = %d, want %d", pw.Count(), len(preds))
+	}
+	if fc.writes < len(preds) {
+		t.Errorf("underlying writer saw %d writes for %d predictions", fc.writes, len(preds))
+	}
+
+	// The streamed output is byte-identical to the slice API (which now
+	// wraps the streaming writer), so both stay readable by
+	// ReadPredictions.
+	var sb strings.Builder
+	if err := WritePredictions(&sb, preds); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != fc.sb.String() {
+		t.Error("streamed and slice outputs differ")
+	}
+	back, err := ReadPredictions(strings.NewReader(fc.sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(preds) {
+		t.Fatalf("read back %d predictions, want %d", len(back), len(preds))
+	}
+}
+
+// failAfter fails every write past the first, pinning the error-index
+// contract the slice API always had.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, io.ErrClosedPipe
+	}
+	return len(p), nil
+}
+
+func TestPredictionWriterErrorCarriesIndex(t *testing.T) {
+	pw := NewPredictionWriter(&failAfter{})
+	if err := pw.Write(Prediction{ExpectedAt: apiStart}); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	err := pw.Write(Prediction{ExpectedAt: apiStart})
+	if err == nil || !strings.Contains(err.Error(), "prediction 1") {
+		t.Fatalf("second write error = %v, want index 1", err)
+	}
+}

@@ -24,6 +24,10 @@ type monitorEnvelope struct {
 	Start   time.Time              `json:"start"`
 	HELO    heloEnvelope           `json:"helo"`
 	Session *pipeline.SessionState `json:"session"`
+	// Ingest is the backend resume point at snapshot time, when the feed
+	// is offset-addressable (file, segment dir). Omitted otherwise, which
+	// also keeps version-1 snapshots from before this field readable.
+	Ingest *IngestOffset `json:"ingest,omitempty"`
 }
 
 // monitorFormatVersion increments on breaking changes to the envelope.
@@ -51,6 +55,7 @@ func (mo *Monitor) Snapshot(w io.Writer) error {
 			Templates: mo.model.organizer.Templates(),
 		},
 		Session: st,
+		Ingest:  mo.ingestOff,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -110,5 +115,5 @@ func (m *Model) ResumeMonitorWith(r io.Reader, cfg PredictConfig) (*Monitor, err
 	if err != nil {
 		return nil, fmt.Errorf("elsa: resume monitor: %w", err)
 	}
-	return &Monitor{model: m, session: session}, nil
+	return &Monitor{model: m, session: session, ingestOff: env.Ingest}, nil
 }
