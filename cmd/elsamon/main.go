@@ -26,6 +26,13 @@
 //
 //	elsamon -model model.json -snapshot mon.snap < stream
 //	elsamon -model model.json -resume mon.snap < rest-of-stream
+//
+// With -refresh-every, the monitor periodically retrains its correlation
+// chains from statistics accumulated on the live stream itself — no
+// replay, no restart; refreshed chains are live for the next tick and
+// ride in snapshots:
+//
+//	elsamon -model model.json -refresh-every 50000 < stream
 package main
 
 import (
@@ -67,6 +74,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		inPath    = fs.String("in", "", "input path: log file (-ingest file) or segment directory (-ingest segdir)")
 		listenS   = fs.String("listen", "", "listen address as net:addr, e.g. unix:/tmp/elsa.sock or tcp:127.0.0.1:7700 (-ingest socket)")
 		follow    = fs.Bool("follow", false, "with -ingest segdir: tail the directory for new records instead of stopping at the end")
+		refEvery  = fs.Int("refresh-every", 0, "records between incremental retraining rounds from the live stream (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +84,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	if *snapEvery <= 0 {
 		return fmt.Errorf("-snapshot-every must be positive")
+	}
+	if *refEvery < 0 {
+		return fmt.Errorf("-refresh-every must be non-negative")
 	}
 	format, err := elsa.ParseLogFormat(*formatS)
 	if err != nil {
@@ -134,7 +145,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 				}
 			}
 		}
-		return runBackend(b, model, monitor, stdout, stderr, *showLate, *snapPath, *snapEvery)
+		return runBackend(b, model, monitor, stdout, stderr, *showLate, *snapPath, *snapEvery, *refEvery)
 	}
 
 	sc := bufio.NewScanner(stdin)
@@ -161,6 +172,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 		out.Flush()
 		fed++
+		if *refEvery > 0 && fed%*refEvery == 0 {
+			refresh(monitor, stderr)
+		}
 		if *snapPath != "" && fed%*snapEvery == 0 {
 			// A failed snapshot degrades resumability, not monitoring:
 			// warn and keep serving predictions.
@@ -221,7 +235,7 @@ func openBackend(kind, in, listen string, follow bool) (ingest.Backend, error) {
 // runBackend drives the monitor from an ingest backend: the same feed
 // loop and snapshot cadence as the stdin path, with the backend's resume
 // offset riding in every snapshot so -resume can Seek back to it.
-func runBackend(b ingest.Backend, model *elsa.Model, monitor *elsa.Monitor, stdout, stderr io.Writer, showLate bool, snapPath string, snapEvery int) error {
+func runBackend(b ingest.Backend, model *elsa.Model, monitor *elsa.Monitor, stdout, stderr io.Writer, showLate bool, snapPath string, snapEvery, refEvery int) error {
 	ctx := context.Background()
 	out := bufio.NewWriter(stdout)
 	defer out.Flush()
@@ -243,6 +257,9 @@ func runBackend(b ingest.Backend, model *elsa.Model, monitor *elsa.Monitor, stdo
 		}
 		out.Flush()
 		fed++
+		if refEvery > 0 && fed%refEvery == 0 {
+			refresh(monitor, stderr)
+		}
 		if snapPath != "" && fed%snapEvery == 0 {
 			monitor.SetIngestOffset(b.Offset())
 			if err := writeSnapshot(monitor, snapPath); err != nil {
@@ -274,6 +291,22 @@ func runBackend(b ingest.Backend, model *elsa.Model, monitor *elsa.Monitor, stdo
 	}
 	printStages(stderr, st.Stages)
 	return nil
+}
+
+// refresh runs one incremental retraining round and reports what it did.
+// A round before the first tick closes is silent (nothing to retrain
+// from yet).
+func refresh(mon *elsa.Monitor, stderr io.Writer) {
+	st := mon.Refresh()
+	if st == (elsa.RefreshStats{}) {
+		return
+	}
+	how := "rescored"
+	if st.Remined {
+		how = "remined"
+	}
+	fmt.Fprintf(stderr, "elsamon: refresh: %d dirty pairs, %d scored, %d seeds, %d chains (%s) in %s\n",
+		st.Dirty, st.Scored, st.Seeds, st.Chains, how, st.Duration.Round(time.Microsecond))
 }
 
 // writeSnapshot persists the monitor state atomically: written to a

@@ -78,6 +78,28 @@ func TestRunMonitorsStream(t *testing.T) {
 	}
 }
 
+// TestRunRefreshEvery drives the daemon with periodic incremental
+// retraining armed: the refresh rounds must be announced on stderr and
+// monitoring must keep emitting predictions across them.
+func TestRunRefreshEvery(t *testing.T) {
+	modelPath, stream := fixture(t)
+	var out, errw strings.Builder
+	err := run([]string{"-model", modelPath, "-late", "-refresh-every", "2000"},
+		strings.NewReader(canonical(t, stream)), &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errw.String())
+	}
+	if !strings.Contains(errw.String(), "elsamon: refresh:") {
+		t.Errorf("refresh rounds not announced on stderr:\n%s", errw.String())
+	}
+	if !strings.Contains(errw.String(), "chains (remined)") {
+		t.Errorf("first refresh round did not remine:\n%s", errw.String())
+	}
+	if out.Len() == 0 {
+		t.Error("no predictions printed with -refresh-every armed")
+	}
+}
+
 // TestRunSnapshotResume is the daemon-level crash-resume test: kill the
 // monitor after half the stream (run one exits, leaving its -snapshot
 // file), start a second process with -resume over the rest, and the two
@@ -275,6 +297,11 @@ func TestRunRejectsBadSnapshotFlags(t *testing.T) {
 		strings.NewReader(""), &out, &errw)
 	if err == nil {
 		t.Error("non-positive -snapshot-every accepted")
+	}
+	err = run([]string{"-model", modelPath, "-refresh-every", "-1"},
+		strings.NewReader(""), &out, &errw)
+	if err == nil {
+		t.Error("negative -refresh-every accepted")
 	}
 	err = run([]string{"-model", modelPath, "-resume", filepath.Join(t.TempDir(), "missing.snap")},
 		strings.NewReader(""), &out, &errw)

@@ -114,6 +114,10 @@ type Model struct {
 	inner     *correlate.Model
 	profiles  map[string]*location.Profile
 	organizer *helo.Organizer
+	// trainCfg is the offline-phase configuration the model was trained
+	// with; incremental refresh re-derives chains under the same
+	// parameters. Loaded models fall back to the defaults.
+	trainCfg TrainConfig
 }
 
 // Train builds a model from training records covering [start, end).
@@ -126,7 +130,7 @@ func Train(records []Record, start, end time.Time, cfg TrainConfig) *Model {
 	org.Assign(recs)
 	m := correlate.Train(recs, start, end, cfg.Mode, cfg.Correlation)
 	profiles := location.Extract(recs, m.Chains, start, m.Step, 1)
-	return &Model{inner: m, profiles: profiles, organizer: org}
+	return &Model{inner: m, profiles: profiles, organizer: org, trainCfg: cfg}
 }
 
 // Mode returns the correlation method the model was trained with.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"runtime"
 	"sort"
 	"testing"
@@ -210,7 +211,128 @@ func Run(opts Options) (*Report, error) {
 	}), map[string]float64{})
 	rep.extendLast(-1, map[string]float64{"predictions": float64(preds)})
 
+	benchRefresh(rep, res, trains, hybrid, cfg, horizon)
+	benchKernels(rep, opts.Seed, horizon)
+
 	return rep, nil
+}
+
+// benchRefresh measures the steady-state incremental retraining round: an
+// accumulator replays the day's tick stream once (outside timing, as the
+// monitor's tap would have built it live), the model primes with the
+// initial full mine, then each measured round closes one more tick and
+// refreshes — the per-round cost elsamon's -refresh-every pays, versus
+// retraining from scratch. The mean folds in the rate-limited full
+// mines (one per remineEvery rounds under seed churn) alongside the
+// re-score fast path.
+func benchRefresh(rep *Report, res *gen.Result, trains sig.SpikeTrains, hybrid *correlate.Model, cfg correlate.Config, horizon int) {
+	byTick := make(map[int][]int)
+	for id, tr := range trains {
+		for _, t := range tr {
+			byTick[t] = append(byTick[t], id)
+		}
+	}
+	for _, evs := range byTick {
+		sort.Ints(evs)
+	}
+	observe := func(acc *sig.Accumulator, tick, pattern int) {
+		evs := byTick[pattern]
+		counts := make(map[int]int, len(evs))
+		for _, id := range evs {
+			counts[id] = 1
+		}
+		acc.ObserveTick(tick, counts, evs)
+	}
+
+	acfg := correlate.AccumConfigFor(correlate.Hybrid, cfg)
+	acfg.HorizonCap = horizon
+	acc := sig.NewAccumulator(acfg)
+	for t := 0; t < horizon; t++ {
+		observe(acc, t, t)
+	}
+	hybrid.Refresh(acc, cfg) // prime: the initial full mine is not the steady state
+
+	next := horizon
+	var rst correlate.RefreshStats
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			observe(acc, next, next%horizon) // one closed tick between rounds
+			next++
+			b.StartTimer()
+			rst = hybrid.Refresh(acc, cfg)
+		}
+	})
+	extra := map[string]float64{
+		"dirty_pairs": float64(rst.Dirty),
+		"seeds":       float64(rst.Seeds),
+		"chains":      float64(rst.Chains),
+	}
+	if trainNs := rep.lookupNs("train/hybrid"); trainNs > 0 {
+		extra["speedup_vs_train"] = trainNs / float64(r.NsPerOp())
+	}
+	rep.add("refresh/incremental", r, extra)
+}
+
+// benchKernels races the FFT cross-correlation kernel against the frozen
+// sliding-window sweep over one dense pair in the wide-lag regime, and
+// sweeps the spike density to locate the measured crossover — the
+// density above which the dispatcher's FFT pick wins on this machine.
+func benchKernels(rep *Report, seed int64, horizon int) {
+	span := horizon
+	kcfg := sig.DefaultCrossCorrConfig()
+	kcfg.Horizon = span
+	kcfg.MaxLag = 2048
+	if kcfg.MaxLag > span/4 {
+		kcfg.MaxLag = span / 4
+	}
+	kcfg.MinCount = 1
+	kcfg.MinScore = 0
+
+	rng := rand.New(rand.NewSource(seed + 7))
+	makeTrain := func(density float64) []int {
+		out := make([]int, 0, int(density*float64(span))+1)
+		for t := 0; t < span; t++ {
+			if rng.Float64() < density {
+				out = append(out, t)
+			}
+		}
+		if len(out) == 0 {
+			out = append(out, 0)
+		}
+		return out
+	}
+	var scratch sig.Scratch
+	race := func(a, b []int, kind sig.KernelKind) testing.BenchmarkResult {
+		cfg := kcfg
+		cfg.Kernel = kind
+		return testing.Benchmark(func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				scratch.CrossCorrelate(a, b, cfg)
+			}
+		})
+	}
+
+	densities := []float64{0.02, 0.05, 0.1, 0.2, 0.4}
+	crossover := 0.0
+	var sliding, fftRes testing.BenchmarkResult
+	for _, d := range densities {
+		a, b := makeTrain(d), makeTrain(d)
+		sliding = race(a, b, sig.KernelSliding)
+		fftRes = race(a, b, sig.KernelFFT)
+		if crossover == 0 && fftRes.NsPerOp() <= sliding.NsPerOp() {
+			crossover = d
+		}
+	}
+	rep.add("kernel/fft-vs-sliding", fftRes, map[string]float64{
+		"density":            densities[len(densities)-1],
+		"max_lag":            float64(kcfg.MaxLag),
+		"sliding_ns_per_op":  float64(sliding.NsPerOp()),
+		"speedup_vs_sliding": float64(sliding.NsPerOp()) / float64(fftRes.NsPerOp()),
+		"crossover_density":  crossover,
+	})
 }
 
 // blindAllPairs is the pre-fast-path seeding reference: every ordered
@@ -331,6 +453,16 @@ func (r *Report) add(name string, br testing.BenchmarkResult, extra map[string]f
 		m.Extra = extra
 	}
 	r.Benchmarks = append(r.Benchmarks, m)
+}
+
+// lookupNs returns a recorded benchmark's ns/op, or 0 if absent.
+func (r *Report) lookupNs(name string) float64 {
+	for _, m := range r.Benchmarks {
+		if m.Name == name {
+			return m.NsPerOp
+		}
+	}
+	return 0
 }
 
 // extendLast merges extra metrics into the measurement at offset from the

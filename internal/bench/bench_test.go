@@ -49,7 +49,8 @@ func TestRunSmokes(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"seed/all_pairs", "seed/all_pairs_reference",
-		"mine/hybrid", "train/hybrid", "train/signal", "train/datamining", "pipeline/predict"} {
+		"mine/hybrid", "train/hybrid", "train/signal", "train/datamining", "pipeline/predict",
+		"refresh/incremental", "kernel/fft-vs-sliding"} {
 		if !names[want] {
 			t.Errorf("missing benchmark %q", want)
 		}

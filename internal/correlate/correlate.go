@@ -126,6 +126,12 @@ type Model struct {
 
 	// Severity maps event id to the worst severity seen in training.
 	Severity map[int]logs.Severity
+
+	// ref carries incremental retraining state between Refresh calls; it
+	// is unexported so the model's direct JSON form skips it (snapshots
+	// persist it explicitly via RefreshState).
+	//elsa:ephemeral serialised explicitly as RefreshState on the monitor envelope; restored via RestoreRefreshState
+	ref *refresher
 }
 
 // PredictiveChains returns the chains usable for failure prediction.
@@ -179,18 +185,7 @@ func Train(recs []logs.Record, start, end time.Time, mode Mode, cfg Config) *Mod
 	trains := characterize(occ, horizon, mode, cfg, model)
 	model.Stats.Characterize = now().Sub(mark)
 
-	cc := cfg.CrossCorr
-	cc.Horizon = horizon
-	mining := cfg.Mining
-	mining.Horizon = horizon
-	if mode == DataMiningOnly {
-		// Fixed small window, stricter support, raw trains, and the
-		// classic symmetric co-occurrence criterion only.
-		cc.MaxLag = 6 // the classic fixed 60 s window at 10 s sampling
-		cc.SymmetricOnly = true
-		mining.MinSupport *= 2
-		mining.MinConfidence = 0.5
-	}
+	cc, mining := tuneForMode(mode, horizon, cfg)
 	// All three modes seed from the prefiltered pair scan; the pruning
 	// stats land on the model so operators can see how much of the E^2
 	// space the fast path skipped.

@@ -1,0 +1,235 @@
+package correlate
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/elsa-hpc/elsa/internal/gradual"
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/sig"
+)
+
+// cascadeTrains builds outlier spike trains with a genuine 1 -> 2 -> 3
+// cascade plus background noise, the shape the hybrid pipeline feeds the
+// miner after outlier filtering.
+func cascadeTrains(rng *rand.Rand, n int) sig.SpikeTrains {
+	trains := sig.SpikeTrains{}
+	var s1, s2, s3, s9 []int
+	for i := 0; i < n; i++ {
+		base := i*997 + rng.Intn(5)
+		s1 = append(s1, base)
+		s2 = append(s2, base+6)
+		s3 = append(s3, base+10)
+		s9 = append(s9, i*1013+37)
+	}
+	trains[1], trains[2], trains[3], trains[9] = s1, s2, s3, s9
+	return trains
+}
+
+// feedAccum replays trains tick by tick, as the pipeline tap would.
+func feedAccum(ac *sig.Accumulator, trains sig.SpikeTrains, from int) {
+	last := -1
+	ids := make([]int, 0, len(trains))
+	for id, tr := range trains {
+		ids = append(ids, id)
+		if len(tr) > 0 && tr[len(tr)-1] > last {
+			last = tr[len(tr)-1]
+		}
+	}
+	sort.Ints(ids)
+	var outliers []int
+	for t := from; t <= last; t++ {
+		outliers = outliers[:0]
+		for _, id := range ids {
+			tr := trains[id]
+			if i := sort.SearchInts(tr, t); i < len(tr) && tr[i] == t {
+				outliers = append(outliers, id)
+			}
+		}
+		ac.ObserveTick(t, nil, outliers)
+	}
+}
+
+// emptyModel builds a trained-model shell with severities but no chains,
+// the state a monitor holds right after loading a fresh model.
+func emptyModel(mode Mode, cfg Config) *Model {
+	return &Model{
+		Mode:       mode,
+		Step:       cfg.Step,
+		TrainStart: t0,
+		Profiles:   make(map[int]sig.Profile),
+		Thresholds: make(map[int]float64),
+		Severity:   make(map[int]logs.Severity),
+	}
+}
+
+func accumFor(cfg Config) *sig.Accumulator {
+	return sig.NewAccumulator(sig.AccumConfig{
+		MaxLag:   cfg.CrossCorr.MaxLag,
+		MinCount: cfg.CrossCorr.MinCount,
+	})
+}
+
+// TestRefreshMatchesBatchMine: a first Refresh over accumulated counters
+// must produce exactly the chains the batch seed-and-mine path extracts
+// from the same trains — the accumulator's exact counters admit the same
+// candidate set the batch prefilter does.
+func TestRefreshMatchesBatchMine(t *testing.T) {
+	for _, mode := range []Mode{Hybrid, SignalOnly} {
+		rng := rand.New(rand.NewSource(31))
+		trains := cascadeTrains(rng, 40)
+		cfg := DefaultConfig()
+
+		ac := accumFor(cfg)
+		feedAccum(ac, trains, 0)
+		ac.NoteSeverity(3, int(logs.Error))
+
+		m := emptyModel(mode, cfg)
+		st := m.Refresh(ac, cfg)
+		if !st.Remined {
+			t.Fatalf("%v: first refresh must run the full miner", mode)
+		}
+		if st.Duration <= 0 || st.Chains != len(m.Chains) {
+			t.Fatalf("%v: stats inconsistent: %+v", mode, st)
+		}
+
+		// Reference: the batch path over identical trains.
+		horizon := ac.LastTick() + 1
+		cc, mining := tuneForMode(mode, horizon, cfg)
+		seeds := sig.AllPairs(trains, cc)
+		ref := emptyModel(mode, cfg)
+		ref.Severity[3] = logs.Error
+		var want []Chain
+		if mode == SignalOnly {
+			for _, s := range pairItemsets(trains, seeds, mining) {
+				want = append(want, ref.newChain(s))
+			}
+		} else {
+			for _, s := range gradual.Mine(trains, seeds, mining) {
+				want = append(want, ref.newChain(s))
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i].Key() < want[j].Key() })
+
+		if !reflect.DeepEqual(m.Chains, want) {
+			t.Fatalf("%v: refresh chains diverge from batch mine\n got=%v\nwant=%v", mode, m.Chains, want)
+		}
+		if len(m.Chains) == 0 {
+			t.Fatalf("%v: no chains extracted", mode)
+		}
+	}
+}
+
+// TestRefreshFastPathSkipsMiner: when new data only repeats existing
+// co-occurrence structure the seed signature is unchanged, so the second
+// refresh must take the rescore fast path yet still fold the new support
+// into the chains.
+func TestRefreshFastPathSkipsMiner(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	cfg := DefaultConfig()
+	ac := accumFor(cfg)
+	m := emptyModel(Hybrid, cfg)
+
+	first := cascadeTrains(rng, 40)
+	feedAccum(ac, first, 0)
+	ac.NoteSeverity(3, int(logs.Error))
+	st1 := m.Refresh(ac, cfg)
+	if !st1.Remined || len(m.Chains) == 0 {
+		t.Fatalf("first refresh: %+v, chains=%d", st1, len(m.Chains))
+	}
+	support1 := maxSupport(m.Chains)
+
+	// Extend the stream with more occurrences of the same cascade at the
+	// same delays: counters move, structure does not.
+	more := cascadeTrains(rand.New(rand.NewSource(47)), 80)
+	feedAccum(ac, more, ac.LastTick()+1)
+	st2 := m.Refresh(ac, cfg)
+	if st2.Remined {
+		t.Fatalf("unchanged seed structure re-ran the miner: %+v", st2)
+	}
+	if st2.Dirty == 0 || st2.Scored == 0 {
+		t.Fatalf("second refresh saw no dirty pairs: %+v", st2)
+	}
+	if got := maxSupport(m.Chains); got <= support1 {
+		t.Fatalf("fast path did not fold in new support: %d -> %d", support1, got)
+	}
+	// A refresh with no new data at all drains nothing and changes nothing.
+	before := append([]Chain(nil), m.Chains...)
+	st3 := m.Refresh(ac, cfg)
+	if st3.Dirty != 0 || st3.Remined || !reflect.DeepEqual(m.Chains, before) {
+		t.Fatalf("idle refresh perturbed the model: %+v", st3)
+	}
+}
+
+func maxSupport(chains []Chain) int {
+	best := 0
+	for _, c := range chains {
+		if c.Support > best {
+			best = c.Support
+		}
+	}
+	return best
+}
+
+// TestRefreshStateRoundTrip: serialising the refresher and restoring it
+// into a fresh model must leave both copies indistinguishable — same
+// fast-path decisions, same chains — as they continue over new data.
+func TestRefreshStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := DefaultConfig()
+	ac := accumFor(cfg)
+	m := emptyModel(Hybrid, cfg)
+	feedAccum(ac, cascadeTrains(rng, 40), 0)
+	ac.NoteSeverity(3, int(logs.Error))
+	m.Refresh(ac, cfg)
+
+	// Snapshot both the accumulator and the refresher through JSON.
+	blob, err := json.Marshal(struct {
+		Acc     *sig.AccumState
+		Refresh *RefreshState
+		Model   *Model
+	}{ac.State(), m.RefreshState(), m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec struct {
+		Acc     *sig.AccumState
+		Refresh *RefreshState
+		Model   *Model
+	}
+	if err := json.Unmarshal(blob, &dec); err != nil {
+		t.Fatal(err)
+	}
+	ac2, err := sig.RestoreAccumulator(sig.AccumConfig{
+		MaxLag: cfg.CrossCorr.MaxLag, MinCount: cfg.CrossCorr.MinCount,
+	}, dec.Acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := dec.Model
+	m2.RestoreRefreshState(dec.Refresh)
+
+	more := cascadeTrains(rand.New(rand.NewSource(5)), 70)
+	feedAccum(ac, more, ac.LastTick()+1)
+	feedAccum(ac2, more, ac2.LastTick()+1)
+	st1 := m.Refresh(ac, cfg)
+	st2 := m2.Refresh(ac2, cfg)
+	st1.Duration, st2.Duration = 0, 0
+	if st1 != st2 {
+		t.Fatalf("refresh stats diverge after restore: %+v vs %+v", st1, st2)
+	}
+	if !reflect.DeepEqual(m.Chains, m2.Chains) {
+		t.Fatalf("chains diverge after restore\n got=%v\nwant=%v", m2.Chains, m.Chains)
+	}
+	if m.RefreshState().Mined != m2.RefreshState().Mined {
+		t.Fatal("mined signatures diverge after restore")
+	}
+	// RestoreRefreshState(nil) resets to the never-refreshed state.
+	m2.RestoreRefreshState(nil)
+	if m2.RefreshState() != nil {
+		t.Fatal("nil restore did not clear the refresher")
+	}
+}

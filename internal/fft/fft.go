@@ -21,6 +21,56 @@ func NextPow2(n int) int {
 // IsPow2 reports whether n is a positive power of two.
 func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
+// GrowPow2 returns a zeroed complex buffer whose length is the smallest
+// power of two >= n, reusing buf's capacity when it suffices. Callers that
+// keep the returned slice as scratch state amortize the allocation away;
+// the length is a power of two by construction, so the buffer is always
+// valid input for MustTransform/MustInverse.
+func GrowPow2(buf []complex128, n int) []complex128 {
+	size := NextPow2(n)
+	if cap(buf) >= size {
+		buf = buf[:size]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	return make([]complex128, size)
+}
+
+// PackReal packs the real series xs into the real parts of a zero-padded
+// power-of-two complex buffer of length NextPow2(max(len(xs), minSize)),
+// reusing buf's capacity when possible. minSize lets correlation callers
+// reserve extra zero padding so the circular convolution never wraps.
+func PackReal(buf []complex128, xs []float64, minSize int) []complex128 {
+	if minSize < len(xs) {
+		minSize = len(xs)
+	}
+	buf = GrowPow2(buf, minSize)
+	for i, v := range xs {
+		buf[i] = complex(v, 0)
+	}
+	return buf
+}
+
+// MustTransform is Transform for buffers whose length is a power of two by
+// construction (GrowPow2/PackReal output). It panics on any other length —
+// a programming error, not an input condition — so call sites carry no
+// error path.
+func MustTransform(x []complex128) {
+	if err := Transform(x); err != nil {
+		panic(err)
+	}
+}
+
+// MustInverse is Inverse under the same power-of-two-by-construction
+// contract as MustTransform.
+func MustInverse(x []complex128) {
+	if err := Inverse(x); err != nil {
+		panic(err)
+	}
+}
+
 // Transform computes the in-place iterative radix-2 FFT of x. It returns an
 // error unless len(x) is a power of two.
 func Transform(x []complex128) error {
@@ -90,12 +140,12 @@ func Periodogram(xs []float64) []float64 {
 		m += v
 	}
 	m /= float64(len(xs))
-	n := NextPow2(len(xs))
-	buf := make([]complex128, n)
-	for i, v := range xs {
-		buf[i] = complex(v-m, 0)
+	buf := PackReal(nil, xs, 0)
+	n := len(buf)
+	for i := range xs {
+		buf[i] -= complex(m, 0)
 	}
-	_ = Transform(buf) // length is a power of two by construction
+	MustTransform(buf)
 	out := make([]float64, n/2+1)
 	for k := range out {
 		re, im := real(buf[k]), imag(buf[k])
@@ -156,17 +206,16 @@ func Autocorrelation(xs []float64, maxLag int) []float64 {
 		m += v
 	}
 	m /= float64(n)
-	size := NextPow2(2 * n) // zero-pad to avoid circular wrap
-	buf := make([]complex128, size)
-	for i, v := range xs {
-		buf[i] = complex(v-m, 0)
+	buf := PackReal(nil, xs, 2*n) // zero-pad to avoid circular wrap
+	for i := range xs {
+		buf[i] -= complex(m, 0)
 	}
-	_ = Transform(buf)
+	MustTransform(buf)
 	for i := range buf {
 		re, im := real(buf[i]), imag(buf[i])
 		buf[i] = complex(re*re+im*im, 0)
 	}
-	_ = Inverse(buf)
+	MustInverse(buf)
 	out := make([]float64, maxLag+1)
 	c0 := real(buf[0])
 	if c0 <= 0 {

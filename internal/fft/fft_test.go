@@ -32,6 +32,79 @@ func TestIsPow2(t *testing.T) {
 	}
 }
 
+func TestGrowPow2(t *testing.T) {
+	buf := GrowPow2(nil, 5)
+	if len(buf) != 8 {
+		t.Fatalf("len = %d, want 8", len(buf))
+	}
+	// Reuse: a big dirty buffer shrinks in place and is zeroed.
+	for i := range buf {
+		buf[i] = complex(1, 1)
+	}
+	reused := GrowPow2(buf, 3)
+	if len(reused) != 4 || &reused[0] != &buf[0] {
+		t.Fatalf("expected in-place reuse to length 4, got len %d", len(reused))
+	}
+	for i, v := range reused {
+		if v != 0 {
+			t.Fatalf("reused[%d] = %v, want 0", i, v)
+		}
+	}
+	if got := len(GrowPow2(nil, 0)); got != 1 {
+		t.Fatalf("GrowPow2(nil, 0) len = %d, want 1", got)
+	}
+}
+
+func TestPackReal(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	buf := PackReal(nil, xs, 0)
+	if len(buf) != 4 {
+		t.Fatalf("len = %d, want 4", len(buf))
+	}
+	for i, v := range xs {
+		if buf[i] != complex(v, 0) {
+			t.Fatalf("buf[%d] = %v, want %v", i, buf[i], v)
+		}
+	}
+	if buf[3] != 0 {
+		t.Fatalf("padding not zeroed: %v", buf[3])
+	}
+	// minSize reserves extra zero padding past len(xs).
+	if got := len(PackReal(nil, xs, 7)); got != 8 {
+		t.Fatalf("minSize-padded len = %d, want 8", got)
+	}
+	// Dirty scratch is reused and cleared.
+	scratch := []complex128{9i, 9i, 9i, 9i, 9i, 9i, 9i, 9i}
+	out := PackReal(scratch, xs, 0)
+	if &out[0] != &scratch[0] {
+		t.Fatal("expected scratch reuse")
+	}
+	if out[3] != 0 {
+		t.Fatalf("stale padding survived: %v", out[3])
+	}
+}
+
+func TestMustTransformRoundTrip(t *testing.T) {
+	xs := []float64{1, -2, 3, 0.5, -7}
+	buf := PackReal(nil, xs, 0)
+	MustTransform(buf)
+	MustInverse(buf)
+	for i, v := range xs {
+		if math.Abs(real(buf[i])-v) > 1e-9 || math.Abs(imag(buf[i])) > 1e-9 {
+			t.Fatalf("round trip bin %d = %v, want %v", i, buf[i], v)
+		}
+	}
+}
+
+func TestMustTransformPanicsOffContract(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two length")
+		}
+	}()
+	MustTransform(make([]complex128, 3))
+}
+
 func TestTransformRejectsNonPow2(t *testing.T) {
 	if err := Transform(make([]complex128, 3)); err == nil {
 		t.Error("expected error for non-power-of-two length")

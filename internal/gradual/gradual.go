@@ -136,12 +136,13 @@ type evalScratch struct {
 func refineAll(trains sig.SpikeTrains, sets []Itemset, cfg Config) []Itemset {
 	refined := make([]Itemset, len(sets))
 	keep := make([]bool, len(sets))
+	bits := sig.IndexTrains(trains)
 	parallelEach(len(sets), func(i int, sc *evalScratch) {
 		s := sets[i]
 		items := refineDelays(trains, s.Items, cfg.DelayTolerance, sc)
-		if r, ok := score(trains, items, cfg, sc); ok {
+		if r, ok := score(trains, bits, items, cfg, sc); ok {
 			refined[i], keep[i] = r, true
-		} else if r, ok := score(trains, s.Items, cfg, sc); ok {
+		} else if r, ok := score(trains, bits, s.Items, cfg, sc); ok {
 			// Refinement degraded the pattern (rare); keep the original.
 			refined[i], keep[i] = r, true
 		}
@@ -341,8 +342,9 @@ func Evaluate(trains sig.SpikeTrains, cands [][]Item, cfg Config) []Itemset {
 	}
 	out := make([]Itemset, len(cands))
 	keep := make([]bool, len(cands))
+	bits := sig.IndexTrains(trains)
 	parallelEach(len(cands), func(i int, sc *evalScratch) {
-		if s, ok := score(trains, cands[i], cfg, sc); ok {
+		if s, ok := score(trains, bits, cands[i], cfg, sc); ok {
 			out[i] = s
 			keep[i] = true
 		}
@@ -356,11 +358,31 @@ func Evaluate(trains sig.SpikeTrains, cands [][]Item, cfg Config) []Itemset {
 	return kept
 }
 
+// Rescore re-evaluates previously mined itemsets against fresh trains:
+// the incremental refresh path re-scores the live chain set without
+// re-walking the candidate tree, keeping an itemset exactly when the new
+// trains still support it. Output follows refineAll's deterministic
+// (support desc, key) order.
+func Rescore(trains sig.SpikeTrains, sets []Itemset, cfg Config) []Itemset {
+	cands := make([][]Item, len(sets))
+	for i := range sets {
+		cands[i] = sets[i].Items
+	}
+	out := Evaluate(trains, cands, cfg)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
 // score evaluates one candidate: support, confidence and Mann-Whitney
 // significance against background probes. The hit and background
 // indicator vectors come from the worker's scratch; MannWhitney copies
 // what it needs, so reuse across candidates is safe.
-func score(trains sig.SpikeTrains, items []Item, cfg Config, sc *evalScratch) (Itemset, bool) {
+func score(trains sig.SpikeTrains, bits sig.BitTrains, items []Item, cfg Config, sc *evalScratch) (Itemset, bool) {
 	first := trains[items[0].Event]
 	if len(first) == 0 {
 		return Itemset{}, false
@@ -368,7 +390,7 @@ func score(trains sig.SpikeTrains, items []Item, cfg Config, sc *evalScratch) (I
 	support := 0
 	hits := sc.hits[:0]
 	for _, t := range first {
-		if matchesAt(trains, items, t, cfg.DelayTolerance) {
+		if matchesAt(trains, bits, items, t, cfg.DelayTolerance) {
 			support++
 			hits = append(hits, 1)
 		} else {
@@ -383,7 +405,7 @@ func score(trains sig.SpikeTrains, items []Item, cfg Config, sc *evalScratch) (I
 	if conf < cfg.MinConfidence {
 		return Itemset{}, false
 	}
-	p, bg := significance(trains, items, hits, cfg, sc)
+	p, bg := significance(trains, bits, items, hits, cfg, sc)
 	if p >= cfg.Alpha {
 		return Itemset{}, false
 	}
@@ -425,14 +447,22 @@ func scanOffsets(dst []int, train, first []int, delay, w int) []int {
 }
 
 // matchesAt reports whether every non-first item of the pattern has an
-// occurrence at t + delay, within the delay-proportional tolerance.
+// occurrence at t + delay, within the delay-proportional tolerance. The
+// bit-packed occupancy index answers each window probe in O(1) word
+// operations; events too sparse to index fall back to binary search.
 //
 //elsa:hotpath
-func matchesAt(trains sig.SpikeTrains, items []Item, t, tol int) bool {
+func matchesAt(trains sig.SpikeTrains, bits sig.BitTrains, items []Item, t, tol int) bool {
 	for _, it := range items[1:] {
-		train := trains[it.Event]
 		want := t + it.Delay
 		w := sig.DelayTolerance(it.Delay, tol)
+		if bt, ok := bits[it.Event]; ok {
+			if !bt.AnyIn(want-w, want+w) {
+				return false
+			}
+			continue
+		}
+		train := trains[it.Event]
 		i := sort.SearchInts(train, want-w)
 		if i >= len(train) || train[i] > want+w {
 			return false
@@ -446,7 +476,7 @@ func matchesAt(trains sig.SpikeTrains, items []Item, t, tol int) bool {
 // background probe times, returning the p-value and the background match
 // rate. A low p-value means followers co-occur with the trigger far more
 // often than with arbitrary instants.
-func significance(trains sig.SpikeTrains, items []Item, hits []float64, cfg Config, sc *evalScratch) (p, background float64) {
+func significance(trains sig.SpikeTrains, bits sig.BitTrains, items []Item, hits []float64, cfg Config, sc *evalScratch) (p, background float64) {
 	if cfg.Horizon <= 0 {
 		return 0, 0 // no background to compare against; accept
 	}
@@ -464,7 +494,7 @@ func significance(trains sig.SpikeTrains, items []Item, hits []float64, cfg Conf
 	bg := sc.bg[:0]
 	bgHits := 0.0
 	for t := stride / 2; t < cfg.Horizon; t += stride {
-		if matchesAt(trains, items, t, cfg.DelayTolerance) {
+		if matchesAt(trains, bits, items, t, cfg.DelayTolerance) {
 			bg = append(bg, 1)
 			bgHits++
 		} else {

@@ -82,7 +82,7 @@ func referenceScore(trains sig.SpikeTrains, items []Item, cfg Config) (Itemset, 
 	support := 0
 	hits := make([]float64, 0, len(first))
 	for _, t := range first {
-		if matchesAt(trains, items, t, cfg.DelayTolerance) {
+		if matchesAt(trains, sig.IndexTrains(trains), items, t, cfg.DelayTolerance) {
 			support++
 			hits = append(hits, 1)
 		} else {
@@ -129,7 +129,7 @@ func referenceSignificance(trains sig.SpikeTrains, items []Item, hits []float64,
 	bg := make([]float64, 0, probes)
 	bgHits := 0.0
 	for t := stride / 2; t < cfg.Horizon; t += stride {
-		if matchesAt(trains, items, t, cfg.DelayTolerance) {
+		if matchesAt(trains, sig.IndexTrains(trains), items, t, cfg.DelayTolerance) {
 			bg = append(bg, 1)
 			bgHits++
 		} else {

@@ -64,9 +64,9 @@ type Detector struct {
 	// fault bursts then drag the window median toward the fault level.
 	ReplaceOutliers bool
 
-	raw    ring
-	cor    ring
-	sorted sortedSet
+	raw ring
+	cor ring
+	med medianWindow
 }
 
 // NewDetector returns a detector with the given window length (samples)
@@ -84,6 +84,7 @@ func NewDetector(window int, threshold float64) *Detector {
 		ReplaceOutliers: true,
 		raw:             newRing(window),
 		cor:             newRing(window),
+		med:             newMedianWindow(),
 	}
 }
 
@@ -99,10 +100,10 @@ func (d *Detector) Window() int { return d.window }
 // the last N raw values and the current sample itself.
 func (d *Detector) Observe(y float64) Observation {
 	if old, evicted := d.raw.push(y); evicted {
-		d.sorted.remove(old)
+		d.med.remove(old)
 	}
-	d.sorted.insert(y)
-	med := d.sorted.median()
+	d.med.insert(y)
+	med := d.med.median()
 	out := Observation{Value: y, Median: med, Corrected: y}
 	if diff := y - med; diff > d.threshold || diff < -d.threshold {
 		out.Outlier = true
@@ -111,9 +112,9 @@ func (d *Detector) Observe(y float64) Observation {
 		}
 	}
 	if old, evicted := d.cor.push(out.Corrected); evicted {
-		d.sorted.remove(old)
+		d.med.remove(old)
 	}
-	d.sorted.insert(out.Corrected)
+	d.med.insert(out.Corrected)
 	return out
 }
 
@@ -143,14 +144,14 @@ func (d *Detector) Restore(st DetectorState) error {
 	}
 	d.raw = newRing(d.window)
 	d.cor = newRing(d.window)
-	d.sorted = sortedSet{}
+	d.med = newMedianWindow()
 	for _, v := range st.Raw {
 		d.raw.push(v)
-		d.sorted.insert(v)
+		d.med.insert(v)
 	}
 	for _, v := range st.Cor {
 		d.cor.push(v)
-		d.sorted.insert(v)
+		d.med.insert(v)
 	}
 	return nil
 }
@@ -207,36 +208,201 @@ func (r *ring) push(v float64) (evicted float64, wasFull bool) {
 	return evicted, wasFull
 }
 
-// sortedSet is a sorted multiset backed by a slice. Insert/remove are
-// O(n) moves but n is the filter window, and the constant is a memmove —
-// in practice far faster than tree structures at these sizes.
-type sortedSet struct {
-	xs []float64
+// medianWindow maintains the running median of a finite-float multiset
+// under insert/remove in O(log n) amortized per operation: a max-heap of
+// the lower half and a min-heap of the upper half, with removals recorded
+// lazily in pending-deletion heaps of matching orientation and resolved
+// when the deleted value surfaces at a top. It replaced a sorted slice
+// whose O(n) memmoves dominated training at the 2160-sample default
+// window; the medians it reports are bit-identical (the frozen sortedSet
+// reference lives in the package tests).
+//
+// Callers must only remove values currently in the multiset; this holds
+// by construction in Detector, which removes exactly what its rings
+// evict.
+type medianWindow struct {
+	lo, hi       halfHeap // all entries, live and pending-deleted
+	loDel, hiDel halfHeap // pending deletions, same orientation
+	loLive       int      // live entries in lo (lower half)
+	hiLive       int      // live entries in hi (upper half)
 }
 
-func (s *sortedSet) insert(v float64) {
-	i := sort.SearchFloat64s(s.xs, v)
-	s.xs = append(s.xs, 0)
-	copy(s.xs[i+1:], s.xs[i:])
-	s.xs[i] = v
+func newMedianWindow() medianWindow {
+	return medianWindow{lo: halfHeap{max: true}, loDel: halfHeap{max: true}}
 }
 
-func (s *sortedSet) remove(v float64) {
-	i := sort.SearchFloat64s(s.xs, v)
-	if i < len(s.xs) && s.xs[i] == v {
-		s.xs = append(s.xs[:i], s.xs[i+1:]...)
+// pruneLo pops matching (heap, pending) tops until lo's top is live.
+// Because the pending multiset is a sub-multiset of the heap, the top of
+// lo is pending iff it equals the top of loDel.
+func (m *medianWindow) pruneLo() {
+	for len(m.loDel.xs) > 0 && len(m.lo.xs) > 0 && m.lo.xs[0] == m.loDel.xs[0] {
+		m.lo.pop()
+		m.loDel.pop()
 	}
 }
 
-func (s *sortedSet) median() float64 {
-	n := len(s.xs)
-	if n == 0 {
+func (m *medianWindow) pruneHi() {
+	for len(m.hiDel.xs) > 0 && len(m.hi.xs) > 0 && m.hi.xs[0] == m.hiDel.xs[0] {
+		m.hi.pop()
+		m.hiDel.pop()
+	}
+}
+
+func (m *medianWindow) insert(v float64) {
+	m.pruneLo()
+	if m.loLive == 0 || v <= m.lo.xs[0] {
+		m.lo.push(v)
+		m.loLive++
+	} else {
+		m.hi.push(v)
+		m.hiLive++
+	}
+	m.rebalance()
+}
+
+// remove marks one live copy of v deleted. After pruneLo the top of lo is
+// live and is the maximum over all lo entries, so v <= top proves a live
+// copy of v sits in lo (every hi entry is >= every lo entry), and v > top
+// proves all copies of v live in hi.
+func (m *medianWindow) remove(v float64) {
+	m.pruneLo()
+	if m.loLive > 0 && v <= m.lo.xs[0] {
+		m.loDel.push(v)
+		m.loLive--
+		m.compactLo()
+	} else {
+		m.hiDel.push(v)
+		m.hiLive--
+		m.compactHi()
+	}
+	m.rebalance()
+}
+
+// rebalance restores loLive == hiLive or loLive == hiLive+1 by moving
+// pruned (therefore live) tops across; moving an extreme preserves the
+// every-lo <= every-hi ordering of the underlying heaps.
+func (m *medianWindow) rebalance() {
+	for m.loLive > m.hiLive+1 {
+		m.pruneLo()
+		m.hi.push(m.lo.pop())
+		m.loLive--
+		m.hiLive++
+	}
+	for m.hiLive > m.loLive {
+		m.pruneHi()
+		m.lo.push(m.hi.pop())
+		m.hiLive--
+		m.loLive++
+	}
+}
+
+// median returns the median of the live multiset, or 0 when empty —
+// exactly the sorted-slice reference semantics.
+func (m *medianWindow) median() float64 {
+	total := m.loLive + m.hiLive
+	if total == 0 {
 		return 0
 	}
-	if n%2 == 1 {
-		return s.xs[n/2]
+	m.pruneLo()
+	if total%2 == 1 {
+		return m.lo.xs[0]
 	}
-	return (s.xs[n/2-1] + s.xs[n/2]) / 2
+	m.pruneHi()
+	return (m.lo.xs[0] + m.hi.xs[0]) / 2
 }
 
-func (s *sortedSet) len() int { return len(s.xs) }
+func (m *medianWindow) len() int { return m.loLive + m.hiLive }
+
+// compactLo rebuilds lo without its pending deletions once they dominate
+// the heap, bounding memory: pending values below the top otherwise
+// linger until they surface, which a monotonically drifting signal can
+// postpone indefinitely.
+func (m *medianWindow) compactLo() {
+	if len(m.loDel.xs) > m.loLive+64 {
+		compactHeap(&m.lo, &m.loDel)
+	}
+}
+
+func (m *medianWindow) compactHi() {
+	if len(m.hiDel.xs) > m.hiLive+64 {
+		compactHeap(&m.hi, &m.hiDel)
+	}
+}
+
+// compactHeap multiset-subtracts del from h in place and re-heapifies.
+func compactHeap(h, del *halfHeap) {
+	sort.Float64s(h.xs)
+	sort.Float64s(del.xs)
+	out := h.xs[:0]
+	j := 0
+	for _, v := range h.xs {
+		if j < len(del.xs) && v == del.xs[j] {
+			j++
+			continue
+		}
+		out = append(out, v)
+	}
+	h.xs = out
+	del.xs = del.xs[:0]
+	h.heapify()
+}
+
+// halfHeap is a binary heap over float64: a max-heap when max is set
+// (lower half), a min-heap otherwise (upper half).
+type halfHeap struct {
+	xs  []float64
+	max bool
+}
+
+func (h *halfHeap) before(a, b float64) bool {
+	if h.max {
+		return a > b
+	}
+	return a < b
+}
+
+func (h *halfHeap) push(v float64) {
+	h.xs = append(h.xs, v)
+	i := len(h.xs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(h.xs[i], h.xs[parent]) {
+			break
+		}
+		h.xs[i], h.xs[parent] = h.xs[parent], h.xs[i]
+		i = parent
+	}
+}
+
+func (h *halfHeap) pop() float64 {
+	top := h.xs[0]
+	last := len(h.xs) - 1
+	h.xs[0] = h.xs[last]
+	h.xs = h.xs[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *halfHeap) siftDown(i int) {
+	n := len(h.xs)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && h.before(h.xs[l], h.xs[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && h.before(h.xs[r], h.xs[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.xs[i], h.xs[best] = h.xs[best], h.xs[i]
+		i = best
+	}
+}
+
+func (h *halfHeap) heapify() {
+	for i := len(h.xs)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}

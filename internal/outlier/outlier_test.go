@@ -2,10 +2,46 @@ package outlier
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"github.com/elsa-hpc/elsa/internal/sig"
 )
+
+// sortedSet is the frozen pre-change median implementation: a sorted
+// multiset backed by a slice with O(n) memmove insert/remove. It was
+// replaced in production by medianWindow and is kept here as the
+// reference the equivalence property tests compare against.
+type sortedSet struct {
+	xs []float64
+}
+
+func (s *sortedSet) insert(v float64) {
+	i := sort.SearchFloat64s(s.xs, v)
+	s.xs = append(s.xs, 0)
+	copy(s.xs[i+1:], s.xs[i:])
+	s.xs[i] = v
+}
+
+func (s *sortedSet) remove(v float64) {
+	i := sort.SearchFloat64s(s.xs, v)
+	if i < len(s.xs) && s.xs[i] == v {
+		s.xs = append(s.xs[:i], s.xs[i+1:]...)
+	}
+}
+
+func (s *sortedSet) median() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s.xs[n/2]
+	}
+	return (s.xs[n/2-1] + s.xs[n/2]) / 2
+}
+
+func (s *sortedSet) len() int { return len(s.xs) }
 
 func TestThresholdCalibration(t *testing.T) {
 	noisy := sig.Profile{Class: sig.Noise, Spread: 2}
@@ -197,8 +233,106 @@ func TestDetectorWindowBounded(t *testing.T) {
 	for i := 0; i < 10000; i++ {
 		d.Observe(float64(i % 7))
 	}
-	if got := d.sorted.len(); got > 100 {
-		t.Errorf("sorted set grew to %d, want <= 2*window", got)
+	if got := d.med.len(); got > 100 {
+		t.Errorf("median window grew to %d live entries, want <= 2*window", got)
+	}
+}
+
+// TestMedianWindowMatchesSortedSet drives the two-heap median and the
+// frozen sorted-slice reference through identical random insert/remove
+// streams (removals always of present values, as the Detector guarantees)
+// and requires bit-identical medians after every operation.
+func TestMedianWindowMatchesSortedSet(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := newMedianWindow()
+		var ref sortedSet
+		var present []float64
+		for op := 0; op < 3000; op++ {
+			if len(present) == 0 || rng.Intn(3) != 0 {
+				// Coarse quantization forces duplicate values, the
+				// regime where half-assignment bugs hide.
+				v := float64(rng.Intn(20)) / 4
+				m.insert(v)
+				ref.insert(v)
+				present = append(present, v)
+			} else {
+				i := rng.Intn(len(present))
+				v := present[i]
+				present[i] = present[len(present)-1]
+				present = present[:len(present)-1]
+				m.remove(v)
+				ref.remove(v)
+			}
+			if m.len() != ref.len() {
+				t.Fatalf("seed %d op %d: len %d vs reference %d", seed, op, m.len(), ref.len())
+			}
+			if got, want := m.median(), ref.median(); got != want {
+				t.Fatalf("seed %d op %d: median %v vs reference %v", seed, op, got, want)
+			}
+		}
+	}
+}
+
+// TestMedianWindowCompactsDrift pins the memory bound: a monotonically
+// drifting signal parks every eviction below the heap tops, so without
+// compaction the pending-deletion heaps would grow with the stream.
+func TestMedianWindowCompactsDrift(t *testing.T) {
+	m := newMedianWindow()
+	const window = 64
+	for i := 0; i < 100000; i++ {
+		m.insert(float64(i))
+		if i >= window {
+			m.remove(float64(i - window))
+		}
+	}
+	if m.len() != window {
+		t.Fatalf("live entries = %d, want %d", m.len(), window)
+	}
+	if total := len(m.lo.xs) + len(m.hi.xs) + len(m.loDel.xs) + len(m.hiDel.xs); total > 8*window+256 {
+		t.Fatalf("heap storage grew to %d entries for a %d-sample window", total, window)
+	}
+}
+
+// TestDetectorMatchesSortedSetReference runs a full production Detector
+// against a reference detector reimplemented on the frozen sortedSet and
+// requires identical observations on noisy streams with fault bursts.
+func TestDetectorMatchesSortedSetReference(t *testing.T) {
+	type refDetector struct {
+		raw, cor ring
+		sorted   sortedSet
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		const window, threshold = 48, 2.0
+		d := NewDetector(window, threshold)
+		r := &refDetector{raw: newRing(window), cor: newRing(window)}
+		for i := 0; i < 2000; i++ {
+			v := 8 + rng.NormFloat64()*1.5
+			if rng.Intn(29) == 0 {
+				v += 40
+			}
+			got := d.Observe(v)
+
+			if old, evicted := r.raw.push(v); evicted {
+				r.sorted.remove(old)
+			}
+			r.sorted.insert(v)
+			med := r.sorted.median()
+			want := Observation{Value: v, Median: med, Corrected: v}
+			if diff := v - med; diff > threshold || diff < -threshold {
+				want.Outlier = true
+				want.Corrected = med
+			}
+			if old, evicted := r.cor.push(want.Corrected); evicted {
+				r.sorted.remove(old)
+			}
+			r.sorted.insert(want.Corrected)
+
+			if got != want {
+				t.Fatalf("seed %d sample %d: %+v vs reference %+v", seed, i, got, want)
+			}
+		}
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"github.com/elsa-hpc/elsa/internal/logs"
 	"github.com/elsa-hpc/elsa/internal/predict"
 	"github.com/elsa-hpc/elsa/internal/resilience"
+	"github.com/elsa-hpc/elsa/internal/sig"
 )
 
 // Stage indices, in graph order.
@@ -117,6 +118,15 @@ type Config struct {
 	// Degraded flag. <= 0 disables shedding; DefaultConfig sets
 	// DefaultMaxBuffered.
 	MaxBuffered int
+
+	// Accumulate, when set, arms an incremental statistics accumulator
+	// on the synchronous Session driver: every closed tick's outlier hit
+	// set and per-event counts are folded into it, so Model.Refresh can
+	// rebuild chains from live counters without replaying the horizon.
+	// Its MaxLag/MinCount must match the model's cross-correlation
+	// configuration. The async Run driver ignores it (batch replay
+	// retrains offline).
+	Accumulate *sig.AccumConfig
 }
 
 // DefaultBuffer is the default inter-stage channel capacity.
@@ -160,6 +170,13 @@ type Pipeline struct {
 
 	counters [numStages]stageCounter
 
+	// accum collects incremental training statistics from the Session
+	// driver's closed ticks; nil when Config.Accumulate is unset. Its
+	// state rides SessionState.Accum.
+	accum *sig.Accumulator
+	//elsa:ephemeral per-tick outlier id scratch for the accumulator tap
+	accEvents []int
+
 	// Input hardening and supervision state (see harden.go).
 	//elsa:ephemeral ingest diagnostics; the aggregate counts persist via the stage counters
 	quar  quarantine
@@ -196,6 +213,9 @@ func New(eng *predict.Engine, org TemplateLearner, cfg Config) *Pipeline {
 	if cfg.DedupWindow > 0 {
 		p.dedup = newDedupRing(cfg.DedupWindow)
 	}
+	if cfg.Accumulate != nil {
+		p.accum = sig.NewAccumulator(*cfg.Accumulate)
+	}
 	if cfg.Supervise {
 		for _, st := range []int{stageTemplate, stageFilter, stageMatch} {
 			pol := cfg.Supervision
@@ -208,6 +228,22 @@ func New(eng *predict.Engine, org TemplateLearner, cfg Config) *Pipeline {
 
 // Engine returns the wrapped prediction engine.
 func (p *Pipeline) Engine() *predict.Engine { return p.eng }
+
+// Accumulator returns the incremental statistics accumulator, or nil
+// when Config.Accumulate was unset.
+func (p *Pipeline) Accumulator() *sig.Accumulator { return p.accum }
+
+// observeTick feeds one closed tick to the accumulator: the sorted hit
+// set becomes the tick's outlier ids, the tick sample its per-event
+// record counts.
+func (p *Pipeline) observeTick(b tickBatch, hits []predict.Hit) {
+	ev := p.accEvents[:0]
+	for _, h := range hits {
+		ev = append(ev, h.Event)
+	}
+	p.accEvents = ev
+	p.accum.ObserveTick(b.idx, b.sample.Counts, ev)
+}
 
 // FilterWorkers returns the filter stage's effective fan-out width.
 func (p *Pipeline) FilterWorkers() int { return len(p.shards) }

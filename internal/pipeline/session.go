@@ -61,6 +61,9 @@ func (s *Session) Feed(rec logs.Record) []predict.Prediction {
 		return s.runBatches(s.smp.bump(rec.Time))
 	}
 	s.p.stampSafe(&rec)
+	if s.p.accum != nil && rec.EventID >= 0 {
+		s.p.accum.NoteSeverity(rec.EventID, int(rec.Severity))
+	}
 	c.in.Add(1)
 	batches, accepted := s.smp.add(rec)
 	if !accepted {
@@ -101,13 +104,29 @@ func (s *Session) Result() *predict.Result {
 	return s.res
 }
 
-// runBatches pushes closed ticks through the filter and match stages.
+// runBatches pushes closed ticks through the filter and match stages,
+// teeing each closed tick's hit set into the statistics accumulator
+// when one is armed.
 func (s *Session) runBatches(batches []tickBatch) []predict.Prediction {
 	var out []predict.Prediction
 	for _, b := range batches {
 		s.p.counters[stageSample].out.Add(1)
 		hits := s.p.detectSafe(b.sample, b.start)
+		if s.p.accum != nil {
+			s.p.observeTick(b, hits)
+		}
 		out = append(out, s.p.matchSafe(b, hits, s.res)...)
 	}
 	return out
+}
+
+// SyncChains re-derives the engine's chain wiring after the model's
+// chain set changed underneath it (Model.Refresh): surviving partial
+// matches keep matching, instances of dropped chains expire, and the
+// result's chain inventory is updated. Returns the number of
+// prediction-capable chains now loaded.
+func (s *Session) SyncChains() int {
+	n := s.p.eng.SwapChains()
+	s.res.Stats.ChainsLoaded = n
+	return n
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/elsa-hpc/elsa/internal/predict"
+	"github.com/elsa-hpc/elsa/internal/sig"
 )
 
 // SessionState is the serialisable mid-stream state of a Session: the
@@ -33,6 +34,10 @@ type SessionState struct {
 
 	Dedup    []uint64 `json:"dedup,omitempty"`
 	Shedding bool     `json:"shedding,omitempty"`
+
+	// Accum carries the incremental training statistics mid-stream when
+	// the pipeline was armed with Config.Accumulate.
+	Accum *sig.AccumState `json:"accum,omitempty"`
 
 	Engine *predict.EngineState `json:"engine"`
 	Result *predict.Result      `json:"result"`
@@ -67,6 +72,9 @@ func (s *Session) State() (*SessionState, error) {
 	}
 	if s.p.dedup != nil {
 		st.Dedup = s.p.dedup.keys()
+	}
+	if s.p.accum != nil {
+		st.Accum = s.p.accum.State()
 	}
 	res := &predict.Result{
 		Predictions: append([]predict.Prediction(nil), s.res.Predictions...),
@@ -119,6 +127,13 @@ func (p *Pipeline) ResumeSession(st *SessionState) (*Session, error) {
 	p.shedding.Store(st.Shedding)
 	if p.dedup != nil {
 		p.dedup.restore(st.Dedup)
+	}
+	if p.accum != nil && st.Accum != nil {
+		acc, err := sig.RestoreAccumulator(*p.cfg.Accumulate, st.Accum)
+		if err != nil {
+			return nil, err
+		}
+		p.accum = acc
 	}
 	res := p.eng.NewResult()
 	if st.Result != nil {

@@ -217,6 +217,7 @@ func SampleTick(recs []logs.Record, tickStart time.Time) *Tick {
 }
 
 // instance is a partially matched chain occurrence.
+//
 //elsa:snapshot
 type instance struct {
 	chain     *correlate.Chain
@@ -281,13 +282,29 @@ func NewEngine(model *correlate.Model, profiles map[string]*location.Profile, cf
 		detectors:   make(map[int]*outlier.Detector),
 		spans:       make(map[string]*spanTracker),
 	}
-	// Prediction-capable chains: predictive (not all-INFO) and ending in
-	// an error-severity event.
-	for _, c := range model.Chains {
+	e.rebuildChains()
+	// Dense signals get a real online filter; silent signals use the
+	// fast path (any occurrence is an outlier).
+	for id, p := range model.Profiles {
+		if p.Class != sig.Silent && model.Mode != correlate.DataMiningOnly {
+			e.detectors[id] = outlier.NewDetector(cfg.OutlierWindow, model.Thresholds[id])
+		}
+	}
+	return e
+}
+
+// rebuildChains derives the engine's chain wiring from the model's
+// current chain set. Prediction-capable chains are the predictive (not
+// all-INFO) ones ending in an error-severity event.
+func (e *Engine) rebuildChains() {
+	e.chains = e.chains[:0]
+	e.byEvent = make(map[int][]chainRef)
+	e.firstEvents = make(map[int][]*correlate.Chain)
+	for _, c := range e.model.Chains {
 		if !c.Predictive {
 			continue
 		}
-		if !model.Severity[c.Last().Event].IsError() {
+		if !e.model.Severity[c.Last().Event].IsError() {
 			continue
 		}
 		e.chains = append(e.chains, c)
@@ -302,15 +319,46 @@ func NewEngine(model *correlate.Model, profiles map[string]*location.Profile, cf
 			e.byEvent[it.Event] = append(e.byEvent[it.Event], chainRef{chain: c, idx: idx})
 		}
 	}
-	// Dense signals get a real online filter; silent signals use the
-	// fast path (any occurrence is an outlier).
-	for id, p := range model.Profiles {
-		if p.Class != sig.Silent && model.Mode != correlate.DataMiningOnly {
-			e.detectors[id] = outlier.NewDetector(cfg.OutlierWindow, model.Thresholds[id])
-		}
-	}
-	return e
 }
+
+// SwapChains re-derives the chain wiring after the model's chain set
+// changed underneath the engine (incremental retraining). Stream state
+// survives: detectors keep their windows, span trackers their confirmed
+// delays, and active instances whose chain still exists under the same
+// key are re-pointed at the new chain value; instances of chains the
+// refresh dropped or re-shaped expire immediately. Returns the number
+// of prediction-capable chains now loaded.
+func (e *Engine) SwapChains() int {
+	// Instances hold pointers into the old e.chains backing array, which
+	// rebuildChains reuses — resolve their keys first.
+	old := e.active
+	oldKeys := make([]string, len(old))
+	for i, in := range old {
+		oldKeys[i] = in.chain.Key()
+	}
+	e.rebuildChains()
+	byKey := make(map[string]*correlate.Chain, len(e.chains))
+	for i := range e.chains {
+		byKey[e.chains[i].Key()] = &e.chains[i]
+	}
+	kept := old[:0]
+	for i, in := range old {
+		c, ok := byKey[oldKeys[i]]
+		if !ok || len(in.matched) != len(c.Items) {
+			continue
+		}
+		in.chain = c
+		kept = append(kept, in)
+	}
+	for i := len(kept); i < len(old); i++ {
+		old[i] = nil
+	}
+	e.active = kept
+	return len(e.chains)
+}
+
+// ChainCount reports how many prediction-capable chains are loaded.
+func (e *Engine) ChainCount() int { return len(e.chains) }
 
 // Step returns the engine's sampling interval (normalised to the model's
 // step when the config left it unset).

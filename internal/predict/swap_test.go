@@ -1,0 +1,134 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/correlate"
+	"github.com/elsa-hpc/elsa/internal/gradual"
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/sig"
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+func swapTestModel() *correlate.Model {
+	return &correlate.Model{
+		Mode: correlate.Hybrid,
+		Step: 10 * time.Second,
+		Chains: []correlate.Chain{{
+			Itemset: gradual.Itemset{Items: []gradual.Item{
+				{Event: 1, Delay: 0}, {Event: 2, Delay: 6}, {Event: 3, Delay: 12},
+			}},
+			Predictive:  true,
+			MaxSeverity: logs.Failure,
+		}},
+		Profiles: map[int]sig.Profile{
+			1: {Event: 1, Class: sig.Silent}, 2: {Event: 2, Class: sig.Silent},
+			3: {Event: 3, Class: sig.Silent}, 4: {Event: 4, Class: sig.Silent},
+			5: {Event: 5, Class: sig.Silent},
+		},
+		Thresholds: map[int]float64{1: 0.5, 2: 0.5, 3: 0.5, 4: 0.5, 5: 0.5},
+		Severity: map[int]logs.Severity{
+			1: logs.Warning, 2: logs.Severe, 3: logs.Failure,
+			4: logs.Warning, 5: logs.Failure,
+		},
+	}
+}
+
+// stepTick drives one tick through the engine's exported stage steps.
+func stepTick(e *Engine, res *Result, tick int, events ...int) {
+	node := topology.MustParse("R00-M0-N0-C:J02-U01")
+	tickStart := t0.Add(time.Duration(tick) * e.cfg.Step)
+	tk := NewTick()
+	for _, ev := range events {
+		tk.Add(logs.Record{Time: tickStart, EventID: ev, Location: node})
+	}
+	hits := e.DetectOutliers(tk, tickStart)
+	checks := e.MatchChains(hits, tick)
+	e.FinishTick(tk, checks, tick, tickStart.Add(e.cfg.Step), res)
+}
+
+// TestSwapChainsKeepsActiveInstances: an in-flight partial match whose
+// chain survives a refresh keeps matching across the swap, and chains
+// the refresh adds become live immediately.
+func TestSwapChainsKeepsActiveInstances(t *testing.T) {
+	model := swapTestModel()
+	e := NewEngine(model, nil, DefaultConfig())
+	if e.ChainCount() != 1 {
+		t.Fatalf("ChainCount = %d, want 1", e.ChainCount())
+	}
+	res := e.NewResult()
+
+	// Event 1 opens an instance of the 3-chain; it has not fired yet.
+	stepTick(e, res, 0, 1)
+	if len(res.Predictions) != 0 || len(e.active) != 1 {
+		t.Fatalf("after trigger: preds=%d active=%d", len(res.Predictions), len(e.active))
+	}
+
+	// A refresh adds a new pair chain 4 -> 5 and keeps the 3-chain.
+	model.Chains = append(model.Chains, correlate.Chain{
+		Itemset: gradual.Itemset{Items: []gradual.Item{
+			{Event: 4, Delay: 0}, {Event: 5, Delay: 3},
+		}},
+		Predictive:  true,
+		MaxSeverity: logs.Failure,
+	})
+	if n := e.SwapChains(); n != 2 {
+		t.Fatalf("SwapChains = %d chains, want 2", n)
+	}
+	if len(e.active) != 1 {
+		t.Fatalf("active instance lost across swap: %d", len(e.active))
+	}
+
+	// The surviving instance completes: event 2 at its mined delay fires
+	// the old chain; the new pair chain fires on its own trigger.
+	stepTick(e, res, 6, 2)
+	stepTick(e, res, 8, 4)
+	keys := map[string]bool{}
+	for _, p := range res.Predictions {
+		keys[p.ChainKey] = true
+	}
+	if !keys["1@0|2@6|3@12"] {
+		t.Errorf("surviving instance did not fire after swap: %v", keys)
+	}
+	if !keys["4@0|5@3"] {
+		t.Errorf("newly added chain not live after swap: %v", keys)
+	}
+}
+
+// TestSwapChainsDropsRemovedChains: instances of a chain the refresh
+// dropped expire at the swap and can no longer fire.
+func TestSwapChainsDropsRemovedChains(t *testing.T) {
+	model := swapTestModel()
+	e := NewEngine(model, nil, DefaultConfig())
+	res := e.NewResult()
+	stepTick(e, res, 0, 1)
+	if len(e.active) != 1 {
+		t.Fatalf("no active instance: %d", len(e.active))
+	}
+
+	model.Chains = nil
+	if n := e.SwapChains(); n != 0 {
+		t.Fatalf("SwapChains = %d chains, want 0", n)
+	}
+	if len(e.active) != 0 {
+		t.Fatalf("orphaned instance survived swap: %d", len(e.active))
+	}
+	stepTick(e, res, 6, 2)
+	stepTick(e, res, 12, 3)
+	if len(res.Predictions) != 0 {
+		t.Fatalf("dropped chain still fired: %d predictions", len(res.Predictions))
+	}
+}
+
+// TestSwapChainsReappliesSeverityFilter: a refresh that downgrades a
+// terminal event below error severity must disarm its chains, exactly
+// as NewEngine would.
+func TestSwapChainsReappliesSeverityFilter(t *testing.T) {
+	model := swapTestModel()
+	e := NewEngine(model, nil, DefaultConfig())
+	model.Severity[3] = logs.Info
+	if n := e.SwapChains(); n != 0 {
+		t.Fatalf("SwapChains = %d chains, want 0 after severity downgrade", n)
+	}
+}

@@ -1,0 +1,346 @@
+package sig
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// feedTrains replays a batch spike-train set through an accumulator tick
+// by tick, the way the pipeline tap would.
+func feedTrains(ac *Accumulator, trains SpikeTrains) {
+	last := -1
+	for _, tr := range trains {
+		if len(tr) > 0 && tr[len(tr)-1] > last {
+			last = tr[len(tr)-1]
+		}
+	}
+	ids := make([]int, 0, len(trains))
+	for id := range trains {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var outliers []int
+	for t := 0; t <= last; t++ {
+		outliers = outliers[:0]
+		for _, id := range ids {
+			tr := trains[id]
+			if i := sort.SearchInts(tr, t); i < len(tr) && tr[i] == t {
+				outliers = append(outliers, id)
+			}
+		}
+		ac.ObserveTick(t, nil, outliers)
+	}
+}
+
+// batchCounts runs the frozen batch exact sweep over the same trains and
+// returns the per-ordered-pair counts keyed by real event ids.
+func batchCounts(trains SpikeTrains, maxLag int) map[[2]int]int {
+	ids := make([]int, 0, len(trains))
+	for id := range trains {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	tl := mergeTimeline(trains, ids)
+	counts := newPairCounter(len(ids))
+	exactSweep(tl, maxLag, counts)
+	out := make(map[[2]int]int)
+	for ai := range ids {
+		for bi := range ids {
+			if ai == bi {
+				continue
+			}
+			if n := counterGet(counts, int32(ai), int32(bi)); n > 0 {
+				out[[2]int{ids[ai], ids[bi]}] = n
+			}
+		}
+	}
+	return out
+}
+
+func accumCounts(ac *Accumulator) map[[2]int]int {
+	out := make(map[[2]int]int)
+	for k, v := range ac.counts {
+		if v > 0 {
+			out[[2]int{int(k >> 32), int(uint32(k))}] = int(v)
+		}
+	}
+	return out
+}
+
+// TestAccumulatorMatchesBatchSweep: in the exact regime the streaming
+// ring sweep must reproduce the batch exactSweep counters bit for bit on
+// randomized trains, including simultaneous-spike double counting.
+func TestAccumulatorMatchesBatchSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(515))
+	for trial := 0; trial < 40; trial++ {
+		maxLag := []int{0, 1, 5, 17, 60}[trial%5]
+		trains := randomTrains(rng, trainDensity(trial%3))
+		if len(trains) < 2 {
+			continue
+		}
+		ac := NewAccumulator(AccumConfig{MaxLag: maxLag, MinCount: 1, Budget: 1 << 30})
+		feedTrains(ac, trains)
+		if !ac.Exact() {
+			t.Fatalf("trial %d: accumulator left exact regime under a huge budget", trial)
+		}
+		want := batchCounts(trains, maxLag)
+		if got := accumCounts(ac); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (maxLag=%d): incremental counters diverge\n got=%v\nwant=%v",
+				trial, maxLag, got, want)
+		}
+		for id, tr := range trains {
+			if !reflect.DeepEqual(ac.Trains()[id], tr) {
+				t.Fatalf("trial %d: train %d diverges", trial, id)
+			}
+		}
+	}
+}
+
+// TestAccumulatorBucketModeUpperBounds: past the mass budget the
+// counters must upper-bound the true counts and candidate emission must
+// never lose a pair that reaches MinCount.
+func TestAccumulatorBucketModeUpperBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trains := randomTrains(rng, burstyTrains)
+	maxLag := 12
+	ac := NewAccumulator(AccumConfig{MaxLag: maxLag, MinCount: 3, Budget: 50})
+	feedTrains(ac, trains)
+	if ac.Exact() {
+		t.Fatal("accumulator stayed exact past a tiny budget")
+	}
+	ref := batchCounts(trains, maxLag)
+	cands := ac.Candidates()
+	set := make(map[[2]int]int, len(cands))
+	for _, c := range cands {
+		set[[2]int{c.A, c.B}] = c.Count
+	}
+	for pair, n := range ref {
+		if got := ac.PairCount(pair[0], pair[1]); got < n {
+			t.Fatalf("pair %v: bucket-mode count %d undercounts exact %d", pair, got, n)
+		}
+		if n >= 3 {
+			if _, ok := set[pair]; !ok {
+				t.Fatalf("pair %v with %d co-occurrences missing from candidates", pair, n)
+			}
+		}
+	}
+}
+
+// TestAccumulatorDirtyDrain: DrainDirty returns exactly the candidates
+// whose counters changed since the previous drain, and clears them.
+func TestAccumulatorDirtyDrain(t *testing.T) {
+	ac := NewAccumulator(AccumConfig{MaxLag: 5, MinCount: 2})
+	// Events 1 and 2 co-occur on ticks 0..3 (1 then 2, lag 1).
+	for tick := 0; tick < 8; tick += 2 {
+		ac.ObserveTick(tick, nil, []int{1})
+		ac.ObserveTick(tick+1, nil, []int{2})
+	}
+	first := ac.DrainDirty()
+	if len(first) != 2 { // (1,2) and (2,1): lag 1 and lag 5 both within MaxLag
+		t.Fatalf("first drain = %v, want both orders of the co-occurring pair", first)
+	}
+	if again := ac.DrainDirty(); len(again) != 0 {
+		t.Fatalf("second drain without new data = %v, want empty", again)
+	}
+	// New co-occurrences re-dirty the pair.
+	ac.ObserveTick(20, nil, []int{1})
+	ac.ObserveTick(21, nil, []int{2})
+	delta := ac.DrainDirty()
+	if len(delta) == 0 {
+		t.Fatal("drain after new co-occurrences is empty")
+	}
+	for _, c := range delta {
+		if c.A != 1 && c.A != 2 {
+			t.Fatalf("unexpected dirty pair %+v", c)
+		}
+	}
+}
+
+// TestAccumulatorBelowThresholdStaysDirtyAcrossCrossing: a pair cleared
+// from the dirty set while below MinCount must re-surface when a later
+// increment pushes it across the threshold.
+func TestAccumulatorBelowThresholdStaysDirtyAcrossCrossing(t *testing.T) {
+	ac := NewAccumulator(AccumConfig{MaxLag: 3, MinCount: 2})
+	ac.ObserveTick(0, nil, []int{1})
+	ac.ObserveTick(1, nil, []int{2})
+	if d := ac.DrainDirty(); len(d) != 0 {
+		t.Fatalf("pair below MinCount drained as candidate: %v", d)
+	}
+	ac.ObserveTick(10, nil, []int{1})
+	ac.ObserveTick(11, nil, []int{2})
+	d := ac.DrainDirty()
+	if len(d) != 1 || d[0].A != 1 || d[0].B != 2 || d[0].Count != 2 {
+		t.Fatalf("threshold crossing not re-surfaced: %v", d)
+	}
+}
+
+// TestAccumulatorRateStats checks the per-event statistics tap.
+func TestAccumulatorRateStats(t *testing.T) {
+	ac := NewAccumulator(DefaultAccumConfig())
+	ac.ObserveTick(0, map[int]int{7: 3, 9: 1}, []int{7})
+	ac.ObserveTick(1, map[int]int{7: 2}, nil)
+	ac.NoteSeverity(7, 3)
+	ac.NoteSeverity(7, 1) // lower severity must not regress the max
+	st := ac.EventStats()
+	if es := st[7]; es.Count != 5 || es.Spikes != 1 || es.LastTick != 1 || es.MaxSeverity != 3 {
+		t.Fatalf("event 7 stats = %+v", es)
+	}
+	if es := st[9]; es.Count != 1 || es.Spikes != 0 {
+		t.Fatalf("event 9 stats = %+v", es)
+	}
+	if ac.Ticks() != 2 || ac.LastTick() != 1 || ac.Events() != 1 {
+		t.Fatalf("counters: ticks=%d last=%d events=%d", ac.Ticks(), ac.LastTick(), ac.Events())
+	}
+}
+
+// TestAccumulatorHorizonTrim: trains are trimmed to the cap while the
+// lifetime counters keep their totals.
+func TestAccumulatorHorizonTrim(t *testing.T) {
+	ac := NewAccumulator(AccumConfig{MaxLag: 2, MinCount: 1, HorizonCap: 50})
+	for tick := 0; tick < 500; tick += 2 {
+		ac.ObserveTick(tick, nil, []int{1})
+		ac.ObserveTick(tick+1, nil, []int{2})
+	}
+	tr := ac.Trains()[1]
+	if len(tr) == 0 || tr[0] < ac.LastTick()-50-13 {
+		t.Fatalf("train not trimmed: first=%d last tick=%d", tr[0], ac.LastTick())
+	}
+	if n := ac.PairCount(1, 2); n != 250 {
+		t.Fatalf("lifetime counter trimmed too: %d, want 250", n)
+	}
+}
+
+// TestAccumulatorStateRoundTrip: State/Restore must reproduce the
+// accumulator exactly — continuing both from the same point yields
+// identical counters and identical snapshots — and the JSON encoding of
+// equal states must be byte-identical (the kill/resume contract).
+func TestAccumulatorStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, budget := range []int{1 << 30, 40} { // exact regime and bucket regime
+		trains := randomTrains(rng, burstyTrains)
+		cfg := AccumConfig{MaxLag: 9, MinCount: 2, Budget: budget}
+		ac := NewAccumulator(cfg)
+		feedTrains(ac, trains)
+
+		st := ac.State()
+		blob, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded AccumState
+		if err := json.Unmarshal(blob, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := RestoreAccumulator(cfg, &decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Continue both with the same extra ticks.
+		base := ac.LastTick() + 3
+		for i := 0; i < 30; i++ {
+			out := []int{1 + i%3, 4}
+			ac.ObserveTick(base+i, map[int]int{4: 2}, out)
+			restored.ObserveTick(base+i, map[int]int{4: 2}, out)
+		}
+		if !reflect.DeepEqual(accumCounts(ac), accumCounts(restored)) {
+			t.Fatalf("budget %d: counters diverge after resume", budget)
+		}
+		if !reflect.DeepEqual(ac.Candidates(), restored.Candidates()) {
+			t.Fatalf("budget %d: candidates diverge after resume", budget)
+		}
+		b1, _ := json.Marshal(ac.State())
+		b2, _ := json.Marshal(restored.State())
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("budget %d: post-resume snapshots not byte-identical", budget)
+		}
+	}
+}
+
+// TestRestoreAccumulatorRejectsWindowMismatch pins the MaxLag guard.
+func TestRestoreAccumulatorRejectsWindowMismatch(t *testing.T) {
+	ac := NewAccumulator(AccumConfig{MaxLag: 10, MinCount: 1})
+	ac.ObserveTick(0, nil, []int{1})
+	st := ac.State()
+	if _, err := RestoreAccumulator(AccumConfig{MaxLag: 20, MinCount: 1}, st); err == nil {
+		t.Fatal("restore across MaxLag mismatch succeeded")
+	}
+	if _, err := RestoreAccumulator(AccumConfig{MaxLag: 10, MinCount: 1}, nil); err == nil {
+		t.Fatal("restore from nil state succeeded")
+	}
+}
+
+// TestPairTelemetryDedupesAcrossRounds pins the refresh-telemetry fix: a
+// pair pruned by the prefilter in round one and kernel-scored in round
+// two must move from Pruned to Scored, not count in both. The naive
+// per-round sum double-counts it; the lifecycle sets must not.
+func TestPairTelemetryDedupesAcrossRounds(t *testing.T) {
+	tel := NewPairTelemetry()
+
+	// Round 1: universe of 3 events; pair (1,2) scored and kept, pair
+	// (1,3) pruned by the prefilter (never scored).
+	tel.BeginRound(3)
+	tel.NoteScored(1, 2)
+	tel.NoteKept(1, 2, true)
+	r1 := tel.Stats()
+	if r1.Scored != 1 || r1.Kept != 1 || r1.Pruned() != r1.Candidates-1 {
+		t.Fatalf("round 1 stats = %+v", r1)
+	}
+
+	// Round 2: (1,3)'s counter crossed MinCount, the kernel runs it and
+	// keeps it; (1,2) re-scores and is dropped this time.
+	tel.BeginRound(3)
+	tel.NoteScored(1, 3)
+	tel.NoteKept(1, 3, true)
+	tel.NoteScored(1, 2)
+	tel.NoteKept(1, 2, false)
+	got := tel.Stats()
+
+	want := PairStats{Events: 3, Candidates: 6, Scored: 2, Kept: 1}
+	if got != want {
+		t.Fatalf("deduped stats = %+v, want %+v", got, want)
+	}
+	// The regression: summing the two rounds' independent stats would
+	// report (1,3) once as pruned and once as scored, and (1,2) scored
+	// twice. The invariant Scored + Pruned == Candidates must hold on
+	// the cumulative view.
+	if got.Scored+got.Pruned() != got.Candidates {
+		t.Fatalf("lifecycle buckets overlap: scored=%d pruned=%d candidates=%d",
+			got.Scored, got.Pruned(), got.Candidates)
+	}
+
+	// Round-trip the state for the resume path.
+	restored := RestorePairTelemetry(tel.State())
+	if restored.Stats() != got {
+		t.Fatalf("telemetry state round-trip diverged: %+v vs %+v", restored.Stats(), got)
+	}
+}
+
+// FuzzIncrementalCounters feeds arbitrary spike layouts — including the
+// permutations and duplications the ingest dedup ring admits, which all
+// collapse to the same per-tick outlier sets — through the streaming
+// accumulator and asserts its exact-regime counters equal the batch
+// exactSweep over the identical merged timeline.
+func FuzzIncrementalCounters(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 0, 2, 3, 0, 0, 1, 1, 2, 0, 3, 7, 4, 1}, uint8(6))
+	f.Add([]byte{1, 0, 2, 0, 3, 0, 4, 0, 0, 0}, uint8(0))
+	f.Add([]byte{0, 7, 1, 7, 0, 7, 1, 7, 0, 7, 1, 7}, uint8(31))
+	f.Add([]byte{}, uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, lagB uint8) {
+		trains, ids := fuzzTrains(data)
+		if len(ids) < 2 {
+			return
+		}
+		maxLag := int(lagB % 32)
+		ac := NewAccumulator(AccumConfig{MaxLag: maxLag, MinCount: 1, Budget: 1 << 30})
+		feedTrains(ac, trains)
+		want := batchCounts(trains, maxLag)
+		if got := accumCounts(ac); !reflect.DeepEqual(got, want) {
+			t.Fatalf("incremental counters diverge from batch exactSweep\n got=%v\nwant=%v", got, want)
+		}
+	})
+}

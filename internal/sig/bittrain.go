@@ -1,0 +1,86 @@
+package sig
+
+// BitTrain is a bitset view of one spike train: bit p of words marks a
+// spike at sample base+p. It answers "any spike in [lo, hi]?" in O(1)
+// word operations instead of a binary search per probe, which is the
+// inner question of the miner's pattern matching and of the online
+// engine's window checks. The zero value is an empty train.
+type BitTrain struct {
+	base  int
+	words []uint64
+}
+
+// maxBitTrainWaste caps the bitset span at 64 words per spike: a train
+// sparser than one spike per 4096 samples gains nothing over binary
+// search and would pay the span in memory.
+const maxBitTrainWaste = 64
+
+// NewBitTrain builds the bitset view of a sorted spike train, or returns
+// nil when the train is empty or too sparse for the view to pay off
+// (callers fall back to binary search on nil).
+func NewBitTrain(train []int) *BitTrain {
+	if len(train) == 0 {
+		return nil
+	}
+	base := train[0]
+	span := train[len(train)-1] - base + 1
+	words := span>>6 + 1
+	if words > maxBitTrainWaste*len(train) {
+		return nil
+	}
+	b := &BitTrain{base: base, words: make([]uint64, words)}
+	for _, t := range train {
+		p := t - base
+		b.words[p>>6] |= 1 << uint(p&63)
+	}
+	return b
+}
+
+// AnyIn reports whether the train has a spike in the inclusive sample
+// range [lo, hi].
+//
+//elsa:hotpath
+func (b *BitTrain) AnyIn(lo, hi int) bool {
+	lo -= b.base
+	hi -= b.base
+	top := len(b.words)<<6 - 1
+	if hi < 0 || lo > top || hi < lo {
+		return false
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > top {
+		hi = top
+	}
+	wLo, wHi := lo>>6, hi>>6
+	loMask := ^uint64(0) << uint(lo&63)
+	hiMask := ^uint64(0) >> uint(63-(hi&63))
+	if wLo == wHi {
+		return b.words[wLo]&loMask&hiMask != 0
+	}
+	if b.words[wLo]&loMask != 0 {
+		return true
+	}
+	for w := wLo + 1; w < wHi; w++ {
+		if b.words[w] != 0 {
+			return true
+		}
+	}
+	return b.words[wHi]&hiMask != 0
+}
+
+// BitTrains indexes a SpikeTrains set for AnyIn probes; events whose
+// trains are too sparse to index are absent (probe them by search).
+type BitTrains map[int]*BitTrain
+
+// IndexTrains builds the BitTrain view of every indexable train.
+func IndexTrains(trains SpikeTrains) BitTrains {
+	out := make(BitTrains, len(trains))
+	for id, tr := range trains {
+		if bt := NewBitTrain(tr); bt != nil {
+			out[id] = bt
+		}
+	}
+	return out
+}

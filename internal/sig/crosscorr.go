@@ -38,6 +38,11 @@ type CrossCorrConfig struct {
 	// symmetric co-occurrence, which is exactly why it misses
 	// rare-precursor correlations the signal view keeps.
 	SymmetricOnly bool
+	// Kernel forces a histogram kernel. The default, KernelAuto, picks
+	// between the sliding-window, bit-packed and FFT kernels per pair via
+	// a deterministic work estimate; the explicit values exist for the
+	// equivalence tests and the crossover benchmarks.
+	Kernel KernelKind
 }
 
 // DefaultCrossCorrConfig returns the settings used in the experiments: the

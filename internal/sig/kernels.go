@@ -1,0 +1,243 @@
+package sig
+
+import (
+	"math/bits"
+
+	"github.com/elsa-hpc/elsa/internal/fft"
+)
+
+// KernelKind selects how the cross-correlation histogram is built. The
+// three kernels are bit-identical on duplicate-free sorted trains (the
+// SpikeTrains contract); they differ only in cost shape, so KernelAuto
+// picks by a deterministic estimate of each kernel's work.
+type KernelKind int
+
+const (
+	// KernelAuto dispatches on the density heuristic (the default).
+	KernelAuto KernelKind = iota
+	// KernelSliding is the two-pointer sliding-window sweep: O(mass)
+	// increments, ideal for the sparse outlier-filtered trains.
+	KernelSliding
+	// KernelBitpack packs both trains into bitsets over their shared span
+	// and counts each lag with word-parallel AND+popcount: 64 positions
+	// per operation, O((MaxLag+1)·span/64) regardless of density.
+	KernelBitpack
+	// KernelFFT computes the whole histogram as one circular correlation
+	// over internal/fft in O(n log n) for n = NextPow2(span): the winner
+	// when both trains are dense and the lag window is wide.
+	KernelFFT
+)
+
+func (k KernelKind) String() string {
+	switch k {
+	case KernelSliding:
+		return "sliding"
+	case KernelBitpack:
+		return "bitpack"
+	case KernelFFT:
+		return "fft"
+	}
+	return "auto"
+}
+
+// Deterministic per-unit work weights for the dispatch estimate,
+// calibrated with BenchmarkKernels so each cost approximates nanoseconds:
+// one sliding-sweep histogram increment ~1 ns, one bit-packed
+// AND+popcount word-op ~2 ns, one complex element per butterfly level
+// ~7 ns (the constant folds in all three transforms).
+const (
+	slidingUnitCost = 1
+	bitpackUnitCost = 2
+	fftUnitCost     = 7
+	// maxFFTSpan bounds the padded transform size (and therefore the
+	// scratch memory) the FFT path may request; wider spans mean the
+	// trains are sparse over a long horizon, exactly where the sliding
+	// sweep wins anyway.
+	maxFFTSpan = 1 << 22
+)
+
+// chooseKernel estimates each kernel's work for the pair (a, b) and
+// returns the cheapest. bn is the count of b spikes inside the relevant
+// window [a[0], a[len-1]+maxLag], span that window's width.
+func chooseKernel(an, bn, span, maxLag int) KernelKind {
+	// Expected co-occurrence mass under a uniform spread of b's spikes:
+	// each a spike sees bn*(maxLag+1)/span of them.
+	massEst := an * (bn*(maxLag+1)/span + 1)
+	slidingCost := slidingUnitCost * (an + bn + massEst)
+
+	words := span>>6 + 1
+	bitCost := bitpackUnitCost * (maxLag + 1) * words
+
+	best := KernelSliding
+	bestCost := slidingCost
+	if bitCost < bestCost {
+		best, bestCost = KernelBitpack, bitCost
+	}
+	if span <= maxFFTSpan {
+		n := fft.NextPow2(span)
+		fftCost := fftUnitCost * n * bits.Len(uint(n))
+		if fftCost < bestCost {
+			best = KernelFFT
+		}
+	}
+	return best
+}
+
+// clipLo returns b without the prefix of spikes before base; they sit
+// strictly before every a spike and can never co-occur at a non-negative
+// delay.
+//
+//elsa:hotpath
+func clipLo(b []int, base int) []int {
+	lo := 0
+	for lo < len(b) && b[lo] < base {
+		lo++
+	}
+	return b[lo:]
+}
+
+// clipHi returns b without the suffix of spikes after top = last a spike
+// + maxLag; they are beyond every tolerated delay.
+//
+//elsa:hotpath
+func clipHi(b []int, top int) []int {
+	hi := len(b)
+	for hi > 0 && b[hi-1] > top {
+		hi--
+	}
+	return b[:hi]
+}
+
+// strictlyIncreasing reports whether xs is duplicate-free sorted — the
+// SpikeTrains contract. The bit-packed and FFT kernels collapse duplicate
+// spikes where the sliding sweep counts them, so off-contract input is
+// routed to the sliding sweep instead of silently diverging.
+//
+//elsa:hotpath
+func strictlyIncreasing(xs []int) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildHist fills hist[d] with the number of (t_a, t_b) spike pairs at
+// delay d = t_b - t_a for d in [0, maxLag], dispatching between the three
+// kernels, and records the choice in s.lastKernel. hist arrives zeroed.
+//
+//elsa:hotpath
+func (s *Scratch) buildHist(a, b []int, maxLag int, force KernelKind, hist []int) {
+	base := a[0]
+	top := a[len(a)-1] + maxLag
+	bw := clipHi(clipLo(b, base), top)
+	s.lastKernel = KernelSliding
+	if len(bw) == 0 {
+		s.slidingHist(a, b, maxLag, hist)
+		return
+	}
+	span := top - base + 1
+
+	kind := force
+	if kind == KernelAuto {
+		kind = chooseKernel(len(a), len(bw), span, maxLag)
+	}
+	if kind != KernelSliding && (span > maxFFTSpan && kind == KernelFFT ||
+		!strictlyIncreasing(a) || !strictlyIncreasing(bw)) {
+		kind = KernelSliding
+	}
+	switch kind {
+	case KernelBitpack:
+		s.lastKernel = KernelBitpack
+		s.bitpackHist(a, bw, base, span, maxLag, hist)
+	case KernelFFT:
+		s.lastKernel = KernelFFT
+		s.fftHist(a, bw, base, span, maxLag, hist)
+	default:
+		s.slidingHist(a, b, maxLag, hist)
+	}
+}
+
+// slidingHist is the original two-pointer sweep. Both trains are sorted,
+// so the start of each window [t, t+maxLag] advances monotonically: one
+// shared pointer replaces a binary search per spike, leaving only one
+// increment per actual co-occurrence.
+//
+//elsa:hotpath
+func (s *Scratch) slidingHist(a, b []int, maxLag int, hist []int) {
+	lo := 0
+	for _, t := range a {
+		for lo < len(b) && b[lo] < t {
+			lo++
+		}
+		for j := lo; j < len(b); j++ {
+			d := b[j] - t
+			if d > maxLag {
+				break
+			}
+			hist[d]++
+		}
+	}
+}
+
+// bitpackHist packs both trains into span-relative bitsets and computes
+// each lag's count with word-parallel AND+popcount: bit p of wordsA marks
+// a spike at base+p, so hist[d] is the number of positions where wordsA
+// and wordsB-shifted-right-by-d are both set — 64 lag positions per
+// machine word. wordsB carries maxLag/64+1 zero padding words so the
+// shifted reads never branch on the tail.
+//
+//elsa:hotpath
+func (s *Scratch) bitpackHist(a, bw []int, base, span, maxLag int, hist []int) {
+	words := span>>6 + 1
+	wa, wb := s.growBits(words, words+(maxLag>>6)+1)
+	for _, t := range a {
+		p := t - base
+		wa[p>>6] |= 1 << uint(p&63)
+	}
+	for _, t := range bw {
+		p := t - base
+		wb[p>>6] |= 1 << uint(p&63)
+	}
+	for d := 0; d <= maxLag; d++ {
+		q, r := d>>6, uint(d&63)
+		c := 0
+		for w := 0; w < words; w++ {
+			// Go defines x<<64 == 0, so the r == 0 case needs no branch.
+			m := wa[w] & (wb[w+q]>>r | wb[w+q+1]<<(64-r))
+			c += bits.OnesCount64(m)
+		}
+		hist[d] = c
+	}
+}
+
+// fftHist computes the whole histogram as one correlation
+// IFFT(conj(FFT(A))·FFT(B)): with both indicator series embedded in a
+// power-of-two buffer of length >= span, the circular product has no
+// wraparound inside [0, maxLag] because top already extends a's support
+// by maxLag. The counts are integers recovered exactly by rounding: 0/1
+// inputs keep the accumulated float error orders of magnitude below 0.5
+// at every span the dispatcher admits.
+//
+//elsa:hotpath
+func (s *Scratch) fftHist(a, bw []int, base, span, maxLag int, hist []int) {
+	fa, fb := s.growFFT(span)
+	for _, t := range a {
+		fa[t-base] = 1
+	}
+	for _, t := range bw {
+		fb[t-base] = 1
+	}
+	fft.MustTransform(fa)
+	fft.MustTransform(fb)
+	for i := range fa {
+		re, im := real(fa[i]), imag(fa[i])
+		// conj(fa) * fb, written out to stay in-place.
+		fa[i] = complex(re, -im) * fb[i]
+	}
+	fft.MustInverse(fa)
+	for d := 0; d <= maxLag; d++ {
+		hist[d] = int(real(fa[d]) + 0.5)
+	}
+}

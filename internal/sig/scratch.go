@@ -1,16 +1,65 @@
 package sig
 
-import "math"
+import (
+	"math"
+
+	"github.com/elsa-hpc/elsa/internal/fft"
+)
 
 // Scratch holds the reusable buffers one cross-correlation worker needs.
 // The kernel's histogram and prefix-sum arrays are sized by MaxLag, not by
 // the trains, so a worker that scores thousands of pairs can recycle the
-// same two allocations for all of them. A Scratch is not safe for
-// concurrent use; give each goroutine its own. The zero value is ready to
-// use.
+// same two allocations for all of them; the bit-packed and FFT kernels
+// add span-sized word and complex buffers, grown once and recycled the
+// same way. A Scratch is not safe for concurrent use; give each goroutine
+// its own. The zero value is ready to use.
 type Scratch struct {
 	hist   []int
 	prefix []int
+
+	bitsA, bitsB []uint64
+	fa, fb       []complex128
+
+	lastKernel KernelKind
+}
+
+// LastKernel reports which kernel built the histogram of the most recent
+// CrossCorrelate call — telemetry for the dispatch heuristic and the
+// crossover benchmarks.
+func (s *Scratch) LastKernel() KernelKind { return s.lastKernel }
+
+// growBits resizes the zeroed bitset buffers for the bit-packed kernel.
+//
+//elsa:hotpath
+func (s *Scratch) growBits(na, nb int) (wa, wb []uint64) {
+	if cap(s.bitsA) < na {
+		s.bitsA = make([]uint64, na) //nolint:elsahotpath // amortized: grows to the largest span once, then reused for every pair
+	} else {
+		s.bitsA = s.bitsA[:na]
+	}
+	for i := range s.bitsA {
+		s.bitsA[i] = 0
+	}
+	if cap(s.bitsB) < nb {
+		s.bitsB = make([]uint64, nb) //nolint:elsahotpath // amortized: grows to the largest span once, then reused for every pair
+	} else {
+		s.bitsB = s.bitsB[:nb]
+	}
+	for i := range s.bitsB {
+		s.bitsB[i] = 0
+	}
+	return s.bitsA, s.bitsB
+}
+
+// growFFT resizes the zeroed complex buffers for the FFT kernel. The
+// returned buffers are power-of-two sized by construction, so the
+// transforms have no error path.
+//
+//elsa:hotpath
+func (s *Scratch) growFFT(span int) (fa, fb []complex128) {
+	s.fa = fft.GrowPow2(s.fa, span) //nolint:elsahotpath // amortized: fft.GrowPow2 reuses capacity after the first growth to the largest span
+	s.fb = fft.GrowPow2(s.fb, span) //nolint:elsahotpath // amortized: fft.GrowPow2 reuses capacity after the first growth to the largest span
+	return s.fa, s.fb
 }
 
 // grow resizes the scratch buffers for a MaxLag+1-bin histogram. hist is
@@ -46,22 +95,7 @@ func (s *Scratch) CrossCorrelate(a, b []int, cfg CrossCorrConfig) (delay, count 
 		return 0, 0, 0, false
 	}
 	hist, prefix := s.grow(cfg.MaxLag + 1)
-	// Both trains are sorted, so the start of each window [t, t+MaxLag]
-	// advances monotonically: one shared pointer replaces a binary search
-	// per spike, leaving only one increment per actual co-occurrence.
-	lo := 0
-	for _, t := range a {
-		for lo < len(b) && b[lo] < t {
-			lo++
-		}
-		for j := lo; j < len(b); j++ {
-			d := b[j] - t
-			if d > cfg.MaxLag {
-				break
-			}
-			hist[d]++
-		}
-	}
+	s.buildHist(a, b, cfg.MaxLag, cfg.Kernel, hist)
 	// Prefix sums let each candidate lag be scored over its own
 	// delay-proportional window (DelayTolerance), so long cascades with
 	// multiplicative jitter still accumulate their co-occurrence mass.

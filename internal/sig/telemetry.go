@@ -1,0 +1,110 @@
+package sig
+
+import "sort"
+
+// PairTelemetry accumulates PairStats across incremental refresh rounds
+// without double-counting. Summing each round's PairStats looks right
+// but is not: a pair the prefilter prunes in one round and the kernel
+// scores in a later round (its counter finally crossed MinCount) would
+// land in both that round's Pruned and the later round's Scored, so the
+// totals claim more pair-space work than ever happened. The telemetry
+// therefore tracks per-pair lifecycle sets — scored-ever and
+// currently-kept — and derives the stats from them: each pair counts in
+// exactly one bucket, with the latest outcome winning.
+type PairTelemetry struct {
+	events int
+	scored map[[2]int]struct{}
+	kept   map[[2]int]struct{}
+}
+
+// NewPairTelemetry returns an empty telemetry accumulator.
+func NewPairTelemetry() *PairTelemetry {
+	return &PairTelemetry{
+		scored: make(map[[2]int]struct{}),
+		kept:   make(map[[2]int]struct{}),
+	}
+}
+
+// BeginRound records the size of the event universe the round saw; the
+// candidate space is derived from the largest universe observed.
+func (t *PairTelemetry) BeginRound(events int) {
+	if events > t.events {
+		t.events = events
+	}
+}
+
+// NoteScored records that the kernel ran for the ordered pair. A pair
+// scored in several rounds counts once.
+func (t *PairTelemetry) NoteScored(a, b int) {
+	t.scored[[2]int{a, b}] = struct{}{}
+}
+
+// NoteKept records the pair's latest acceptance outcome: kept pairs form
+// the current seed set, and a pair dropped by a later round leaves it.
+func (t *PairTelemetry) NoteKept(a, b int, kept bool) {
+	if kept {
+		t.kept[[2]int{a, b}] = struct{}{}
+	} else {
+		delete(t.kept, [2]int{a, b})
+	}
+}
+
+// Stats derives the deduplicated cumulative PairStats: Candidates is the
+// blind ordered enumeration of the event universe, Scored the pairs the
+// kernel ever ran for, Kept the pairs currently accepted. Pruned()
+// (Candidates - Scored) therefore never re-counts a pair that was pruned
+// first and scored later.
+func (t *PairTelemetry) Stats() PairStats {
+	return PairStats{
+		Events:     t.events,
+		Candidates: t.events * (t.events - 1),
+		Scored:     len(t.scored),
+		Kept:       len(t.kept),
+	}
+}
+
+// PairTelemetryState is the serialisable form, riding refresh snapshots.
+type PairTelemetryState struct {
+	Events int      `json:"events"`
+	Scored [][2]int `json:"scored,omitempty"`
+	Kept   [][2]int `json:"kept,omitempty"`
+}
+
+// State snapshots the telemetry with both sets in sorted order.
+func (t *PairTelemetry) State() PairTelemetryState {
+	return PairTelemetryState{
+		Events: t.events,
+		Scored: sortedPairs(t.scored),
+		Kept:   sortedPairs(t.kept),
+	}
+}
+
+// RestorePairTelemetry rebuilds telemetry from a snapshot.
+func RestorePairTelemetry(st PairTelemetryState) *PairTelemetry {
+	t := NewPairTelemetry()
+	t.events = st.Events
+	for _, p := range st.Scored {
+		t.scored[p] = struct{}{}
+	}
+	for _, p := range st.Kept {
+		t.kept[p] = struct{}{}
+	}
+	return t
+}
+
+func sortedPairs(set map[[2]int]struct{}) [][2]int {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([][2]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

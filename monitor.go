@@ -3,6 +3,7 @@ package elsa
 import (
 	"time"
 
+	"github.com/elsa-hpc/elsa/internal/correlate"
 	"github.com/elsa-hpc/elsa/internal/ingest"
 	"github.com/elsa-hpc/elsa/internal/pipeline"
 	"github.com/elsa-hpc/elsa/internal/predict"
@@ -29,7 +30,9 @@ type IngestOffset = ingest.Offset
 //
 //elsa:snapshot
 type Monitor struct {
-	model   *Model
+	model *Model
+	//elsa:ephemeral pipeline handle; rebuilt from model + snapshot on resume
+	pipe    *pipeline.Pipeline
 	session *pipeline.Session
 	// ingestOff is the backend resume point last recorded via
 	// SetIngestOffset (or restored from a snapshot); nil when the feed
@@ -48,8 +51,18 @@ func (m *Model) NewMonitor(start time.Time) *Monitor {
 // NewMonitorWith is NewMonitor with an explicit engine configuration.
 func (m *Model) NewMonitorWith(start time.Time, cfg PredictConfig) *Monitor {
 	engine := predict.NewEngine(m.inner, m.profiles, cfg)
-	p := pipeline.New(engine, m.organizer, pipeline.DefaultConfig())
-	return &Monitor{model: m, session: p.NewSession(start)}
+	p := pipeline.New(engine, m.organizer, m.pipelineConfig())
+	return &Monitor{model: m, pipe: p, session: p.NewSession(start)}
+}
+
+// pipelineConfig is the monitor's driver configuration: the defaults
+// plus an incremental statistics accumulator armed under the model's
+// training parameters, so Refresh can retrain from live counters.
+func (m *Model) pipelineConfig() pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	ac := correlate.AccumConfigFor(m.inner.Mode, m.trainCfg.Correlation)
+	cfg.Accumulate = &ac
+	return cfg
 }
 
 // Feed ingests one record and returns any predictions that became
@@ -62,6 +75,34 @@ func (mo *Monitor) Feed(rec Record) []Prediction {
 // quiet spells so chain expiry keeps pace with the clock.
 func (mo *Monitor) AdvanceTo(now time.Time) []Prediction {
 	return mo.session.AdvanceTo(now)
+}
+
+// RefreshStats reports what one incremental retraining round did: how
+// many changed pairs were re-scored, whether the full miner re-ran or
+// the cheap rescore fast path sufficed, and the resulting chain count.
+type RefreshStats = correlate.RefreshStats
+
+// Refresh retrains the model's correlation chains from the live
+// statistics the monitor has accumulated since it started (or since the
+// snapshot it resumed from) — without replaying the horizon. Only pairs
+// whose co-occurrence counters moved since the last Refresh are
+// re-scored; when the seed structure is unchanged the existing chains
+// are merely re-scored against the fresh spike trains, which keeps a
+// steady-state refresh well under the batch retraining cost. The
+// running session keeps its stream state across the swap: partial chain
+// matches survive when their chain does, and the refreshed chain set is
+// live for the very next tick. Chains the refresh adds predict with
+// node scope until a location profile is trained for them offline.
+//
+// A refresh before any tick has closed is a no-op.
+func (mo *Monitor) Refresh() RefreshStats {
+	acc := mo.pipe.Accumulator()
+	if acc == nil || acc.Ticks() == 0 {
+		return RefreshStats{}
+	}
+	st := mo.model.inner.Refresh(acc, mo.model.trainCfg.Correlation)
+	mo.session.SyncChains()
+	return st
 }
 
 // Close flushes the open ticks and returns the accumulated run result,

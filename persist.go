@@ -110,10 +110,16 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("elsa: load model: %w", err)
 	}
+	cfg := DefaultTrainConfig()
+	cfg.Mode = env.Model.Mode
+	if env.Model.Step > 0 {
+		cfg.Correlation.Step = env.Model.Step
+	}
 	return &Model{
 		inner:     env.Model,
 		profiles:  env.Locations,
 		organizer: org,
+		trainCfg:  cfg,
 	}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/elsa-hpc/elsa/internal/correlate"
 	"github.com/elsa-hpc/elsa/internal/pipeline"
 	"github.com/elsa-hpc/elsa/internal/predict"
 )
@@ -28,6 +29,16 @@ type monitorEnvelope struct {
 	// is offset-addressable (file, segment dir). Omitted otherwise, which
 	// also keeps version-1 snapshots from before this field readable.
 	Ingest *IngestOffset `json:"ingest,omitempty"`
+
+	// Refresh, Chains and Severity persist the incremental retraining
+	// state once Monitor.Refresh has run: the session's engine state
+	// references chains by key, so a resume must install the refreshed
+	// chain set (not the originally trained one) before rebuilding the
+	// engine. All omitted while the monitor has never refreshed, which
+	// keeps pre-refresh snapshots byte-compatible.
+	Refresh  *correlate.RefreshState `json:"refresh,omitempty"`
+	Chains   []Chain                 `json:"chains,omitempty"`
+	Severity map[int]Severity        `json:"severity,omitempty"`
 }
 
 // monitorFormatVersion increments on breaking changes to the envelope.
@@ -56,6 +67,11 @@ func (mo *Monitor) Snapshot(w io.Writer) error {
 		},
 		Session: st,
 		Ingest:  mo.ingestOff,
+	}
+	if rst := mo.model.inner.RefreshState(); rst != nil {
+		env.Refresh = rst
+		env.Chains = mo.model.inner.Chains
+		env.Severity = mo.model.inner.Severity
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -109,11 +125,21 @@ func (m *Model) ResumeMonitorWith(r io.Reader, cfg PredictConfig) (*Monitor, err
 		return nil, fmt.Errorf("elsa: resume monitor: %w", err)
 	}
 	m.organizer = org
+	if env.Refresh != nil {
+		// The snapshotted monitor had refreshed: install the refreshed
+		// chain set and severity view before the engine resolves the
+		// session's chain instances against the model.
+		m.inner.Chains = env.Chains
+		if env.Severity != nil {
+			m.inner.Severity = env.Severity
+		}
+		m.inner.RestoreRefreshState(env.Refresh)
+	}
 	engine := predict.NewEngine(m.inner, m.profiles, cfg)
-	p := pipeline.New(engine, m.organizer, pipeline.DefaultConfig())
+	p := pipeline.New(engine, m.organizer, m.pipelineConfig())
 	session, err := p.ResumeSession(env.Session)
 	if err != nil {
 		return nil, fmt.Errorf("elsa: resume monitor: %w", err)
 	}
-	return &Monitor{model: m, session: session, ingestOff: env.Ingest}, nil
+	return &Monitor{model: m, pipe: p, session: session, ingestOff: env.Ingest}, nil
 }
