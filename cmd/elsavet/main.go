@@ -12,6 +12,7 @@
 //	elsavet -fix   [moduleRoot]   # rewrite files in place
 //	elsavet -diff  [moduleRoot]   # print would-be fixes; exit 1 if any
 //	elsavet -stand [moduleRoot]   # report only, no unitchecker protocol
+//	elsavet -json  [moduleRoot]   # report as a JSON array (machine-readable)
 //
 // See internal/lint for the contracts the suite enforces and DESIGN.md
 // §10 for the annotation and suppression conventions.
@@ -32,7 +33,7 @@ func main() {
 	// own flags; only explicit standalone flags divert from it.
 	for _, arg := range os.Args[1:] {
 		switch arg {
-		case "-fix", "--fix", "-diff", "--diff", "-stand", "--stand":
+		case "-fix", "--fix", "-diff", "--diff", "-stand", "--stand", "-json", "--json":
 			os.Exit(standalone(os.Args[1:]))
 		}
 	}
@@ -43,6 +44,7 @@ func standalone(args []string) int {
 	fs := flag.NewFlagSet("elsavet", flag.ExitOnError)
 	fix := fs.Bool("fix", false, "apply suggested fixes in place")
 	diff := fs.Bool("diff", false, "print suggested fixes as a diff; exit 1 if any exist")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (machine-readable)")
 	fs.Bool("stand", false, "standalone report mode (no fixes)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,6 +57,7 @@ func standalone(args []string) int {
 		Root:      root,
 		Fix:       *fix,
 		Diff:      *diff,
+		JSON:      *jsonOut,
 		Analyzers: lint.Analyzers,
 	}, os.Stdout)
 	if err != nil {

@@ -274,7 +274,7 @@ func (r *SegDir) Seek(off Offset) error {
 func indexFloor(path string, rel int64) (startRel, startPos int64) {
 	startRel, startPos = 0, segHeaderLen
 	data, err := os.ReadFile(path)
-	if err != nil {
+	if err != nil { //nolint:elsaerrflow // a missing/unreadable sidecar is the designed fallback: scan from the first frame
 		return startRel, startPos
 	}
 	for p := 0; p+16 <= len(data); p += 16 {

@@ -251,7 +251,7 @@ func (w *SegmentWriter) reopenTail(base int64) error {
 	for {
 		_, nbuf, size, err := readFrameAt(f, st.Size(), pos, buf)
 		buf = nbuf
-		if err != nil {
+		if err != nil { //nolint:elsaerrflow // the error is the scan terminator; the torn tail it marks is truncated just below
 			break // io.EOF (clean), torn, invalid or CRC: stop appending here
 		}
 		pos += size
@@ -320,7 +320,7 @@ func listSegments(dir string) ([]int64, error) {
 			continue
 		}
 		base, err := strconv.ParseInt(name[:20], 10, 64)
-		if err != nil {
+		if err != nil { //nolint:elsaerrflow // filename validation: a non-numeric name is not a segment, not a serving-path error
 			continue
 		}
 		bases = append(bases, base)

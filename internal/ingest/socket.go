@@ -77,7 +77,7 @@ func (s *Socket) accept() {
 	defer s.wg.Done()
 	for {
 		conn, err := s.ln.Accept()
-		if err != nil {
+		if err != nil { //nolint:elsaerrflow // Accept fails only when Close tears the listener down: the exit signal, not a lost record
 			return // listener closed
 		}
 		s.mu.Lock()
@@ -149,7 +149,12 @@ func (s *Socket) serve(conn net.Conn) {
 }
 
 // finishConn retires a connection and closes eofCh when the stream is
-// complete (end marker seen, no connection still reading).
+// complete (end marker seen, no connection still reading). It is the
+// single owner of the eofCh close: the select-guarded close below runs
+// on at most one goroutine because fire requires active == 0 under the
+// lock.
+//
+//elsa:chanowner s.eofCh
 func (s *Socket) finishConn(conn net.Conn, clean bool) {
 	conn.Close()
 	s.mu.Lock()
@@ -218,7 +223,10 @@ func (s *Socket) Stats() Stats {
 }
 
 // Close shuts the listener and every open connection down and unblocks
-// any pending Next.
+// any pending Next. It owns the done close: the closed flag under the
+// lock makes the close path run once.
+//
+//elsa:chanowner s.done
 func (s *Socket) Close() error {
 	s.mu.Lock()
 	if s.closed {

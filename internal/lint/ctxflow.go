@@ -18,8 +18,9 @@ import (
 // exists to prevent.
 var CtxFlowAnalyzer = &analysis.Analyzer{
 	Name: "elsactxflow",
-	Doc: "in functions taking a context.Context, report blocking channel sends/receives and channel " +
-		"ranges that are not guarded by a select with a ctx.Done() case",
+	Doc: "in functions taking a context.Context, report blocking channel sends/receives, channel " +
+		"ranges, bare time.Sleep calls and naked <-time.After receives that are not guarded by a " +
+		"select with a ctx.Done() case",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      runCtxFlow,
 }
@@ -57,6 +58,21 @@ func isContextType(t types.Type) bool {
 	}
 	obj := named.Obj()
 	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isTimeCall reports whether e is a call to time.<name> (the package
+// function, not a method on a Timer/Ticker).
+func isTimeCall(info *types.Info, e ast.Expr, name string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "time"
 }
 
 // isDoneRecv reports whether e is a receive from somectx.Done().
@@ -128,10 +144,18 @@ func checkCtxBody(pass *analysis.Pass, rep *reporter, body *ast.BlockStmt) {
 			return
 		case *ast.UnaryExpr:
 			if n.Op.String() == "<-" && !isDoneRecv(info, n) {
-				rep.reportf(n.Pos(), "ctxflow: bare channel receive can block forever on cancellation; select on it with ctx.Done()")
+				if isTimeCall(info, n.X, "After") {
+					rep.reportf(n.Pos(), "ctxflow: naked <-time.After ignores cancellation for the whole delay; select on it with ctx.Done()")
+				} else {
+					rep.reportf(n.Pos(), "ctxflow: bare channel receive can block forever on cancellation; select on it with ctx.Done()")
+				}
 			}
 			walk(n.X)
 			return
+		case *ast.CallExpr:
+			if isTimeCall(info, n, "Sleep") {
+				rep.reportf(n.Pos(), "ctxflow: time.Sleep in a cancellable function stalls cancellation; select on time.After and ctx.Done()")
+			}
 		case *ast.RangeStmt:
 			if _, isChan := info.TypeOf(n.X).Underlying().(*types.Chan); isChan {
 				rep.reportf(n.Pos(), "ctxflow: range over channel blocks until close; drain with a select on ctx.Done()")

@@ -41,4 +41,39 @@ func TestFactsGobRoundTrip(t *testing.T) {
 	if out.Reason != in.Reason {
 		t.Fatalf("EphemeralFact reason lost in transit: %q != %q", out.Reason, in.Reason)
 	}
+
+	// The lock-order summary carries slices of structs; prove the whole
+	// payload survives, not just the envelope.
+	lf := &LockOrderFact{
+		Acquires: []string{"a/b.T.mu", "a/b.pkgMu"},
+		Edges: []LockEdge{
+			{From: "a/b.T.mu", To: "a/b.pkgMu", Via: "b.flush"},
+			{From: "a/b.pkgMu", To: "c/d.S.mu", Via: "b.flush -> d.Assign"},
+		},
+	}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(lf); err != nil {
+		t.Fatal(err)
+	}
+	var lout LockOrderFact
+	if err := gob.NewDecoder(&buf).Decode(&lout); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*lf, lout) {
+		t.Fatalf("LockOrderFact mangled in transit: %+v != %+v", lout, *lf)
+	}
+
+	// And the package-level merged graph.
+	gf := &LockGraphFact{Edges: lf.Edges}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(gf); err != nil {
+		t.Fatal(err)
+	}
+	var gout LockGraphFact
+	if err := gob.NewDecoder(&buf).Decode(&gout); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*gf, gout) {
+		t.Fatalf("LockGraphFact mangled in transit: %+v != %+v", gout, *gf)
+	}
 }

@@ -4,7 +4,7 @@
 // lock usage — into compile-time contracts instead of benchmark
 // aspirations.
 //
-// The suite ships eight analyzers:
+// The suite ships eleven analyzers:
 //
 //   - elsahotpath: a fast syntactic pre-pass over //elsa:hotpath
 //     functions for constructs that always cost an allocation (append
@@ -26,7 +26,21 @@
 //   - elsalocksafe: flags locks copied by value (params, receivers,
 //     assignments, range copies), WaitGroup.Add called inside the
 //     goroutine it guards, and goroutines launched from cancellable
-//     functions with neither a cancellation nor a join path.
+//     functions with neither a cancellation nor a join path (the
+//     syntactic pre-pass of elsachan's leak analysis).
+//   - elsachan: models every channel as a cell with send/recv/close
+//     edges — through goroutine closures and struct fields — and flags
+//     double-close, close-by-non-owner (ownership = creating scope or
+//     an //elsa:chanowner annotation), sends reachable after a close,
+//     and goroutines whose only exit is a blocking channel op with no
+//     guaranteed counterpart and no ctx.Done() select.
+//   - elsalockorder: builds the interprocedural lock-acquisition graph
+//     (locks held at each acquire, propagated through calls via
+//     LockOrderFact/LockGraphFact) and reports any cycle as a
+//     potential deadlock with the full acquisition chain.
+//   - elsaerrflow: in the serving-path packages (pipeline, ingest,
+//     resilience) every err != nil branch must account for the error —
+//     return it, quarantine it, or increment a stats counter.
 //   - elsasnapshot: the resume-equality guard — every field of a
 //     struct marked //elsa:snapshot must be handled by the
 //     //elsa:snapshotter encode AND decode paths or annotated
@@ -64,6 +78,9 @@ var Analyzers = []*analysis.Analyzer{
 	DeterminismAnalyzer,
 	CtxFlowAnalyzer,
 	LockSafeAnalyzer,
+	ChanAnalyzer,
+	LockOrderAnalyzer,
+	ErrFlowAnalyzer,
 	SnapshotAnalyzer,
 	AtomicAnalyzer,
 	NolintAnalyzer,
@@ -80,6 +97,9 @@ func analyzerNames() map[string]bool {
 		"elsadeterminism": true,
 		"elsactxflow":     true,
 		"elsalocksafe":    true,
+		"elsachan":        true,
+		"elsalockorder":   true,
+		"elsaerrflow":     true,
 		"elsasnapshot":    true,
 		"elsaatomic":      true,
 		"elsanolint":      true,

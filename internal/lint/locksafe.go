@@ -21,6 +21,12 @@ import (
 //  3. goroutines launched from a cancellable (ctx-taking) function with
 //     neither a ctx reference nor a WaitGroup join in their body — the
 //     leak Run's "all stage goroutines are joined" contract forbids.
+//
+// Check 3 is the syntactic pre-pass of elsachan's goroutine-leak
+// analysis, the way elsahotpath screens for elsaalloc: elsachan models
+// the channel cells the goroutine blocks on, and honors
+// //nolint:elsalocksafe suppressions as its own (one contract, two
+// depths).
 var LockSafeAnalyzer = &analysis.Analyzer{
 	Name: "elsalocksafe",
 	Doc: "report locks copied by value, WaitGroup.Add inside the goroutine it guards, and goroutines " +

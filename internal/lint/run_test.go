@@ -249,6 +249,9 @@ func TestAtomic(t *testing.T)      { runOn(t, "atomicmix", AtomicAnalyzer) }
 func TestDeterminism(t *testing.T) { runOn(t, "determinism", DeterminismAnalyzer) }
 func TestCtxFlow(t *testing.T)     { runOn(t, "ctxflow", CtxFlowAnalyzer) }
 func TestLockSafe(t *testing.T)    { runOn(t, "locksafe", LockSafeAnalyzer) }
+func TestChanFlow(t *testing.T)    { runOn(t, "chanflow", ChanAnalyzer) }
+func TestLockOrder(t *testing.T)   { runOn(t, "lockorder", LockOrderAnalyzer) }
+func TestErrFlow(t *testing.T)     { runOn(t, "errflow", ErrFlowAnalyzer) }
 func TestNolint(t *testing.T) {
 	// The nolint fixture exercises suppression end to end: the package is
 	// named sig so elsadeterminism applies, and the audit analyzer runs

@@ -11,6 +11,7 @@ package lint
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/build"
@@ -139,7 +140,20 @@ type StandaloneOptions struct {
 	Root      string // module root (directory containing go.mod)
 	Fix       bool   // apply suggested fixes in place
 	Diff      bool   // print suggested fixes as a diff instead of applying
+	JSON      bool   // emit findings as a JSON array instead of text lines
 	Analyzers []*analysis.Analyzer
+}
+
+// jsonFinding is the machine-readable shape of one finding, stable for
+// CI consumers (the GitHub problem matcher parses the text form; the
+// JSON form feeds anything that wants structure).
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	Fixable  bool   `json:"fixable"`
 }
 
 // Finding is one reported diagnostic plus its origin.
@@ -199,8 +213,27 @@ func RunStandalone(opts StandaloneOptions, w io.Writer) (findings []Finding, fix
 		return a.Offset < b.Offset
 	})
 
-	for _, f := range findings {
-		fmt.Fprintf(w, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	if opts.JSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Message:  f.Message,
+				Fixable:  len(f.Fixes) > 0,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(w, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+		}
 	}
 	if opts.Fix || opts.Diff {
 		fixedFiles, err = applyFixes(loader.fset, findings, opts.Fix, w)

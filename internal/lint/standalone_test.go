@@ -2,6 +2,7 @@ package lint
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -91,6 +92,76 @@ func TestStandaloneDiffAndFix(t *testing.T) {
 	}
 	if len(findings) != 0 {
 		t.Fatalf("fixed module should be clean, got: %v", findings)
+	}
+}
+
+// TestStandaloneJSON checks the machine-readable output path: a JSON
+// array, one element per finding, sorted like the text form.
+func TestStandaloneJSON(t *testing.T) {
+	root := writeTempModule(t)
+	var buf bytes.Buffer
+	findings, _, err := RunStandalone(StandaloneOptions{Root: root, JSON: true, Analyzers: Analyzers}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Message  string `json:"message"`
+		Fixable  bool   `json:"fixable"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != len(findings) {
+		t.Fatalf("JSON has %d findings, driver returned %d", len(decoded), len(findings))
+	}
+	for i, d := range decoded {
+		if d.Analyzer != "elsaatomic" {
+			t.Errorf("finding %d: analyzer = %q, want elsaatomic", i, d.Analyzer)
+		}
+		if !strings.HasSuffix(d.File, "counter.go") || d.Line <= 0 || d.Column <= 0 {
+			t.Errorf("finding %d: bad position %s:%d:%d", i, d.File, d.Line, d.Column)
+		}
+		if !d.Fixable {
+			t.Errorf("finding %d: atomic rewrites are fixable, got fixable=false", i)
+		}
+	}
+}
+
+// TestStandaloneDeterministic applies the elsadeterminism contract to
+// the suite itself: two passes over the same tree must produce
+// byte-identical, sorted output — in both the text and JSON forms.
+func TestStandaloneDeterministic(t *testing.T) {
+	root := writeTempModule(t)
+	run := func(json bool) string {
+		var buf bytes.Buffer
+		if _, _, err := RunStandalone(StandaloneOptions{Root: root, JSON: json, Analyzers: Analyzers}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := run(false), run(false); a != b {
+		t.Fatalf("two text passes differ:\n--- first\n%s--- second\n%s", a, b)
+	}
+	if a, b := run(true), run(true); a != b {
+		t.Fatalf("two JSON passes differ:\n--- first\n%s--- second\n%s", a, b)
+	}
+
+	if testing.Short() {
+		return // the repo-wide double pass typechecks the module twice
+	}
+	repo := func() string {
+		var buf bytes.Buffer
+		if _, _, err := RunStandalone(StandaloneOptions{Root: filepath.Join("..", ".."), Analyzers: Analyzers}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := repo(), repo(); a != b {
+		t.Fatalf("two repo-wide passes differ:\n--- first\n%s--- second\n%s", a, b)
 	}
 }
 

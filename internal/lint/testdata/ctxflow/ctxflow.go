@@ -3,7 +3,10 @@
 // stage graph must never reintroduce.
 package ctxflow
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 func bareSend(ctx context.Context, ch chan int) {
 	ch <- 1 // want "bare channel send can block forever"
@@ -80,6 +83,23 @@ func leakyGoroutine(ctx context.Context, in, out chan int) {
 		v := <-in // want "bare channel receive can block forever"
 		out <- v  // want "bare channel send can block forever"
 	}()
+}
+
+func sleepInCtx(ctx context.Context) {
+	time.Sleep(time.Second) // want "time.Sleep in a cancellable function stalls cancellation"
+}
+
+func nakedAfter(ctx context.Context) {
+	<-time.After(time.Second) // want "naked <-time.After ignores cancellation"
+}
+
+func guardedAfter(ctx context.Context) bool {
+	select {
+	case <-time.After(time.Second):
+		return false
+	case <-ctx.Done():
+		return true
+	}
 }
 
 // noCtx is exempt: without a context parameter there is no cancellation

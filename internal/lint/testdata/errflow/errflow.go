@@ -1,0 +1,121 @@
+// Package pipeline (the fixture borrows the scoped name) exercises
+// elsaerrflow: every err != nil branch on the serving path must return,
+// quarantine, or count the error.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+type stats struct {
+	quarantined int
+	dropped     int64
+}
+
+type counter struct{}
+
+func (counter) Add(n int64) {}
+
+var errBoom = errors.New("boom")
+
+func work() (int, error) { return 0, errBoom }
+
+// ---- accounted branches ----
+
+func returned() error {
+	_, err := work()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func wrapped() error {
+	_, err := work()
+	if err != nil {
+		return fmt.Errorf("work: %w", err)
+	}
+	return nil
+}
+
+func counted(s *stats) {
+	for i := 0; i < 3; i++ {
+		_, err := work()
+		if err != nil {
+			s.quarantined++
+			continue
+		}
+	}
+}
+
+func counterAdd(c counter) {
+	_, err := work()
+	if err != nil {
+		c.Add(1)
+	}
+}
+
+func namedResult() (err error) {
+	_, err = work()
+	if err != nil {
+		return
+	}
+	return nil
+}
+
+// classified: translating the failure into a sentinel the caller must
+// handle accounts for it, even though err itself is not mentioned.
+func classified() error {
+	_, err := work()
+	if err != nil {
+		return errBoom
+	}
+	return nil
+}
+
+type source struct{ err error }
+
+func (s *source) stashed() {
+	_, err := work()
+	if err != nil {
+		if err != io.EOF {
+			s.err = err
+		}
+	}
+}
+
+// recheck: a stored error was accounted when it was stashed;
+// inspecting it later is not a discard.
+func (s *source) recheck() bool {
+	if s.err != nil {
+		return false
+	}
+	return true
+}
+
+// ---- discarded branches ----
+
+func swallowed() {
+	for i := 0; i < 3; i++ {
+		_, err := work()
+		if err != nil { // want "err != nil branch neither returns, quarantines, nor counts the error"
+			continue
+		}
+	}
+}
+
+func discarded() {
+	_, err := work()
+	if err != nil { // want "err != nil branch neither returns"
+		_ = 0
+	}
+}
+
+func composite(ok bool) {
+	_, err := work()
+	if !ok || err != nil { // want "err != nil branch neither returns"
+		return
+	}
+}

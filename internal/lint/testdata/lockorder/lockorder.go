@@ -1,0 +1,113 @@
+// Package lockorder exercises elsalockorder: direct cycles,
+// interprocedural cycles through a callee, self-deadlock, and clean
+// consistent ordering.
+package lockorder
+
+import "sync"
+
+// ---- direct two-lock cycle ----
+
+type store struct{ mu sync.Mutex }
+type index struct{ mu sync.Mutex }
+
+var (
+	s store
+	x index
+)
+
+func lockAB() {
+	s.mu.Lock()
+	x.mu.Lock() // want "lock-order cycle lockorder.store.mu -> lockorder.index.mu .in lockorder.lockAB. -> lockorder.store.mu .in lockorder.lockBA."
+	x.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func lockBA() {
+	x.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// ---- interprocedural cycle: the second lock hides in a callee ----
+
+type outer struct{ mu sync.Mutex }
+type inner struct{ mu sync.Mutex }
+
+var (
+	o  outer
+	in inner
+)
+
+func lockInner() {
+	in.mu.Lock()
+	in.mu.Unlock()
+}
+
+func outerThenInner() {
+	o.mu.Lock()
+	lockInner() // want "lock-order cycle lockorder.outer.mu -> lockorder.inner.mu .in lockorder.outerThenInner -> lockorder.lockInner."
+	o.mu.Unlock()
+}
+
+func innerThenOuter() {
+	in.mu.Lock()
+	o.mu.Lock()
+	o.mu.Unlock()
+	in.mu.Unlock()
+}
+
+// ---- self-deadlock: re-acquiring a held lock ----
+
+type relock struct{ mu sync.Mutex }
+
+var r relock
+
+func relockSelf() {
+	r.mu.Lock()
+	r.mu.Lock() // want "lockorder.relock.mu acquired while already held .in lockorder.relockSelf."
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// ---- clean: both paths agree on the order ----
+
+type first struct{ mu sync.Mutex }
+type second struct{ mu sync.Mutex }
+
+var (
+	f1 first
+	s2 second
+)
+
+func orderedA() {
+	f1.mu.Lock()
+	defer f1.mu.Unlock()
+	s2.mu.Lock()
+	defer s2.mu.Unlock()
+}
+
+func orderedB() {
+	f1.mu.Lock()
+	s2.mu.Lock()
+	s2.mu.Unlock()
+	f1.mu.Unlock()
+}
+
+// sequential re-use after release is not nesting
+func sequential() {
+	s2.mu.Lock()
+	s2.mu.Unlock()
+	f1.mu.Lock()
+	f1.mu.Unlock()
+}
+
+// a goroutine starts with an empty held set: no edge from f1.mu
+func goResetsHeld() {
+	f1.mu.Lock()
+	go func() {
+		s2.mu.Lock()
+		s2.mu.Unlock()
+	}()
+	f1.mu.Unlock()
+}

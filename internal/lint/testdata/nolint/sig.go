@@ -50,13 +50,16 @@ func newSuiteNames() int {
 	n := 1 //nolint:elsasnapshot // fixture: name-validation only
 	n++    //nolint:elsaatomic // fixture: name-validation only
 	n++    //nolint:elsaalloc // fixture: name-validation only
+	n++    //nolint:elsachan // fixture: name-validation only
+	n++    //nolint:elsalockorder // fixture: name-validation only
+	n++    //nolint:elsaerrflow // fixture: name-validation only
 	return n
 }
 
 // the valid-name list is derived from the registry, so it names the
 // dataflow analyzers too.
 func derivedList() int {
-	// want "unknown analyzer .elsasnapshots. .valid: elsa, elsaalloc, elsaatomic, elsactxflow"
+	// want "unknown analyzer .elsasnapshots. .valid: elsa, elsaalloc, elsaatomic, elsachan, elsactxflow"
 	n := 1 //nolint:elsasnapshots // near-miss of a real name
 	return n
 }

@@ -177,6 +177,7 @@ func TestRunCancellationTerminatesAllStages(t *testing.T) {
 		done := make(chan struct{})
 		var res *predict.Result
 		var err error
+		//elsa:chanowner done
 		go func() {
 			defer close(done)
 			res, err = p.Run(ctx, &endlessSource{base: t0}, t0, t0.Add(365*24*time.Hour))

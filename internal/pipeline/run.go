@@ -57,6 +57,7 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 	// Source: pull records, divert malformed and duplicate ones, feed
 	// the graph.
 	wg.Add(1)
+	//elsa:chanowner recCh
 	go func() {
 		defer wg.Done()
 		defer close(recCh)
@@ -81,6 +82,7 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 
 	// TemplateAssign: stamp event ids via the organizer.
 	wg.Add(1)
+	//elsa:chanowner stampedCh
 	go func() {
 		defer wg.Done()
 		defer close(stampedCh)
@@ -142,6 +144,7 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 	// records while the open ticks hold more than Config.MaxBuffered.
 	smp := newSampler(start, step, p.cfg.GraceTicks, nTicks)
 	wg.Add(1)
+	//elsa:chanowner tickCh
 	go func() {
 		defer wg.Done()
 		defer close(tickCh)
@@ -191,6 +194,7 @@ func (p *Pipeline) Run(ctx context.Context, src logs.RecordSource, start, end ti
 
 	// OutlierFilter: sharded signal filtering per tick.
 	wg.Add(1)
+	//elsa:chanowner hitCh
 	go func() {
 		defer wg.Done()
 		defer close(hitCh)
