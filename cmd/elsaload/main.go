@@ -9,6 +9,11 @@
 //
 //	elsaload -backend segdir -days 30 -out BENCH_serve.json
 //	elsaload -backend socket -days 2 -rate 50000 -duration 30s
+//	elsaload -backend segdir -days 2 -shards 4
+//
+// With -shards the replay runs through the sharded fleet coordinator
+// (internal/fleet) instead of a single monitor, so the committed point
+// measures the fleet path's routing and supervision overhead too.
 package main
 
 import (
@@ -38,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		days     = fs.Int("days", 30, "generated serve-stream length in days")
 		events   = fs.Int("events", 0, "scale the profile to this many event types (0 = base Blue Gene/L)")
 		rate     = fs.Float64("rate", 0, "throttle the replay to this many records/second (0 = unthrottled)")
+		shards   = fs.Int("shards", 0, "replay through a sharded fleet with this many shards (0 = single monitor)")
 		duration = fs.Duration("duration", 0, "stop the replay after this much wall clock (0 = replay everything)")
 		seed     = fs.Int64("seed", 7, "generator seed")
 		dir      = fs.String("dir", "", "working directory for backend artifacts (default: throwaway temp dir)")
@@ -56,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Days:        *days,
 		EventTypes:  *events,
 		Rate:        *rate,
+		Shards:      *shards,
 		MaxDuration: *duration,
 		Seed:        *seed,
 	}

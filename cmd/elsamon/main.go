@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -309,9 +310,12 @@ func refresh(mon *elsa.Monitor, stderr io.Writer) {
 		st.Dirty, st.Scored, st.Seeds, st.Chains, how, st.Duration.Round(time.Microsecond))
 }
 
-// writeSnapshot persists the monitor state atomically: written to a
-// sibling temp file, fsynced by Close, then renamed over the target, so
-// a crash mid-write never truncates the previous good snapshot.
+// writeSnapshot persists the monitor state crash-consistently, with the
+// same discipline ingest uses for segment rolls: written to a sibling
+// temp file, fsynced, renamed over the target, then the parent directory
+// fsynced so the rename itself is durable. A crash mid-write never
+// truncates the previous good snapshot, and a crash right after a
+// "successful" snapshot cannot roll the file back to the old state.
 func writeSnapshot(mon *elsa.Monitor, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -323,11 +327,20 @@ func writeSnapshot(mon *elsa.Monitor, path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return ingest.SyncDir(filepath.Dir(path))
 }
 
 // printStages renders the pipeline's per-stage counters, one line per
@@ -341,8 +354,8 @@ func printStages(stderr io.Writer, stages []elsa.StageStats) {
 			fmt.Fprintf(stderr, " quarantined=%d deduped=%d shed=%d", sg.Quarantined, sg.Deduped, sg.Shed)
 		}
 		if sg.Health != "" {
-			fmt.Fprintf(stderr, " panics=%d restarts=%d bypassed=%d health=%s",
-				sg.Panics, sg.Restarts, sg.Bypassed, sg.Health)
+			fmt.Fprintf(stderr, " panics=%d restarts=%d bypassed=%d trips=%d probes=%d health=%s",
+				sg.Panics, sg.Restarts, sg.Bypassed, sg.Trips, sg.Probes, sg.Health)
 		}
 		fmt.Fprintln(stderr)
 	}

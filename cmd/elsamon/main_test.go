@@ -309,3 +309,56 @@ func TestRunRejectsBadSnapshotFlags(t *testing.T) {
 		t.Error("missing -resume snapshot accepted")
 	}
 }
+
+// TestWriteSnapshotCrashConsistent pins the snapshot write discipline:
+// the temp file never survives (success or failure), a failed snapshot
+// leaves the previous good snapshot byte-identical, and a successful one
+// is immediately resumable.
+func TestWriteSnapshotCrashConsistent(t *testing.T) {
+	modelPath, stream := fixture(t)
+	blob, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := elsa.LoadModel(strings.NewReader(string(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := model.NewMonitor(stream[0].Time)
+	for _, r := range stream[:200] {
+		mon.Feed(r)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mon.snap")
+	if err := writeSnapshot(mon, path); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind after a successful snapshot")
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.ResumeMonitor(strings.NewReader(string(good))); err != nil {
+		t.Fatalf("snapshot not resumable: %v", err)
+	}
+
+	// A failing snapshot (closed monitor) must not disturb the good one
+	// and must clean up its temp file.
+	mon.Close()
+	if err := writeSnapshot(mon, path); err == nil {
+		t.Fatal("snapshot of a closed monitor succeeded")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind after a failed snapshot")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(good) {
+		t.Fatal("failed snapshot corrupted the previous good snapshot")
+	}
+}

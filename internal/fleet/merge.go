@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"sort"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/topology"
+)
+
+// Cluster is a cluster-level view of concurrently live forecasts for one
+// event type, merged across shards: the fleet-wide analogue of a single
+// monitor's correlated chain. Because shards partition by scope, the
+// same fault propagating across two racks surfaces as predictions on two
+// shards; the coordinator groups them so the operator sees one incident
+// with its spanning scope, not two unrelated alarms.
+type Cluster struct {
+	Event  int      // predicted terminal event id
+	Count  int      // live forecasts merged into this cluster
+	Shards []string // contributing shards, sorted, deduplicated
+
+	// Span is the smallest topology scope enclosing every trigger
+	// location, i.e. how far the evidence says the fault has spread.
+	Span topology.Scope
+
+	// Earliest/Latest bound the union of the member forecast windows.
+	Earliest time.Time
+	Latest   time.Time
+
+	// Degraded is set when any member was produced in a degraded mode
+	// (shard catch-up replay or pipeline bypass).
+	Degraded bool
+}
+
+// Clusters groups the recent merged predictions whose forecast windows
+// are still live at now into cluster-level incidents, sorted by event id.
+func (c *Coordinator) Clusters(now time.Time) []Cluster {
+	type acc struct {
+		cl   Cluster
+		locs []topology.Location
+		seen map[string]bool
+	}
+	byEvent := make(map[int]*acc)
+	var order []int
+	for i := range c.window {
+		p := &c.window[i]
+		if p.ExpectedLatest.Before(now) {
+			continue // forecast window already closed
+		}
+		a := byEvent[p.Event]
+		if a == nil {
+			a = &acc{cl: Cluster{Event: p.Event, Earliest: p.ExpectedEarliest, Latest: p.ExpectedLatest},
+				seen: make(map[string]bool)}
+			byEvent[p.Event] = a
+			order = append(order, p.Event)
+		}
+		a.cl.Count++
+		if !a.seen[p.Shard] {
+			a.seen[p.Shard] = true
+			a.cl.Shards = append(a.cl.Shards, p.Shard)
+		}
+		a.locs = append(a.locs, p.Trigger)
+		if p.ExpectedEarliest.Before(a.cl.Earliest) {
+			a.cl.Earliest = p.ExpectedEarliest
+		}
+		if p.ExpectedLatest.After(a.cl.Latest) {
+			a.cl.Latest = p.ExpectedLatest
+		}
+		a.cl.Degraded = a.cl.Degraded || p.Degraded
+	}
+	sort.Ints(order)
+	out := make([]Cluster, 0, len(order))
+	for _, ev := range order {
+		a := byEvent[ev]
+		a.cl.Span = topology.SpanScope(a.locs)
+		sort.Strings(a.cl.Shards)
+		out = append(out, a.cl)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring mapping topology scope keys (rack or
+// midplane codes) to shard names. Each member contributes Replicas
+// virtual points; a key is owned by the first point clockwise of its
+// hash. The construction is fully deterministic — FNV-1a over explicit
+// strings, sorted point order, no map iteration — so the same member
+// set always yields the same scope→shard map, and adding or removing
+// one member moves only the keys whose arc the change touches (≈ 1/n of
+// the key space).
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by (hash, owner)
+	members  []string    // sorted
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner string
+}
+
+// DefaultReplicas is the virtual-point count per member: enough to keep
+// the per-member load imbalance in the few-percent range for small
+// fleets without making Add/Remove quadratic.
+const DefaultReplicas = 128
+
+// NewRing returns an empty ring; replicas <= 0 selects DefaultReplicas.
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas}
+}
+
+// Add inserts a member. Adding an existing member is a no-op.
+func (r *Ring) Add(name string) {
+	for _, m := range r.members {
+		if m == name {
+			return
+		}
+	}
+	r.members = append(r.members, name)
+	sort.Strings(r.members)
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: fnv64a(name + "#" + strconv.Itoa(i)), owner: name})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].owner < r.points[j].owner
+	})
+}
+
+// Remove deletes a member and its points. Unknown members are a no-op.
+func (r *Ring) Remove(name string) {
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if p.owner != name {
+			keep = append(keep, p)
+		}
+	}
+	r.points = keep
+	for i, m := range r.members {
+		if m == name {
+			r.members = append(r.members[:i], r.members[i+1:]...)
+			return
+		}
+	}
+}
+
+// Members returns the member names, sorted.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Owner maps a scope key to its owning member ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := fnv64a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the ring
+	}
+	return r.points[i].owner
+}
+
+// fnv64a is the 64-bit FNV-1a string hash run through a splitmix64-style
+// finalizer, inlined so the per-record routing path allocates nothing.
+// Raw FNV avalanches poorly on the short, near-identical strings scope
+// keys and vnode labels are ("R00", "R01", "shard0#17"), which clusters
+// ring points; the finalizer spreads them.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

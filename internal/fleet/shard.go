@@ -1,0 +1,290 @@
+package fleet
+
+import (
+	"bytes"
+	"time"
+
+	elsa "github.com/elsa-hpc/elsa"
+	"github.com/elsa-hpc/elsa/internal/ingest"
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/predict"
+	"github.com/elsa-hpc/elsa/internal/resilience"
+)
+
+// entry is one journaled unit of shard input: a routed record or an
+// AdvanceTo watermark. The journal is what makes failover lossless — a
+// successor replays entries past its snapshot's ingest offset and lands
+// in exactly the state the dead incarnation held.
+type entry struct {
+	kind reqKind // reqFeed or reqAdvance
+	rec  logs.Record
+	t    time.Time
+}
+
+// reqKind selects the worker operation.
+type reqKind uint8
+
+const (
+	reqFeed reqKind = iota
+	reqAdvance
+	reqSnapshot
+	reqClose
+)
+
+// request is one synchronous call into a shard worker. The reply channel
+// is buffered so a worker that answers after the coordinator's liveness
+// timeout fired does not block forever on an abandoned call.
+type request struct {
+	kind  reqKind
+	rec   logs.Record
+	t     time.Time
+	seq   int64         // journal seq recorded into a snapshot's ingest offset
+	stall time.Duration // chaos: sleep this long before serving (liveness-probe stall)
+	reply chan response
+}
+
+// response carries a worker's answer. panicked means the monitor call
+// blew through the panic barrier: the incarnation is dead and the
+// supervisor has already charged the failure.
+type response struct {
+	preds    []predict.Prediction
+	snap     []byte
+	res      *predict.Result
+	err      error
+	panicked bool
+}
+
+// worker is one shard incarnation: a goroutine owning one Monitor (and
+// its private Model instance — ResumeMonitor mutates the model's
+// organizer, so incarnations never share models). The coordinator talks
+// to it with synchronous request/response calls bounded by FeedTimeout;
+// a missed deadline is a failed liveness probe and the incarnation is
+// abandoned.
+type worker struct {
+	in   chan request
+	stop chan struct{} // closed by the coordinator to retire/abandon the incarnation
+	dead chan struct{} // closed by the worker on exit
+}
+
+// slotState is a shard slot's lifecycle state.
+type slotState uint8
+
+const (
+	slotActive slotState = iota
+	slotDown
+	slotClosed // flushed cleanly at Close; terminal
+)
+
+// slot is one logical shard: the stable identity records hash to. Worker
+// incarnations come and go underneath it (crash, chaos kill, planned
+// handoff); the slot keeps the journal, the latest snapshot, the merge
+// cursor and the accounting that must survive incarnations.
+type slot struct {
+	name string
+	sup  *resilience.Supervisor
+	bo   *resilience.Backoff
+
+	w     *worker // nil while down
+	state slotState
+
+	// Journal of entries delivered to this slot since the last snapshot
+	// trim. trimBase is the seq of journal[0]; seq is the next seq to be
+	// assigned (== total entries ever delivered).
+	journal  []entry
+	trimBase int64
+	seq      int64
+
+	// Merge cursor and snapshot state. preds counts predictions merged
+	// into the cluster stream across the slot's whole lineage; snapPreds
+	// and snapSeq pin where the latest snapshot sits in that lineage, so
+	// failover replay knows how many regenerated predictions are
+	// duplicates of already-merged ones.
+	preds     int64
+	snap      []byte
+	snapSeq   int64
+	snapPreds int64
+
+	// served is the seq up to which entries have provably been processed
+	// by some incarnation and their predictions merged (directly or via
+	// replay). seq - served is the exact loss if the slot is abandoned.
+	served int64
+
+	// Accounting (exact: the chaos suite asserts on these).
+	records      int64
+	advances     int64
+	degraded     int64 // catch-up predictions merged with the Degraded flag
+	gaps         int64 // distinct outage windows closed by a failover
+	gapEntries   int64 // entries journaled while no incarnation was live (cumulative)
+	gapOpen      int64 // gap entries in the outage in progress
+	misrouted    int64 // records offered to this slot that it did not own
+	snapshots    int64
+	snapFailures int64
+	handoffs     int64 // planned snapshot-handoff successions
+	failovers    int64 // crash successions
+	restoreFails int64 // failed restore/replay attempts
+	denied       int64 // recovery attempts denied by the open breaker
+	replayShort  int64 // replays yielding fewer predictions than the merge cursor expects (must stay 0)
+	lost         int64 // entries whose effects were never merged (unrecoverable slot at Close)
+	flushFails   int64 // Close flushes that failed: the open-tick tail is missing, accounted here
+
+	// Chaos hooks armed by the injector through the coordinator.
+	stallNext    time.Duration
+	failRestores int
+
+	result *predict.Result // final per-shard result captured at Close
+}
+
+// spawn starts a new incarnation serving mon.
+func (sl *slot) spawn(mon *elsa.Monitor) {
+	w := &worker{
+		in:   make(chan request),
+		stop: make(chan struct{}),
+		dead: make(chan struct{}),
+	}
+	sl.w = w
+	go sl.serve(w, mon)
+}
+
+// serve is the incarnation loop. Every monitor call runs behind the
+// slot supervisor's panic barrier; a panic answers the in-flight request
+// with panicked=true and ends the incarnation, leaving recovery to the
+// coordinator.
+//
+//elsa:chanowner w.dead
+func (sl *slot) serve(w *worker, mon *elsa.Monitor) {
+	defer close(w.dead)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case req := <-w.in:
+			if req.stall > 0 {
+				// Chaos stall: go unresponsive long enough for the
+				// coordinator's liveness probe to time out. Exit early if
+				// retired meanwhile — the reply would be dropped anyway.
+				t := time.NewTimer(req.stall)
+				select {
+				case <-t.C:
+				case <-w.stop:
+					t.Stop()
+					return
+				}
+			}
+			var resp response
+			ok := sl.sup.Do(func() {
+				switch req.kind {
+				case reqFeed:
+					resp.preds = mon.Feed(req.rec)
+				case reqAdvance:
+					resp.preds = mon.AdvanceTo(req.t)
+				case reqSnapshot:
+					mon.SetIngestOffset(ingest.Offset{Records: req.seq})
+					var buf bytes.Buffer
+					if err := mon.Snapshot(&buf); err != nil {
+						resp.err = err
+						return
+					}
+					resp.snap = buf.Bytes()
+				case reqClose:
+					resp.res = mon.Close()
+				}
+			})
+			resp.panicked = !ok
+			req.reply <- resp
+			if !ok || req.kind == reqClose {
+				return
+			}
+		}
+	}
+}
+
+// call performs one synchronous request against the live incarnation,
+// bounded by timeout (the liveness probe). ok=false means the worker is
+// wedged or died without answering: the caller must abandon it.
+func (sl *slot) call(req request, timeout time.Duration) (response, bool) {
+	w := sl.w
+	req.reply = make(chan response, 1)
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case w.in <- req:
+	case <-w.dead:
+		return response{}, false
+	case <-t.C:
+		return response{}, false
+	}
+	select {
+	case resp := <-req.reply:
+		return resp, true
+	case <-w.dead:
+		// The worker exited after accepting. A panicking worker replies
+		// (buffered) before closing dead, so prefer the reply if present.
+		select {
+		case resp := <-req.reply:
+			return resp, true
+		default:
+			return response{}, false
+		}
+	case <-t.C:
+		return response{}, false
+	}
+}
+
+// retire ends the live incarnation without charging a failure (planned
+// handoff, Close). The coordinator's slot is the single owner of every
+// incarnation's stop channel: workers only ever receive on it.
+//
+//elsa:chanowner sl.w.stop
+func (sl *slot) retire() {
+	if sl.w != nil {
+		close(sl.w.stop)
+		sl.w = nil
+	}
+	sl.state = slotDown
+}
+
+// merge stamps a batch of raw predictions with the slot's identity and
+// advances the merge cursor. Catch-up predictions regenerated by a
+// failover replay are flagged Degraded: the forecast content is
+// byte-identical to the clean run's, but it surfaced late.
+func (sl *slot) merge(preds []predict.Prediction, catchUp bool) []Merged {
+	if len(preds) == 0 {
+		return nil
+	}
+	out := make([]Merged, 0, len(preds))
+	for _, p := range preds {
+		if catchUp {
+			p.Degraded = true
+			sl.degraded++
+		}
+		out = append(out, Merged{Shard: sl.name, Seq: sl.preds, Prediction: p})
+		sl.preds++
+	}
+	return out
+}
+
+// journalFrom returns the journal suffix starting at absolute seq.
+func (sl *slot) journalFrom(seq int64) []entry {
+	i := seq - sl.trimBase
+	if i < 0 {
+		i = 0
+	}
+	if i > int64(len(sl.journal)) {
+		i = int64(len(sl.journal))
+	}
+	return sl.journal[i:]
+}
+
+// commitSnapshot installs a fresh snapshot taken at the current seq and
+// trims the journal: entries at seq < snapSeq can never be replayed
+// again. The suffix is copied out so the trimmed prefix's backing array
+// is released.
+func (sl *slot) commitSnapshot(snap []byte) {
+	sl.snap = snap
+	sl.snapSeq = sl.seq
+	sl.snapPreds = sl.preds
+	sl.snapshots++
+	keep := sl.journalFrom(sl.snapSeq)
+	sl.journal = append(make([]entry, 0, len(keep)), keep...)
+	sl.trimBase = sl.snapSeq
+}

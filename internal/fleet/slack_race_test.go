@@ -1,0 +1,11 @@
+//go:build race
+
+package fleet
+
+// raceSlack widens the deliberately tight liveness timeouts some tests
+// use. Under the race detector a perfectly healthy Feed can overrun a
+// 50ms probe deadline, so without slack every slow call becomes a
+// spurious failover — and each failover replays the journal, another
+// race-slowed pass, until the test crawls. The product code is
+// untouched: only the test deadlines scale.
+const raceSlack = 10

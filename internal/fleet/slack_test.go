@@ -1,0 +1,7 @@
+//go:build !race
+
+package fleet
+
+// raceSlack is 1 without the race detector: the tight test timeouts
+// run as written. See slack_race_test.go.
+const raceSlack = 1

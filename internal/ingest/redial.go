@@ -1,0 +1,182 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/logs"
+	"github.com/elsa-hpc/elsa/internal/resilience"
+)
+
+// RedialOptions tunes the producer-side reconnect loop. Reconnects back
+// off with the capped jittered exponential schedule the supervision
+// layer uses (resilience.Backoff): attempt n waits min(Base<<n, Max),
+// jittered, so a dead listener costs a handful of spaced dials instead
+// of a busy-loop.
+type RedialOptions struct {
+	// Base/Max bound the exponential backoff between dial attempts.
+	// <= 0 selects DefaultRedialBase / DefaultRedialMax.
+	Base time.Duration
+	Max  time.Duration
+	// Jitter is the randomised fraction of each delay (0..1); <= 0
+	// selects the resilience default.
+	Jitter float64
+	// Seed seeds the jitter source; the same seed reproduces the same
+	// delay schedule.
+	Seed int64
+	// MaxAttempts bounds how many dials one connect (or reconnect) may
+	// try before giving up with the last dial error; <= 0 selects
+	// DefaultRedialAttempts. The context bounds the wait regardless.
+	MaxAttempts int
+	// Sleep injects the delay implementation; nil selects a
+	// context-aware timer sleep. Tests pass a recorder so the schedule
+	// is observable without real waiting.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Dial injects the dial function; nil selects net.Dial. Tests use it
+	// to fail deterministically.
+	Dial func(network, addr string) (net.Conn, error)
+}
+
+// Redial defaults.
+const (
+	DefaultRedialBase     = 50 * time.Millisecond
+	DefaultRedialMax      = 5 * time.Second
+	DefaultRedialAttempts = 8
+)
+
+func (o RedialOptions) normalised() RedialOptions {
+	if o.Base <= 0 {
+		o.Base = DefaultRedialBase
+	}
+	if o.Max <= 0 {
+		o.Max = DefaultRedialMax
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultRedialAttempts
+	}
+	if o.Sleep == nil {
+		o.Sleep = func(ctx context.Context, d time.Duration) error {
+			if !sleepCtx(ctx, d) {
+				return ctx.Err()
+			}
+			return nil
+		}
+	}
+	if o.Dial == nil {
+		o.Dial = net.Dial
+	}
+	return o
+}
+
+// RedialConn is a FrameConn producer that survives connection loss: a
+// failed write closes the connection, redials with capped jittered
+// exponential backoff and rewrites the frame on the fresh connection.
+// It is the collector-side counterpart of the Socket backend's
+// reconnect tolerance (a connection dying mid-frame is a resync on the
+// listener; the producer's replay resumes the stream). Not safe for
+// concurrent use.
+type RedialConn struct {
+	network, addr string
+	opts          RedialOptions
+	bo            *resilience.Backoff
+
+	conn net.Conn
+	fc   *FrameConn
+
+	redials atomic.Int64
+}
+
+// DialFrame connects to a Socket backend with backoff: the first
+// connect already retries, so a producer started before its listener
+// comes up (or pointed at one that is restarting) waits it out instead
+// of failing — or busy-looping — immediately.
+func DialFrame(ctx context.Context, network, addr string, opts RedialOptions) (*RedialConn, error) {
+	opts = opts.normalised()
+	rc := &RedialConn{
+		network: network,
+		addr:    addr,
+		opts:    opts,
+		bo:      resilience.NewBackoff(opts.Base, opts.Max, opts.Jitter, opts.Seed),
+	}
+	if err := rc.connect(ctx); err != nil {
+		return nil, err
+	}
+	return rc, nil
+}
+
+// connect dials until it succeeds, the attempt budget is spent, or ctx
+// ends. Attempts after the first sleep out the backoff schedule first.
+func (rc *RedialConn) connect(ctx context.Context) error {
+	var lastErr error
+	for attempt := 0; attempt < rc.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := rc.opts.Sleep(ctx, rc.bo.Delay(attempt-1)); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := rc.opts.Dial(rc.network, rc.addr)
+		if err == nil {
+			rc.conn = conn
+			rc.fc = NewFrameConn(conn)
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("ingest: dial %s %s: %d attempts exhausted: %w",
+		rc.network, rc.addr, rc.opts.MaxAttempts, lastErr)
+}
+
+// WriteRecord frames one record, transparently reconnecting (with
+// backoff) when the connection has died. The record is re-sent on the
+// fresh connection; the listener side quarantines the torn frame of the
+// dead one, so the stream continues without loss.
+func (rc *RedialConn) WriteRecord(ctx context.Context, rec logs.Record) error {
+	if rc.fc != nil {
+		if err := rc.fc.WriteRecord(rec); err == nil {
+			return nil
+		}
+		rc.dropConn()
+	}
+	rc.redials.Add(1)
+	if err := rc.connect(ctx); err != nil {
+		return err
+	}
+	return rc.fc.WriteRecord(rec)
+}
+
+// End sends the end-of-stream marker on the live connection (it does
+// not reconnect: an end marker after a lost connection would terminate
+// a stream the replacement producer is about to continue).
+func (rc *RedialConn) End() error {
+	if rc.fc == nil {
+		return fmt.Errorf("ingest: end on a disconnected producer")
+	}
+	return rc.fc.End()
+}
+
+// Redials reports how many reconnect cycles writes have triggered.
+func (rc *RedialConn) Redials() int64 { return rc.redials.Load() }
+
+// Close closes the current connection, if any.
+func (rc *RedialConn) Close() error {
+	if rc.conn == nil {
+		return nil
+	}
+	err := rc.conn.Close()
+	rc.conn, rc.fc = nil, nil
+	return err
+}
+
+// dropConn discards a dead connection before reconnecting.
+func (rc *RedialConn) dropConn() {
+	if rc.conn != nil {
+		rc.conn.Close()
+	}
+	rc.conn, rc.fc = nil, nil
+}

@@ -1,0 +1,144 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/elsa-hpc/elsa/internal/logs"
+)
+
+// TestDialFrameDeadListenerBacksOffNotBusyLoops is the regression test
+// for the reconnect schedule: a dead listener must cost exactly
+// MaxAttempts spaced dials with capped-exponential sleeps between them,
+// not an immediate-retry busy-loop.
+func TestDialFrameDeadListenerBacksOffNotBusyLoops(t *testing.T) {
+	dials := 0
+	var sleeps []time.Duration
+	opts := RedialOptions{
+		Base:        10 * time.Millisecond,
+		Max:         80 * time.Millisecond,
+		Seed:        1,
+		MaxAttempts: 6,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			sleeps = append(sleeps, d)
+			return nil
+		},
+		Dial: func(network, addr string) (net.Conn, error) {
+			dials++
+			return nil, errors.New("connection refused")
+		},
+	}
+	_, err := DialFrame(context.Background(), "unix", "/nowhere.sock", opts)
+	if err == nil {
+		t.Fatal("DialFrame succeeded against a dead listener")
+	}
+	if dials != 6 {
+		t.Fatalf("dial attempts = %d, want exactly MaxAttempts=6 (busy-loop?)", dials)
+	}
+	if len(sleeps) != 5 {
+		t.Fatalf("sleeps between attempts = %d, want 5", len(sleeps))
+	}
+	for i, d := range sleeps {
+		if d <= 0 {
+			t.Fatalf("sleep %d is %v: immediate retry", i, d)
+		}
+		if max := time.Duration(float64(80*time.Millisecond) * 1.25); d > max {
+			t.Fatalf("sleep %d is %v, beyond the jittered cap %v", i, d, max)
+		}
+	}
+	// The schedule must grow toward the cap: the last sleep (capped)
+	// must exceed the jittered ceiling of the first (base) delay.
+	if first, last := sleeps[0], sleeps[len(sleeps)-1]; last <= first {
+		t.Fatalf("backoff did not widen: first=%v last=%v", first, last)
+	}
+}
+
+// A cancelled context ends the retry loop mid-backoff.
+func TestDialFrameHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := RedialOptions{
+		MaxAttempts: 100,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel()
+			return ctx.Err()
+		},
+		Dial: func(network, addr string) (net.Conn, error) {
+			return nil, errors.New("connection refused")
+		},
+	}
+	_, err := DialFrame(ctx, "unix", "/nowhere.sock", opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRedialConnSurvivesListenerRestart proves the write path: records
+// framed across a connection the listener tears down mid-stream arrive
+// via a reconnect, and the backend's accounting shows the resync.
+func TestRedialConnSurvivesListenerRestart(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "elsa.sock")
+	s, err := ListenSocket("unix", sock, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rc, err := DialFrame(context.Background(), "unix", sock, RedialOptions{
+		Base: time.Millisecond, Max: 10 * time.Millisecond, Seed: 2, MaxAttempts: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	base := time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(i int) logs.Record {
+		return logs.Record{Time: base.Add(time.Duration(i) * time.Second),
+			Severity: logs.Info, Component: "TEST", Message: "redial", EventID: -1}
+	}
+	ctx := context.Background()
+	if err := rc.WriteRecord(ctx, mk(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the producer's connection down server-side, then keep writing:
+	// the first write may be swallowed by a dead socket buffer, but the
+	// producer must reconnect and deliver subsequent records.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	deadline := time.After(5 * time.Second)
+	got := make(chan logs.Record, 1)
+	go func() {
+		rec, err := s.Next(context.Background())
+		if err == nil {
+			got <- rec
+		}
+	}()
+	i := 1
+	for {
+		if err := rc.WriteRecord(ctx, mk(i)); err != nil {
+			t.Fatalf("WriteRecord after teardown: %v", err)
+		}
+		i++
+		select {
+		case <-got:
+			if rc.Redials() == 0 {
+				t.Fatal("record arrived without any redial being counted")
+			}
+			return
+		case <-deadline:
+			t.Fatal("no record arrived after listener tore the connection down")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

@@ -219,7 +219,7 @@ func (w *SegmentWriter) createSegment(base int64) error {
 		f.Close()
 		return err
 	}
-	if err := syncDir(w.dir); err != nil {
+	if err := SyncDir(w.dir); err != nil {
 		f.Close()
 		idx.Close()
 		return err
@@ -347,8 +347,10 @@ func checkSegHeader(f *os.File, base int64) error {
 	return nil
 }
 
-// syncDir fsyncs a directory so a just-created file's entry is durable.
-func syncDir(dir string) error {
+// SyncDir fsyncs a directory so a just-created (or just-renamed) file's
+// entry is durable: the segment-roll discipline, exported so snapshot
+// writers can apply the same tmp+rename+dir-fsync sequence.
+func SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return err

@@ -25,9 +25,25 @@ func TestLockOrderMutationGuard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// resilience.go references the Backoff helper; its file rides along
+	// unmutated so the single-package fixture typechecks.
+	aux, err := os.ReadFile(filepath.Join("..", "resilience", "backoff.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func(main string) *fixture {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "sess.go"), []byte(main), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "backoff.go"), aux, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return loadFixture(t, dir)
+	}
 
 	// Control: the shipped supervisor has a consistent lock order.
-	if diags := runAnalyzers(t, loadSource(t, string(src)), []*analysis.Analyzer{LockOrderAnalyzer}); len(diags) != 0 {
+	if diags := runAnalyzers(t, load(string(src)), []*analysis.Analyzer{LockOrderAnalyzer}); len(diags) != 0 {
 		t.Fatalf("control (real resilience.go) should be clean, got: %v", diags)
 	}
 
@@ -49,7 +65,7 @@ func (s *Supervisor) mutReverse() {
 	mutAux.Unlock()
 }
 `
-	diags := runAnalyzers(t, loadSource(t, mutant), []*analysis.Analyzer{LockOrderAnalyzer})
+	diags := runAnalyzers(t, load(mutant), []*analysis.Analyzer{LockOrderAnalyzer})
 	if len(diags) != 1 {
 		t.Fatalf("mutant should produce exactly one cycle finding, got %d: %v", len(diags), diags)
 	}

@@ -17,7 +17,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"net"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -25,10 +24,12 @@ import (
 
 	elsa "github.com/elsa-hpc/elsa"
 	"github.com/elsa-hpc/elsa/internal/bench"
+	"github.com/elsa-hpc/elsa/internal/fleet"
 	"github.com/elsa-hpc/elsa/internal/gen"
 	"github.com/elsa-hpc/elsa/internal/ingest"
 	"github.com/elsa-hpc/elsa/internal/logs"
 	"github.com/elsa-hpc/elsa/internal/predict"
+	"github.com/elsa-hpc/elsa/internal/topology"
 )
 
 // Options configures a soak run.
@@ -54,6 +55,11 @@ type Options struct {
 	// stream has records left (the CI smoke budget); <= 0 replays
 	// everything.
 	MaxDuration time.Duration
+	// Shards, when positive, replays through a sharded fleet coordinator
+	// (internal/fleet) partitioned at rack scope instead of a single
+	// monitor — the serving capacity of the fleet path, with its routing,
+	// journaling and supervision overhead on the clock.
+	Shards int
 	// Seed drives the generators.
 	Seed int64
 	// Progress, when non-nil, receives one line per replayed day.
@@ -68,6 +74,7 @@ type Report struct {
 	Records    int                 `json:"records"`
 	Backend    string              `json:"backend"`
 	Days       int                 `json:"days"`
+	Shards     int                 `json:"shards,omitempty"`
 	GoVersion  string              `json:"go_version"`
 	GOOS       string              `json:"goos"`
 	GOARCH     string              `json:"goarch"`
@@ -152,6 +159,7 @@ func Run(opts Options) (*Report, error) {
 		EventTypes: model.EventCount(),
 		Backend:    opts.Backend,
 		Days:       opts.Days,
+		Shards:     opts.Shards,
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -236,16 +244,21 @@ func stageBackend(dir string, profile gen.Profile, opts Options, start time.Time
 			return nil, nil, err
 		}
 		go func() {
-			conn, err := net.Dial("unix", sock)
+			// The producer dials with the shared backoff schedule
+			// (ingest.DialFrame), so a listener that is slow to come up —
+			// or drops the connection mid-soak — costs spaced redials, not
+			// a dead producer.
+			ctx := context.Background()
+			rc, err := ingest.DialFrame(ctx, "unix", sock, ingest.RedialOptions{Seed: opts.Seed})
 			if err != nil {
 				return
 			}
-			defer conn.Close()
-			fc := ingest.NewFrameConn(conn)
-			if _, err := generate(profile, opts, start, fc.WriteRecord); err != nil {
+			defer rc.Close()
+			write := func(rec logs.Record) error { return rc.WriteRecord(ctx, rec) }
+			if _, err := generate(profile, opts, start, write); err != nil {
 				return
 			}
-			fc.End()
+			rc.End()
 		}()
 		return b, nil, nil
 	default:
@@ -278,6 +291,7 @@ type replayResult struct {
 	hist        latencyHist
 	predictions int
 	stats       predict.Stats
+	fleet       *fleet.Stats // set when the replay ran through a sharded fleet
 }
 
 // replay drives the monitor from the backend as fast as allowed,
@@ -291,6 +305,7 @@ func replay(b ingest.Backend, model *elsa.Model, opts Options) (*replayResult, e
 	}
 
 	var monitor *elsa.Monitor
+	var coord *fleet.Coordinator
 	res := &replayResult{}
 	t0 := time.Now()
 	nextReport := 0
@@ -302,13 +317,26 @@ func replay(b ingest.Backend, model *elsa.Model, opts Options) (*replayResult, e
 		if err != nil {
 			return nil, err
 		}
-		if monitor == nil {
-			monitor = model.NewMonitor(rec.Time.Truncate(10 * time.Second))
+		if monitor == nil && coord == nil {
+			start := rec.Time.Truncate(10 * time.Second)
+			if opts.Shards > 0 {
+				coord, err = fleet.New(model, start, fleet.Config{Shards: opts.Shards, Scope: topology.ScopeRack})
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				monitor = model.NewMonitor(start)
+			}
 		}
 		f0 := time.Now()
-		preds := monitor.Feed(rec)
+		var emitted int
+		if coord != nil {
+			emitted = len(coord.Feed(rec))
+		} else {
+			emitted = len(monitor.Feed(rec))
+		}
 		res.hist.add(time.Since(f0))
-		res.predictions += len(preds)
+		res.predictions += emitted
 		res.fed++
 		if opts.Rate > 0 {
 			// Coarse-grained throttle: compare progress against the target
@@ -328,8 +356,25 @@ func replay(b ingest.Backend, model *elsa.Model, opts Options) (*replayResult, e
 		}
 	}
 	res.wall = time.Since(t0)
-	if monitor == nil {
+	if monitor == nil && coord == nil {
 		return nil, fmt.Errorf("load: backend delivered no records")
+	}
+	if coord != nil {
+		out := coord.Close()
+		st := out.Stats
+		res.fleet = &st
+		res.predictions = int(st.Predictions)
+		// Aggregate the pipeline counters the measurements report across
+		// the per-shard runs.
+		for _, pr := range out.PerShard {
+			res.stats.Ticks += pr.Stats.Ticks
+			res.stats.ShedRecords += pr.Stats.ShedRecords
+			res.stats.QuarantinedRecords += pr.Stats.QuarantinedRecords
+			res.stats.DedupedRecords += pr.Stats.DedupedRecords
+			res.stats.LateRecords += pr.Stats.LateRecords
+			res.stats.DegradedTicks += pr.Stats.DegradedTicks
+		}
+		return res, nil
 	}
 	out := monitor.Close()
 	// Close flushes the still-open ticks; the accumulated result holds
@@ -360,6 +405,13 @@ func (r *replayResult) measurements(bs ingest.Stats) []bench.Measurement {
 			"ingest_quarantined": float64(bs.Quarantined),
 			"ingest_resyncs":     float64(bs.Resyncs),
 		},
+	}
+	if r.fleet != nil {
+		feed.Extra["shards"] = float64(len(r.fleet.Shards))
+		feed.Extra["scope_keys"] = float64(r.fleet.Scopes)
+		feed.Extra["degraded_predictions"] = float64(r.fleet.Degraded)
+		feed.Extra["misrouted"] = float64(r.fleet.Misrouted)
+		feed.Extra["lost_entries"] = float64(r.fleet.Lost)
 	}
 	return []bench.Measurement{feed}
 }

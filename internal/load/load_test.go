@@ -87,6 +87,41 @@ func TestRunSocketSmoke(t *testing.T) {
 	}
 }
 
+// TestRunFleetSmoke replays through the sharded fleet path: the report
+// must carry the shard count and the fleet columns, with nothing lost
+// or misrouted on a clean run.
+func TestRunFleetSmoke(t *testing.T) {
+	rep, err := Run(Options{Backend: "segdir", Days: 1, Seed: 3, Shards: 4, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records == 0 {
+		t.Fatal("fleet soak replayed no records")
+	}
+	if rep.Shards != 4 {
+		t.Errorf("report shards = %d, want 4", rep.Shards)
+	}
+	for _, m := range rep.Benchmarks {
+		if m.Name != "serve/replay" {
+			continue
+		}
+		if m.Extra["shards"] != 4 {
+			t.Errorf("replay measurement shards = %v, want 4", m.Extra["shards"])
+		}
+		if m.Extra["scope_keys"] <= 0 {
+			t.Errorf("replay measurement saw no scope keys: %+v", m.Extra)
+		}
+		if m.Extra["misrouted"] != 0 || m.Extra["lost_entries"] != 0 {
+			t.Errorf("clean fleet soak lost or misrouted entries: %+v", m.Extra)
+		}
+		if int(m.Extra["ticks"]) == 0 {
+			t.Errorf("fleet replay closed no ticks: %+v", m.Extra)
+		}
+		return
+	}
+	t.Fatalf("no serve/replay measurement in %+v", rep.Benchmarks)
+}
+
 func TestRunRejectsUnknownBackend(t *testing.T) {
 	if _, err := Run(Options{Backend: "kafka", Days: 1}); err == nil {
 		t.Fatal("unknown backend accepted")

@@ -260,6 +260,8 @@ func (p *Pipeline) Stats() []predict.StageStats {
 			out[i].Panics = ss.Panics
 			out[i].Restarts = ss.Restarts
 			out[i].Bypassed = ss.Bypassed
+			out[i].Trips = ss.Trips
+			out[i].Probes = ss.Probes
 			out[i].Health = ss.Health.String()
 		}
 	}

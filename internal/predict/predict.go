@@ -148,11 +148,14 @@ type StageStats struct {
 	Shed        int64
 
 	// Supervision health: recovered stage-body panics, supervised loop
-	// restarts, invocations bypassed with the breaker open, and the
-	// breaker state ("" when the stage runs unsupervised).
+	// restarts, invocations bypassed with the breaker open, breaker trip
+	// and half-open probe counts, and the breaker state ("" when the
+	// stage runs unsupervised).
 	Panics   int64
 	Restarts int64
 	Bypassed int64
+	Trips    int64
+	Probes   int64
 	Health   string
 }
 

@@ -21,7 +21,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -142,9 +141,11 @@ func (p Policy) normalised() Policy {
 
 // Stats is a point-in-time snapshot of a supervisor's health counters.
 type Stats struct {
-	Panics    int64  // stage-body panics recovered
+	Panics    int64  // stage-body panics recovered (incl. Fail calls)
 	Restarts  int64  // stage-loop restarts performed by Run
 	Bypassed  int64  // invocations skipped while the breaker was open
+	Trips     int64  // times the breaker opened (incl. failed probes)
+	Probes    int64  // half-open probe invocations admitted
 	Health    Health // current breaker/loop state
 	LastPanic string // rendered value of the most recent panic ("" if none)
 }
@@ -157,15 +158,18 @@ type Supervisor struct {
 	pol  Policy
 
 	mu        sync.Mutex
-	rng       *rand.Rand
 	failures  []time.Time // panic times inside the current window
 	trippedAt time.Time
 	probing   bool // a half-open probe invocation is in flight
+
+	bo *Backoff
 
 	health    atomic.Int32
 	panics    atomic.Int64
 	restarts  atomic.Int64
 	bypassed  atomic.Int64
+	trips     atomic.Int64
+	probes    atomic.Int64
 	lastPanic atomic.Value // string
 }
 
@@ -175,7 +179,7 @@ func New(name string, pol Policy) *Supervisor {
 	return &Supervisor{
 		name: name,
 		pol:  pol,
-		rng:  rand.New(rand.NewSource(pol.Seed)),
+		bo:   NewBackoff(pol.BaseBackoff, pol.MaxBackoff, pol.Jitter, pol.Seed),
 	}
 }
 
@@ -194,6 +198,8 @@ func (s *Supervisor) Stats() Stats {
 		Panics:   s.panics.Load(),
 		Restarts: s.restarts.Load(),
 		Bypassed: s.bypassed.Load(),
+		Trips:    s.trips.Load(),
+		Probes:   s.probes.Load(),
 		Health:   s.Health(),
 	}
 	if v, ok := s.lastPanic.Load().(string); ok {
@@ -221,6 +227,7 @@ func (s *Supervisor) Allow() bool {
 		return false
 	}
 	s.probing = true
+	s.probes.Add(1)
 	return true
 }
 
@@ -264,6 +271,15 @@ func (s *Supervisor) OK() {
 	}
 }
 
+// Fail records an externally observed failure of the supervised unit —
+// a liveness probe that timed out, a worker that died without panicking
+// through the barrier — with the same window/breaker accounting a
+// recovered panic gets. The fleet coordinator uses it to charge shard
+// incarnation deaths against the shard's failure budget.
+func (s *Supervisor) Fail(reason string) {
+	s.recordPanic(reason)
+}
+
 // recordPanic accounts one panic and trips the breaker when the failure
 // budget for the window is exhausted (or a half-open probe failed).
 func (s *Supervisor) recordPanic(r interface{}) {
@@ -276,6 +292,7 @@ func (s *Supervisor) recordPanic(r interface{}) {
 		// The half-open probe failed: re-open for another cooldown.
 		s.probing = false
 		s.trippedAt = now
+		s.trips.Add(1)
 		s.health.Store(int32(Degraded))
 		return
 	}
@@ -289,6 +306,7 @@ func (s *Supervisor) recordPanic(r interface{}) {
 	if len(s.failures) >= s.pol.MaxFailures {
 		s.trippedAt = now
 		s.failures = s.failures[:0]
+		s.trips.Add(1)
 		s.health.Store(int32(Degraded))
 	}
 }
@@ -329,18 +347,7 @@ func (s *Supervisor) guard(loop func() error) (err error, panicked bool) {
 // backoff computes the jittered, capped exponential delay for a restart
 // attempt.
 func (s *Supervisor) backoff(attempt int) time.Duration {
-	d := s.pol.BaseBackoff
-	for i := 0; i < attempt && d < s.pol.MaxBackoff; i++ {
-		d *= 2
-	}
-	if d > s.pol.MaxBackoff {
-		d = s.pol.MaxBackoff
-	}
-	s.mu.Lock()
-	u := s.rng.Float64()
-	s.mu.Unlock()
-	scale := 1 - s.pol.Jitter/2 + s.pol.Jitter*u
-	return time.Duration(float64(d) * scale)
+	return s.bo.Delay(attempt)
 }
 
 // sleep waits d out under supervision state Restarting, returning false

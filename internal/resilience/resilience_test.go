@@ -234,3 +234,81 @@ func TestRecoverDeferredForm(t *testing.T) {
 		t.Errorf("Panics = %d, want 1", got)
 	}
 }
+
+func TestBackoffHelperCappedJitteredDeterministic(t *testing.T) {
+	a := NewBackoff(time.Millisecond, 8*time.Millisecond, 0.5, 42)
+	b := NewBackoff(time.Millisecond, 8*time.Millisecond, 0.5, 42)
+	for attempt := 0; attempt < 10; attempt++ {
+		da, db := a.Delay(attempt), b.Delay(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", attempt, da, db)
+		}
+		if da <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", attempt, da)
+		}
+		if max := time.Duration(float64(8*time.Millisecond) * 1.25); da > max {
+			t.Fatalf("attempt %d: delay %v exceeds jittered cap %v", attempt, da, max)
+		}
+	}
+	// Different seeds must diverge somewhere in the schedule.
+	c := NewBackoff(time.Millisecond, 8*time.Millisecond, 0.5, 43)
+	same := true
+	for attempt := 0; attempt < 10; attempt++ {
+		if NewBackoff(time.Millisecond, 8*time.Millisecond, 0.5, 42).Delay(attempt) != c.Delay(attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestFailCountsTowardBreakerWithTripsAndProbes(t *testing.T) {
+	clk := &virtualClock{t: time.Unix(0, 0)}
+	s := New("shard", testPolicy(clk))
+	// Three external failures inside the window trip the breaker.
+	for i := 0; i < 3; i++ {
+		s.Fail("incarnation died")
+	}
+	st := s.Stats()
+	if st.Health != Degraded {
+		t.Fatalf("Health = %v after budget exhausted, want Degraded", st.Health)
+	}
+	if st.Trips != 1 {
+		t.Errorf("Trips = %d, want 1", st.Trips)
+	}
+	if st.Panics != 3 {
+		t.Errorf("Panics = %d, want 3 (Fail shares the panic accounting)", st.Panics)
+	}
+	// Before cooldown: denied, counted as bypassed, no probe.
+	if s.Allow() {
+		t.Fatal("Allow admitted work before cooldown")
+	}
+	// After cooldown: exactly one half-open probe admitted.
+	clk.advance(31 * time.Second)
+	if !s.Allow() {
+		t.Fatal("Allow denied the half-open probe after cooldown")
+	}
+	if got := s.Stats().Probes; got != 1 {
+		t.Errorf("Probes = %d, want 1", got)
+	}
+	// Failed probe re-opens and counts another trip.
+	s.Fail("probe incarnation died")
+	st = s.Stats()
+	if st.Health != Degraded || st.Trips != 2 {
+		t.Fatalf("after failed probe: Health=%v Trips=%d, want Degraded/2", st.Health, st.Trips)
+	}
+	// Successful probe closes the breaker.
+	clk.advance(31 * time.Second)
+	if !s.Allow() {
+		t.Fatal("Allow denied the second probe")
+	}
+	s.OK()
+	st = s.Stats()
+	if st.Health != Healthy {
+		t.Fatalf("Health = %v after successful probe, want Healthy", st.Health)
+	}
+	if st.Probes != 2 {
+		t.Errorf("Probes = %d, want 2", st.Probes)
+	}
+}

@@ -185,3 +185,20 @@ func TestSpanScope(t *testing.T) {
 		t.Errorf("SpanScope cross midplane = %v, want rack", got)
 	}
 }
+
+func TestParseScopeRoundTrips(t *testing.T) {
+	for s := ScopeNode; s <= ScopeSystem; s++ {
+		got, err := ParseScope(s.String())
+		if err != nil {
+			t.Fatalf("ParseScope(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("ParseScope(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+	for _, bad := range []string{"", "Rack", "cluster", "invalid"} {
+		if _, err := ParseScope(bad); err == nil {
+			t.Fatalf("ParseScope(%q) accepted", bad)
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package topology
 
+import "fmt"
+
 // Scope names a level of the machine hierarchy, ordered from finest
 // (ScopeNode) to coarsest (ScopeSystem). The location-correlation module
 // classifies fault-propagation behaviour by the smallest scope that
@@ -27,6 +29,18 @@ func (s Scope) String() string {
 
 // Valid reports whether s is one of the defined levels.
 func (s Scope) Valid() bool { return s >= ScopeNode && s <= ScopeSystem }
+
+// ParseScope decodes a level name as rendered by String ("node",
+// "nodecard", "midplane", "rack", "system"); it is how command-line
+// flags select a fleet's partitioning granularity.
+func ParseScope(name string) (Scope, error) {
+	for i, n := range scopeNames {
+		if n == name {
+			return Scope(i), nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown scope %q (want node, nodecard, midplane, rack, or system)", name)
+}
 
 // Wider reports whether s is a strictly coarser level than t.
 func (s Scope) Wider(t Scope) bool { return s > t }
