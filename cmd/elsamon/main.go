@@ -168,7 +168,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			// Anchor tick 0 at the first record's time.
 			monitor = model.NewMonitor(rec.Time.Truncate(10 * time.Second))
 		}
-		for _, p := range monitor.Feed(rec) {
+		preds, err := monitor.Feed(rec)
+		if err != nil {
+			return fmt.Errorf("elsamon: feed: %w", err)
+		}
+		for _, p := range preds {
 			emit(out, model, p, *showLate)
 		}
 		out.Flush()
@@ -253,7 +257,11 @@ func runBackend(b ingest.Backend, model *elsa.Model, monitor *elsa.Monitor, stdo
 			// Anchor tick 0 at the first record's time.
 			monitor = model.NewMonitor(rec.Time.Truncate(10 * time.Second))
 		}
-		for _, p := range monitor.Feed(rec) {
+		preds, err := monitor.Feed(rec)
+		if err != nil {
+			return fmt.Errorf("elsamon: feed: %w", err)
+		}
+		for _, p := range preds {
 			emit(out, model, p, showLate)
 		}
 		out.Flush()

@@ -39,6 +39,17 @@ func newSession(cfg pipeline.Config) *pipeline.Session {
 	return pipeline.New(predict.NewEngine(pairModel(), nil, predict.DefaultConfig()), nil, cfg).NewSession(t0)
 }
 
+// feedOK feeds one record, failing the test on an unexpected error —
+// the chaos streams never feed a closed session.
+func feedOK(t *testing.T, s *pipeline.Session, r logs.Record) []predict.Prediction {
+	t.Helper()
+	preds, err := s.Feed(r)
+	if err != nil {
+		t.Fatalf("Feed: %v", err)
+	}
+	return preds
+}
+
 // baseStream builds n well-formed records with unique messages, spaced
 // by step, all reporting the benign event id 3 (no chain references it).
 func baseStream(n int, step time.Duration) []logs.Record {
@@ -255,7 +266,7 @@ func TestCleanTailRecoversAfterChaos(t *testing.T) {
 		if !ok {
 			break
 		}
-		preds = append(preds, s.Feed(rec)...)
+		preds = append(preds, feedOK(t, s, rec)...)
 	}
 	if inj.Stats().Flooded == 0 {
 		t.Fatal("fixture too tame: no flood fired")
@@ -269,7 +280,7 @@ func TestCleanTailRecoversAfterChaos(t *testing.T) {
 	preds = append(preds, s.AdvanceTo(t0.Add(400*time.Second))...)
 
 	// Clean tail: the pair trigger at tick 40 forecasts tick 46.
-	preds = append(preds, s.Feed(logs.Record{Time: t0.Add(405 * time.Second), Severity: logs.Warning, EventID: 1, Location: node})...)
+	preds = append(preds, feedOK(t, s, logs.Record{Time: t0.Add(405 * time.Second), Severity: logs.Warning, EventID: 1, Location: node})...)
 	preds = append(preds, s.AdvanceTo(t0.Add(600*time.Second))...)
 	res := s.Close()
 

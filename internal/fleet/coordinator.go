@@ -270,7 +270,12 @@ func (c *Coordinator) restore(sl *slot) ([]Merged, error) {
 		for _, e := range sl.journalFrom(from) {
 			switch e.kind {
 			case reqFeed:
-				preds = append(preds, mon.Feed(e.rec)...)
+				ps, err := mon.Feed(e.rec)
+				if err != nil {
+					replayErr = err
+					return
+				}
+				preds = append(preds, ps...)
 			case reqAdvance:
 				preds = append(preds, mon.AdvanceTo(e.t)...)
 			}

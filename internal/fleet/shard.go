@@ -79,6 +79,13 @@ const (
 // incarnations come and go underneath it (crash, chaos kill, planned
 // handoff); the slot keeps the journal, the latest snapshot, the merge
 // cursor and the accounting that must survive incarnations.
+//
+// The incarnation lifecycle is a declared typestate protocol: spawn
+// brings a down slot live, retire takes it down, and a snapshot may
+// only be committed against a live incarnation — the handoff ordering
+// (snapshot, then retire, then successor) is statically checked.
+//
+//elsa:state down live
 type slot struct {
 	name string
 	sup  *resilience.Supervisor
@@ -135,6 +142,8 @@ type slot struct {
 }
 
 // spawn starts a new incarnation serving mon.
+//
+//elsa:transition down->live
 func (sl *slot) spawn(mon *elsa.Monitor) {
 	w := &worker{
 		in:   make(chan request),
@@ -174,7 +183,7 @@ func (sl *slot) serve(w *worker, mon *elsa.Monitor) {
 			ok := sl.sup.Do(func() {
 				switch req.kind {
 				case reqFeed:
-					resp.preds = mon.Feed(req.rec)
+					resp.preds, resp.err = mon.Feed(req.rec)
 				case reqAdvance:
 					resp.preds = mon.AdvanceTo(req.t)
 				case reqSnapshot:
@@ -235,6 +244,7 @@ func (sl *slot) call(req request, timeout time.Duration) (response, bool) {
 // incarnation's stop channel: workers only ever receive on it.
 //
 //elsa:chanowner sl.w.stop
+//elsa:transition live->down down->down
 func (sl *slot) retire() {
 	if sl.w != nil {
 		close(sl.w.stop)
@@ -278,7 +288,11 @@ func (sl *slot) journalFrom(seq int64) []entry {
 // commitSnapshot installs a fresh snapshot taken at the current seq and
 // trims the journal: entries at seq < snapSeq can never be replayed
 // again. The suffix is copied out so the trimmed prefix's backing array
-// is released.
+// is released. The snapshot must have been taken from the still-live
+// incarnation — committing after retire would trim journal entries the
+// successor still needs to replay.
+//
+//elsa:requires live
 func (sl *slot) commitSnapshot(snap []byte) {
 	sl.snap = snap
 	sl.snapSeq = sl.seq

@@ -39,7 +39,7 @@ func OpenFile(path string) (*File, error) {
 // between records so cancellation is prompt on huge files.
 func (fb *File) Next(ctx context.Context) (logs.Record, error) {
 	if fb.closed {
-		return logs.Record{}, os.ErrClosed
+		return logs.Record{}, ErrClosed
 	}
 	for {
 		if err := ctx.Err(); err != nil {
@@ -85,7 +85,7 @@ func (fb *File) Offset() Offset {
 // the start, counting off.Records records.
 func (fb *File) Seek(off Offset) error {
 	if fb.closed {
-		return os.ErrClosed
+		return ErrClosed
 	}
 	if off.Bytes > 0 {
 		if _, err := fb.f.Seek(off.Bytes, io.SeekStart); err != nil {

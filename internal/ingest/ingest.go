@@ -25,7 +25,9 @@ package ingest
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
+	"os"
 
 	"github.com/elsa-hpc/elsa/internal/logs"
 )
@@ -65,25 +67,43 @@ type Stats struct {
 // (the socket listener) when asked for anything but their live position.
 var ErrNotSeekable = errors.New("ingest: backend cannot seek")
 
+// ErrClosed is returned by Next and Seek on a closed backend. It wraps
+// os.ErrClosed so existing errors.Is(err, os.ErrClosed) checks keep
+// working while the package gains its own typed sentinel.
+var ErrClosed = fmt.Errorf("ingest: backend is closed: %w", os.ErrClosed)
+
 // Backend is a pull-based record stream with resume support.
 //
 // Next blocks until a record is available, the stream ends (io.EOF), or
 // ctx is done (ctx.Err()). Implementations select on ctx.Done() around
 // every blocking wait, so a caller can always cancel out. Backends are
 // not safe for concurrent use by multiple consumers.
+//
+//elsa:state open closed
 type Backend interface {
-	// Next returns the next record, io.EOF at clean end of stream, or
-	// ctx.Err() when cancelled.
+	// Next returns the next record, io.EOF at clean end of stream,
+	// ctx.Err() when cancelled, or ErrClosed after Close.
+	//
+	//elsa:requires open
 	Next(ctx context.Context) (logs.Record, error)
+
 	// Offset reports the resume point after the last delivered record.
 	Offset() Offset
+
 	// Seek repositions the stream so the next Next returns the record at
 	// off. Backends without random access return ErrNotSeekable unless
-	// off is already their position.
+	// off is already their position; closed backends return ErrClosed.
+	//
+	//elsa:requires open
 	Seek(off Offset) error
+
 	// Stats reports the error accounting so far.
 	Stats() Stats
-	// Close releases the backend. Next calls after Close fail.
+
+	// Close releases the backend. Next calls after Close return
+	// ErrClosed; Close is idempotent.
+	//
+	//elsa:transition open->closed closed->closed
 	Close() error
 }
 

@@ -2,6 +2,7 @@ package ingest_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -473,5 +474,58 @@ func TestSourceAdapter(t *testing.T) {
 	}
 	if src.Err() != context.Canceled {
 		t.Fatalf("Err = %v, want context.Canceled", src.Err())
+	}
+}
+
+// TestBackendsClosedReturnErrClosed proves the declared lifecycle
+// (//elsa:state open closed on Backend) at runtime for all three
+// backends: Next and Seek after Close return the typed ErrClosed, which
+// still satisfies errors.Is(err, os.ErrClosed) for pre-existing checks.
+func TestBackendsClosedReturnErrClosed(t *testing.T) {
+	recs := testRecords(t, 1)
+	backends := map[string]ingest.Backend{}
+
+	fb, err := ingest.OpenFile(writeLogFile(t, recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["file"] = fb
+
+	sd, err := ingest.OpenSegDir(writeSegDir(t, recs, ingest.SegmentOptions{}), ingest.SegDirOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["segdir"] = sd
+
+	sock, err := ingest.ListenSocket("tcp", "127.0.0.1:0", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["socket"] = sock
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for name, b := range backends {
+		if err := b.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", name, err)
+		}
+		if _, err := b.Next(ctx); err != ingest.ErrClosed {
+			t.Errorf("%s: Next after Close: err = %v, want ingest.ErrClosed", name, err)
+		}
+		if !errors.Is(func() error { _, err := b.Next(ctx); return err }(), os.ErrClosed) {
+			t.Errorf("%s: Next after Close does not satisfy errors.Is(err, os.ErrClosed)", name)
+		}
+		if err := b.Close(); err != nil {
+			t.Errorf("%s: second Close: %v", name, err)
+		}
+	}
+
+	// Seek after Close for the random-access backends (the socket's Seek
+	// contract is position-only and orthogonal to closing).
+	if err := fb.Seek(ingest.Offset{}); err != ingest.ErrClosed {
+		t.Errorf("file: Seek after Close: err = %v, want ingest.ErrClosed", err)
+	}
+	if err := sd.Seek(ingest.Offset{}); err != ingest.ErrClosed {
+		t.Errorf("segdir: Seek after Close: err = %v, want ingest.ErrClosed", err)
 	}
 }

@@ -124,7 +124,7 @@ func (r *SegDir) nextSegment(cur int64) (int64, error) {
 // contract.
 func (r *SegDir) Next(ctx context.Context) (logs.Record, error) {
 	if r.closed {
-		return logs.Record{}, os.ErrClosed
+		return logs.Record{}, ErrClosed
 	}
 	for {
 		if err := ctx.Err(); err != nil {
@@ -226,7 +226,7 @@ func (r *SegDir) Offset() Offset {
 // index bucket is scanned.
 func (r *SegDir) Seek(off Offset) error {
 	if r.closed {
-		return os.ErrClosed
+		return ErrClosed
 	}
 	target := off.Records
 	if target < 0 {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"io"
 	"net"
-	"os"
 	"sync"
 	"sync/atomic"
 
@@ -193,7 +192,7 @@ func (s *Socket) Next(ctx context.Context) (logs.Record, error) {
 			return logs.Record{}, io.EOF
 		}
 	case <-s.done:
-		return logs.Record{}, os.ErrClosed
+		return logs.Record{}, ErrClosed
 	}
 }
 

@@ -76,4 +76,30 @@ func TestFactsGobRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(*gf, gout) {
 		t.Fatalf("LockGraphFact mangled in transit: %+v != %+v", gout, *gf)
 	}
+
+	// The typestate protocol fact carries the full annotation surface —
+	// state order (States[0] is the initial state), per-method requires
+	// sets and transition edges. Importing packages rebuild the checker
+	// from exactly this payload, so none of it may be lost in transit.
+	sf := &StateFact{
+		States: []string{"open", "closed"},
+		Methods: []StateMethodFact{
+			{Name: "Feed", Requires: []string{"open"}},
+			{Name: "Close", Transitions: []StateTransition{
+				{From: "open", To: "closed"},
+				{From: "closed", To: "closed"},
+			}},
+		},
+	}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(sf); err != nil {
+		t.Fatal(err)
+	}
+	var sout StateFact
+	if err := gob.NewDecoder(&buf).Decode(&sout); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*sf, sout) {
+		t.Fatalf("StateFact mangled in transit: %+v != %+v", sout, *sf)
+	}
 }

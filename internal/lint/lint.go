@@ -4,7 +4,7 @@
 // lock usage — into compile-time contracts instead of benchmark
 // aspirations.
 //
-// The suite ships eleven analyzers:
+// The suite ships thirteen analyzers:
 //
 //   - elsahotpath: a fast syntactic pre-pass over //elsa:hotpath
 //     functions for constructs that always cost an allocation (append
@@ -50,6 +50,16 @@
 //   - elsaatomic: a field accessed through sync/atomic anywhere in a
 //     package (or, via facts, in any importing package) must never
 //     also be accessed with plain loads or stores.
+//   - elsastate: annotation-declared typestate protocols
+//     (//elsa:state on a type, //elsa:transition and //elsa:requires
+//     on its methods) verified by a may-state abstract interpreter —
+//     no Feed after Close, snapshot-before-retire, breaker state
+//     discipline — composing across packages through StateFacts.
+//   - elsadetflow: the taint layer of the determinism contract —
+//     wall-clock, global-rand and iteration/arrival-order values are
+//     tracked through the serving path and reported only where they
+//     reach prediction output, snapshot/journal bytes or exported
+//     stats; //elsa:nondet-ok <reason> is the audited escape hatch.
 //   - elsanolint: audits the //nolint:elsa... escape hatches themselves
 //     — every suppression must name known analyzers and carry a reason.
 //
@@ -83,6 +93,8 @@ var Analyzers = []*analysis.Analyzer{
 	ErrFlowAnalyzer,
 	SnapshotAnalyzer,
 	AtomicAnalyzer,
+	StateAnalyzer,
+	DetFlowAnalyzer,
 	NolintAnalyzer,
 }
 
@@ -102,6 +114,8 @@ func analyzerNames() map[string]bool {
 		"elsaerrflow":     true,
 		"elsasnapshot":    true,
 		"elsaatomic":      true,
+		"elsastate":       true,
+		"elsadetflow":     true,
 		"elsanolint":      true,
 	}
 }

@@ -252,6 +252,8 @@ func TestLockSafe(t *testing.T)    { runOn(t, "locksafe", LockSafeAnalyzer) }
 func TestChanFlow(t *testing.T)    { runOn(t, "chanflow", ChanAnalyzer) }
 func TestLockOrder(t *testing.T)   { runOn(t, "lockorder", LockOrderAnalyzer) }
 func TestErrFlow(t *testing.T)     { runOn(t, "errflow", ErrFlowAnalyzer) }
+func TestState(t *testing.T)       { runOn(t, "state", StateAnalyzer) }
+func TestDetFlow(t *testing.T)     { runOn(t, "detflow", DetFlowAnalyzer) }
 func TestNolint(t *testing.T) {
 	// The nolint fixture exercises suppression end to end: the package is
 	// named sig so elsadeterminism applies, and the audit analyzer runs

@@ -148,6 +148,7 @@ type StandaloneOptions struct {
 // CI consumers (the GitHub problem matcher parses the text form; the
 // JSON form feeds anything that wants structure).
 type jsonFinding struct {
+	Package  string `json:"package"`
 	Analyzer string `json:"analyzer"`
 	File     string `json:"file"`
 	Line     int    `json:"line"`
@@ -158,6 +159,7 @@ type jsonFinding struct {
 
 // Finding is one reported diagnostic plus its origin.
 type Finding struct {
+	Package  string // import path of the analyzed package
 	Analyzer string
 	Pos      token.Position
 	Message  string
@@ -205,18 +207,35 @@ func RunStandalone(opts StandaloneOptions, w io.Writer) (findings []Finding, fix
 		}
 		findings = append(findings, fs...)
 	}
+	// Byte-stable order for CI artifact diffing: (package, file, line,
+	// column, analyzer, message). Position alone is not a total order —
+	// two analyzers can fire on the same token, and map-ordered package
+	// walks must not leak into the output.
 	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].Pos, findings[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+		a, b := &findings[i], &findings[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
 		}
-		return a.Offset < b.Offset
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 
 	if opts.JSON {
 		out := make([]jsonFinding, 0, len(findings))
 		for _, f := range findings {
 			out = append(out, jsonFinding{
+				Package:  f.Package,
 				Analyzer: f.Analyzer,
 				File:     f.Pos.Filename,
 				Line:     f.Pos.Line,
@@ -352,6 +371,7 @@ func runSuite(fset *token.FileSet, p *modulePkg, analyzers []*analysis.Analyzer,
 			ResultOf:   results,
 			Report: func(d analysis.Diagnostic) {
 				findings = append(findings, Finding{
+					Package:  p.path,
 					Analyzer: name,
 					Pos:      fset.Position(d.Pos),
 					Message:  d.Message,

@@ -105,6 +105,7 @@ func TestStandaloneJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var decoded []struct {
+		Package  string `json:"package"`
 		Analyzer string `json:"analyzer"`
 		File     string `json:"file"`
 		Line     int    `json:"line"`
@@ -119,6 +120,9 @@ func TestStandaloneJSON(t *testing.T) {
 		t.Fatalf("JSON has %d findings, driver returned %d", len(decoded), len(findings))
 	}
 	for i, d := range decoded {
+		if d.Package != "example.com/tmpmod" {
+			t.Errorf("finding %d: package = %q, want example.com/tmpmod", i, d.Package)
+		}
 		if d.Analyzer != "elsaatomic" {
 			t.Errorf("finding %d: analyzer = %q, want elsaatomic", i, d.Analyzer)
 		}
@@ -153,15 +157,18 @@ func TestStandaloneDeterministic(t *testing.T) {
 	if testing.Short() {
 		return // the repo-wide double pass typechecks the module twice
 	}
-	repo := func() string {
+	repo := func(json bool) string {
 		var buf bytes.Buffer
-		if _, _, err := RunStandalone(StandaloneOptions{Root: filepath.Join("..", ".."), Analyzers: Analyzers}, &buf); err != nil {
+		if _, _, err := RunStandalone(StandaloneOptions{Root: filepath.Join("..", ".."), JSON: json, Analyzers: Analyzers}, &buf); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()
 	}
-	if a, b := repo(), repo(); a != b {
-		t.Fatalf("two repo-wide passes differ:\n--- first\n%s--- second\n%s", a, b)
+	if a, b := repo(false), repo(false); a != b {
+		t.Fatalf("two repo-wide text passes differ:\n--- first\n%s--- second\n%s", a, b)
+	}
+	if a, b := repo(true), repo(true); a != b {
+		t.Fatalf("two repo-wide JSON passes differ:\n--- first\n%s--- second\n%s", a, b)
 	}
 }
 

@@ -1,0 +1,172 @@
+// Package pipeline (fixture) exercises elsadetflow: nondeterminism
+// sources — wall clock, global rand, map/select/goroutine ordering —
+// are flagged only where their taint reaches replayed output: exported
+// returns, serialized bytes, or //elsa:snapshot state.
+package pipeline
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ---- wall clock ----
+
+// Stamp leaks the wall clock into its exported return value.
+func Stamp() time.Time {
+	now := time.Now()
+	return now // want "wall-clock value from time.Now .* reaches the return value of exported Stamp"
+}
+
+// stamp is unexported: its callers are checked where the value
+// escapes, not here.
+func stamp() time.Time {
+	return time.Now()
+}
+
+// StatUptime is operational telemetry, allowed to be wall-clock
+// stamped — the escape hatch documents why.
+func StatUptime() time.Time {
+	now := time.Now() //elsa:nondet-ok operational telemetry, never replayed
+	return now
+}
+
+// StatBad uses the escape hatch without a reason: the directive is
+// flagged and does not suppress.
+func StatBad() time.Time {
+	// want "needs a reason"
+	now := time.Now() //elsa:nondet-ok
+	return now // want "wall-clock value from time.Now .* reaches the return value of exported StatBad"
+}
+
+// ---- global rand ----
+
+func Jitter() int {
+	return rand.Intn(10) // want "global-rand value from rand.Intn .* reaches the return value of exported Jitter"
+}
+
+// Seed propagates the taint through intermediates.
+func Seed() int64 {
+	n := rand.Int63()
+	m := n + 1
+	return m // want "global-rand value from rand.Int63 .* reaches the return value of exported Seed"
+}
+
+// Deterministic rand over an explicit seed is fine: the constructors
+// are exempt and methods on the local source are not global state.
+func Deterministic(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int63()
+}
+
+// ---- map iteration order ----
+
+type table struct{ m map[string]int }
+
+// EncodeKeys serializes keys in map-iteration order: the bytes differ
+// across runs.
+func (t *table) EncodeKeys(enc *json.Encoder) {
+	var keys []string
+	for k := range t.m {
+		keys = append(keys, k)
+	}
+	enc.Encode(keys) // want "map-iteration-ordered elements .* reaches serialized bytes via json.Encode"
+}
+
+// SortedKeys re-establishes determinism with an explicit sort.
+func (t *table) SortedKeys() []string {
+	var keys []string
+	for k := range t.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Regroup appends to map elements keyed by the loop key:
+// order-insensitive grouping, not ordered output.
+func Regroup(src map[string]int) map[string][]string {
+	out := make(map[string][]string)
+	for k := range src {
+		out[k] = append(out[k], k)
+	}
+	return out
+}
+
+// ---- arrival order ----
+
+// Collect's element order is select-arrival order.
+func Collect(a, b chan int) []int {
+	var out []int
+	for i := 0; i < 2; i++ {
+		select {
+		case v := <-a:
+			out = append(out, v)
+		case v := <-b:
+			out = append(out, v)
+		}
+	}
+	return out // want "select-arrival-ordered elements .* reaches the return value of exported Collect"
+}
+
+// DrainOne has a single comm clause: no arrival race to order by.
+func DrainOne(ch chan int) []int {
+	var out []int
+	select {
+	case v := <-ch:
+		out = append(out, v)
+	default:
+	}
+	return out
+}
+
+// Gather's element order is goroutine-completion order.
+func Gather(parts [][]int) []int {
+	var out []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, p...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out // want "goroutine-completion-ordered elements .* reaches the return value of exported Gather"
+}
+
+// ---- snapshot state ----
+
+//elsa:snapshot
+type checkpoint struct {
+	Taken time.Time
+	Count int
+}
+
+func (c *checkpoint) mark() {
+	c.Taken = time.Now() // want "wall-clock value from time.Now .* reaches //elsa:snapshot state checkpoint.Taken"
+}
+
+func (c *checkpoint) markOk() {
+	c.Taken = time.Now() //elsa:nondet-ok operator-facing timestamp, excluded from replay equality
+}
+
+func (c *checkpoint) bump() {
+	c.Count++
+}
+
+// ---- closures return to their own caller ----
+
+// Wrap returns a clock closure; the closure's own return is not the
+// exported function's return.
+func Wrap() func() time.Time {
+	return func() time.Time {
+		return time.Now()
+	}
+}

@@ -56,6 +56,14 @@ func newSuiteNames() int {
 	return n
 }
 
+// the typestate and determinism-taint analyzers register their names
+// with the suppression registry like every other suite member.
+func protocolSuiteNames() int {
+	n := 1 //nolint:elsastate // fixture: name-validation only
+	n++    //nolint:elsadetflow // fixture: name-validation only
+	return n
+}
+
 // the valid-name list is derived from the registry, so it names the
 // dataflow analyzers too.
 func derivedList() int {

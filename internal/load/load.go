@@ -333,7 +333,11 @@ func replay(b ingest.Backend, model *elsa.Model, opts Options) (*replayResult, e
 		if coord != nil {
 			emitted = len(coord.Feed(rec))
 		} else {
-			emitted = len(monitor.Feed(rec))
+			preds, ferr := monitor.Feed(rec)
+			if ferr != nil {
+				return nil, ferr
+			}
+			emitted = len(preds)
 		}
 		res.hist.add(time.Since(f0))
 		res.predictions += emitted

@@ -32,7 +32,7 @@ func TestSessionAccumulatorTapIsPassive(t *testing.T) {
 	sp := plain.NewSession(cut)
 	var want []predict.Prediction
 	for _, r := range test {
-		want = append(want, sp.Feed(r)...)
+		want = append(want, feedOK(t, sp, r)...)
 	}
 	want = append(want, sp.AdvanceTo(end)...)
 
@@ -42,7 +42,7 @@ func TestSessionAccumulatorTapIsPassive(t *testing.T) {
 	sa := armed.NewSession(cut)
 	var got []predict.Prediction
 	for _, r := range test {
-		got = append(got, sa.Feed(r)...)
+		got = append(got, feedOK(t, sa, r)...)
 	}
 	got = append(got, sa.AdvanceTo(end)...)
 
@@ -121,7 +121,7 @@ func TestResumedAccumulatorMatchesUninterrupted(t *testing.T) {
 	rs := ref.NewSession(cut)
 	var want []predict.Prediction
 	for _, r := range test {
-		want = append(want, rs.Feed(r)...)
+		want = append(want, feedOK(t, rs, r)...)
 	}
 	want = append(want, rs.AdvanceTo(end)...)
 	wantAcc, err := json.Marshal(ref.Accumulator().State())
@@ -134,7 +134,7 @@ func TestResumedAccumulatorMatchesUninterrupted(t *testing.T) {
 	s1 := p1.NewSession(cut)
 	var got []predict.Prediction
 	for _, r := range test[:half] {
-		got = append(got, s1.Feed(r)...)
+		got = append(got, feedOK(t, s1, r)...)
 	}
 	st, err := s1.State()
 	if err != nil {
@@ -158,7 +158,7 @@ func TestResumedAccumulatorMatchesUninterrupted(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range test[half:] {
-		got = append(got, s2.Feed(r)...)
+		got = append(got, feedOK(t, s2, r)...)
 	}
 	got = append(got, s2.AdvanceTo(end)...)
 
@@ -186,7 +186,7 @@ func TestSessionSyncChainsAfterRefresh(t *testing.T) {
 	half := len(test) / 2
 	var preds []predict.Prediction
 	for _, r := range test[:half] {
-		preds = append(preds, s.Feed(r)...)
+		preds = append(preds, feedOK(t, s, r)...)
 	}
 	if p.Accumulator().Ticks() == 0 {
 		t.Fatal("no ticks accumulated before refresh")
@@ -199,7 +199,7 @@ func TestSessionSyncChainsAfterRefresh(t *testing.T) {
 		t.Fatalf("SyncChains = %d, stats say %d", n, s.Result().Stats.ChainsLoaded)
 	}
 	for _, r := range test[half:] {
-		preds = append(preds, s.Feed(r)...)
+		preds = append(preds, feedOK(t, s, r)...)
 	}
 	preds = append(preds, s.AdvanceTo(end)...)
 	if len(preds) == 0 {

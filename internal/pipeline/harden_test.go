@@ -132,16 +132,16 @@ func TestSessionShedsUnderOverloadAndRecovers(t *testing.T) {
 
 	var preds []predict.Prediction
 	// The chain trigger, then a flood that fills the open-tick buffer.
-	preds = append(preds, s.Feed(logs.Record{Time: t0.Add(5 * time.Second), EventID: 1, Location: node})...)
+	preds = append(preds, feedOK(t, s, logs.Record{Time: t0.Add(5 * time.Second), EventID: 1, Location: node})...)
 	for i := 0; i < 9; i++ {
-		preds = append(preds, s.Feed(logs.Record{
+		preds = append(preds, feedOK(t, s, logs.Record{
 			Time: t0.Add(6 * time.Second), EventID: 3, Location: node,
 			Message: fmt.Sprintf("flood %d", i),
 		})...)
 	}
 	// Buffer full: this record is shed, but its timestamp still closes
 	// ticks — including tick 0, whose trigger fires a degraded prediction.
-	preds = append(preds, s.Feed(logs.Record{Time: t0.Add(65 * time.Second), EventID: 2, Location: node})...)
+	preds = append(preds, feedOK(t, s, logs.Record{Time: t0.Add(65 * time.Second), EventID: 2, Location: node})...)
 
 	if len(preds) != 1 {
 		t.Fatalf("predictions = %d, want 1", len(preds))
@@ -153,7 +153,7 @@ func TestSessionShedsUnderOverloadAndRecovers(t *testing.T) {
 	// The flood drained with tick 0; shedding clears below half the bound
 	// and clean operation resumes: a fresh trigger fires undegraded.
 	preds = preds[:0]
-	preds = append(preds, s.Feed(logs.Record{Time: t0.Add(85 * time.Second), EventID: 1, Location: node})...)
+	preds = append(preds, feedOK(t, s, logs.Record{Time: t0.Add(85 * time.Second), EventID: 1, Location: node})...)
 	preds = append(preds, s.AdvanceTo(t0.Add(200*time.Second))...)
 	if len(preds) != 1 {
 		t.Fatalf("post-recovery predictions = %d, want 1", len(preds))

@@ -1,11 +1,17 @@
 package pipeline
 
 import (
+	"errors"
 	"time"
 
 	"github.com/elsa-hpc/elsa/internal/logs"
 	"github.com/elsa-hpc/elsa/internal/predict"
 )
+
+// ErrClosed is returned by Feed after Close: the declared lifecycle
+// (//elsa:state open closed) surfaced at runtime. It is a package-level
+// sentinel so the hot path pays no allocation to report it.
+var ErrClosed = errors.New("pipeline: session is closed")
 
 // Session is the incremental driver of the stage graph: the same stage
 // bodies Run executes across goroutines, executed synchronously one
@@ -20,6 +26,7 @@ import (
 // closes are final regardless of grace. A Session is not safe for
 // concurrent use.
 //
+//elsa:state open closed
 //elsa:snapshot
 type Session struct {
 	p   *Pipeline
@@ -40,17 +47,19 @@ func (p *Pipeline) NewSession(start time.Time) *Session {
 }
 
 // Feed ingests one record and returns any predictions that became
-// visible by closing ticks.
+// visible by closing ticks. Feeding a closed session returns ErrClosed
+// and ingests nothing.
 //
 //elsa:hotpath
-func (s *Session) Feed(rec logs.Record) []predict.Prediction {
+//elsa:requires open
+func (s *Session) Feed(rec logs.Record) ([]predict.Prediction, error) {
 	if s.closed {
-		return nil
+		return nil, ErrClosed
 	}
 	src := &s.p.counters[stageSource]
 	src.in.Add(1)
 	if !s.p.ingest(&rec) { //nolint:elsaalloc // ingest and stampSafe never retain the pointer: go build -gcflags=-m shows rec is not moved to the heap
-		return nil
+		return nil, nil
 	}
 	src.out.Add(1)
 	c := &s.p.counters[stageSample]
@@ -58,7 +67,7 @@ func (s *Session) Feed(rec logs.Record) []predict.Prediction {
 		// Overload: drop the record before template work, but let its
 		// timestamp drive tick progress so the buffer drains.
 		c.shed.Add(1)
-		return s.runBatches(s.smp.bump(rec.Time))
+		return s.runBatches(s.smp.bump(rec.Time)), nil
 	}
 	s.p.stampSafe(&rec)
 	if s.p.accum != nil && rec.EventID >= 0 {
@@ -71,13 +80,15 @@ func (s *Session) Feed(rec logs.Record) []predict.Prediction {
 		s.res.Stats.LateRecords++
 	}
 	c.observeQueue(s.smp.buffered)
-	return s.runBatches(batches)
+	return s.runBatches(batches), nil
 }
 
 // AdvanceTo closes every tick that ends at or before now, returning the
 // predictions they emitted. Call it periodically even without records so
 // tick processing and chain expiry keep pace with the clock during quiet
-// spells.
+// spells. Advancing a closed session is a benign no-op.
+//
+//elsa:requires open
 func (s *Session) AdvanceTo(now time.Time) []predict.Prediction {
 	if s.closed {
 		return nil
@@ -88,6 +99,8 @@ func (s *Session) AdvanceTo(now time.Time) []predict.Prediction {
 // Close flushes every still-open tick and returns the accumulated
 // result, with the per-stage counters in Stats.Stages. The session
 // cannot be fed afterwards; Close is idempotent.
+//
+//elsa:transition open->closed closed->closed
 func (s *Session) Close() *predict.Result {
 	if !s.closed {
 		s.runBatches(s.smp.flush())

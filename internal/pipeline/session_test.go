@@ -16,6 +16,17 @@ import (
 	"github.com/elsa-hpc/elsa/internal/topology"
 )
 
+// feedOK feeds one record, failing the test on an unexpected error —
+// these tests never feed a closed session.
+func feedOK(t *testing.T, s *Session, r logs.Record) []predict.Prediction {
+	t.Helper()
+	preds, err := s.Feed(r)
+	if err != nil {
+		t.Fatalf("Feed: %v", err)
+	}
+	return preds
+}
+
 func TestSessionMatchesRun(t *testing.T) {
 	model, profiles, test, cut, end := trained(t, 501)
 
@@ -28,7 +39,7 @@ func TestSessionMatchesRun(t *testing.T) {
 	s := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(cut)
 	var streamed []predict.Prediction
 	for _, r := range test {
-		streamed = append(streamed, s.Feed(r)...)
+		streamed = append(streamed, feedOK(t, s, r)...)
 	}
 	streamed = append(streamed, s.AdvanceTo(end)...)
 	final := s.Close()
@@ -52,7 +63,7 @@ func TestSessionIncrementalDelivery(t *testing.T) {
 	sawMidRun := false
 	half := len(test) / 2
 	for i, r := range test {
-		if preds := s.Feed(r); len(preds) > 0 && i < half {
+		if preds := feedOK(t, s, r); len(preds) > 0 && i < half {
 			sawMidRun = true
 		}
 	}
@@ -81,7 +92,11 @@ func TestSessionClosedIsInert(t *testing.T) {
 	if preds := s.AdvanceTo(t0.Add(time.Hour)); preds != nil {
 		t.Error("closed session advanced")
 	}
-	if preds := s.Feed(logs.Record{Time: t0, EventID: 0}); preds != nil {
+	preds, err := s.Feed(logs.Record{Time: t0, EventID: 0})
+	if err != ErrClosed {
+		t.Errorf("Feed after Close: err = %v, want ErrClosed", err)
+	}
+	if preds != nil {
 		t.Error("closed session accepted a record")
 	}
 	res2 := s.Close()
@@ -153,7 +168,7 @@ func TestSessionDropsRecordsBeyondGrace(t *testing.T) {
 	// open); a straggler from tick 2 is beyond the grace and must be
 	// dropped and counted, not corrupt closed-tick state.
 	s.Feed(logs.Record{Time: t0.Add(55 * time.Second), EventID: 0, Location: node})
-	preds := s.Feed(logs.Record{Time: t0.Add(25 * time.Second), EventID: 1, Location: node})
+	preds := feedOK(t, s, logs.Record{Time: t0.Add(25 * time.Second), EventID: 1, Location: node})
 	if len(preds) != 0 {
 		t.Errorf("dropped straggler fired %d predictions", len(preds))
 	}
@@ -277,7 +292,7 @@ func TestSessionOutOfOrderWithinGraceMatchesSorted(t *testing.T) {
 	s := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(cut)
 	var streamed []predict.Prediction
 	for _, r := range shuffled {
-		streamed = append(streamed, s.Feed(r)...)
+		streamed = append(streamed, feedOK(t, s, r)...)
 	}
 	streamed = append(streamed, s.AdvanceTo(end)...)
 	res := s.Close()

@@ -49,6 +49,7 @@ type SessionState struct {
 // from it would double-emit their predictions.
 //
 //elsa:snapshotter encode
+//elsa:requires open
 func (s *Session) State() (*SessionState, error) {
 	if s.closed {
 		return nil, errors.New("pipeline: cannot snapshot a closed session")

@@ -21,7 +21,7 @@ func TestResumedSessionMatchesUninterrupted(t *testing.T) {
 	ref := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(cut)
 	var want []predict.Prediction
 	for _, r := range test {
-		want = append(want, ref.Feed(r)...)
+		want = append(want, feedOK(t, ref, r)...)
 	}
 	want = append(want, ref.AdvanceTo(end)...)
 	refRes := ref.Close()
@@ -32,7 +32,7 @@ func TestResumedSessionMatchesUninterrupted(t *testing.T) {
 	s1 := New(predict.NewEngine(model, profiles, predict.DefaultConfig()), nil, DefaultConfig()).NewSession(cut)
 	var got []predict.Prediction
 	for _, r := range test[:half] {
-		got = append(got, s1.Feed(r)...)
+		got = append(got, feedOK(t, s1, r)...)
 	}
 	st, err := s1.State()
 	if err != nil {
@@ -60,7 +60,7 @@ func TestResumedSessionMatchesUninterrupted(t *testing.T) {
 		t.Fatalf("resumed session carries %d predictions, first incarnation emitted %d", preFeed, len(got))
 	}
 	for _, r := range test[half:] {
-		got = append(got, s2.Feed(r)...)
+		got = append(got, feedOK(t, s2, r)...)
 	}
 	got = append(got, s2.AdvanceTo(end)...)
 	res := s2.Close()

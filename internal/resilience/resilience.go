@@ -153,6 +153,12 @@ type Stats struct {
 // Supervisor guards one pipeline stage. All methods are safe for
 // concurrent use, though each stage body is expected to be invoked from
 // one goroutine at a time (the pipeline's stage-per-goroutine layout).
+//
+// The breaker cycle is a declared typestate protocol: Allow may admit a
+// half-open probe (ready->probing), OK closes it (probing->ready), and
+// Fail settles back to ready with the failure charged.
+//
+//elsa:state ready probing
 type Supervisor struct {
 	name string
 	pol  Policy
@@ -213,6 +219,8 @@ func (s *Supervisor) Stats() Stats {
 // elapsed, then admits exactly one half-open probe at a time. Callers
 // that are denied must apply the stage's bypass semantics (and should
 // count the bypass via the return path they own).
+//
+//elsa:transition ready->ready ready->probing probing->probing
 func (s *Supervisor) Allow() bool {
 	if Health(s.health.Load()) != Degraded {
 		return true
@@ -258,6 +266,8 @@ func (s *Supervisor) Recover() {
 // OK records a successful invocation. Its only observable effect is
 // closing the breaker after a successful half-open probe; on the healthy
 // fast path it is one atomic load.
+//
+//elsa:transition probing->ready ready->ready
 func (s *Supervisor) OK() {
 	if Health(s.health.Load()) != Degraded {
 		return
@@ -276,6 +286,8 @@ func (s *Supervisor) OK() {
 // through the barrier — with the same window/breaker accounting a
 // recovered panic gets. The fleet coordinator uses it to charge shard
 // incarnation deaths against the shard's failure budget.
+//
+//elsa:transition ready->ready probing->ready
 func (s *Supervisor) Fail(reason string) {
 	s.recordPanic(reason)
 }

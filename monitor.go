@@ -14,6 +14,10 @@ import (
 // can Seek its backend to exactly the record after the snapshot.
 type IngestOffset = ingest.Offset
 
+// ErrClosed is returned by Feed after Close: the monitor's declared
+// lifecycle surfaced at runtime as a typed, comparable error.
+var ErrClosed = pipeline.ErrClosed
+
 // Monitor is the incremental form of Predict: records are fed one at a
 // time (a daemon tailing the live log), and predictions surface as soon
 // as their sampling tick closes. New message shapes are learned online by
@@ -28,6 +32,7 @@ type IngestOffset = ingest.Offset
 // rather than corrupting tick state. AdvanceTo is wall-clock
 // authoritative: ticks it closes are final.
 //
+//elsa:state open closed
 //elsa:snapshot
 type Monitor struct {
 	model *Model
@@ -67,12 +72,18 @@ func (m *Model) pipelineConfig() pipeline.Config {
 
 // Feed ingests one record and returns any predictions that became
 // visible. See the Monitor type docs for the out-of-order tolerance.
-func (mo *Monitor) Feed(rec Record) []Prediction {
+// Feeding a closed monitor returns ErrClosed and ingests nothing.
+//
+//elsa:requires open
+func (mo *Monitor) Feed(rec Record) ([]Prediction, error) {
 	return mo.session.Feed(rec)
 }
 
 // AdvanceTo closes sampling ticks up to now; call it periodically during
-// quiet spells so chain expiry keeps pace with the clock.
+// quiet spells so chain expiry keeps pace with the clock. Advancing a
+// closed monitor is a benign no-op.
+//
+//elsa:requires open
 func (mo *Monitor) AdvanceTo(now time.Time) []Prediction {
 	return mo.session.AdvanceTo(now)
 }
@@ -110,6 +121,8 @@ func (mo *Monitor) Refresh() RefreshStats {
 // idempotent: a second call performs no work and returns the same
 // cached result — a daemon's signal handler and its deferred shutdown
 // path can both call it safely.
+//
+//elsa:transition open->closed closed->closed
 func (mo *Monitor) Close() *PredictResult {
 	if mo.result == nil {
 		mo.result = mo.session.Close()

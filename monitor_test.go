@@ -5,6 +5,17 @@ import (
 	"time"
 )
 
+// feedOK feeds one record, failing the test on an unexpected error —
+// the streaming tests never feed a closed monitor.
+func feedOK(t *testing.T, mon *Monitor, r Record) []Prediction {
+	t.Helper()
+	preds, err := mon.Feed(r)
+	if err != nil {
+		t.Fatalf("Feed: %v", err)
+	}
+	return preds
+}
+
 func TestMonitorMatchesBatchPredict(t *testing.T) {
 	log := GenerateBGL(80, apiStart, 6*24*time.Hour)
 	cut := apiStart.Add(3 * 24 * time.Hour)
@@ -19,7 +30,7 @@ func TestMonitorMatchesBatchPredict(t *testing.T) {
 	mon := model2.NewMonitor(cut)
 	var streamed []Prediction
 	for _, r := range test {
-		streamed = append(streamed, mon.Feed(r)...)
+		streamed = append(streamed, feedOK(t, mon, r)...)
 	}
 	streamed = append(streamed, mon.AdvanceTo(log.End)...)
 	mon.Close()

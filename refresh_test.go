@@ -26,7 +26,7 @@ func TestMonitorRefreshRetrainsFromStream(t *testing.T) {
 	var preds []Prediction
 	half := len(test) / 2
 	for _, r := range test[:half] {
-		preds = append(preds, mon.Feed(r)...)
+		preds = append(preds, feedOK(t, mon, r)...)
 	}
 	st := mon.Refresh()
 	if st.Dirty == 0 || st.Scored == 0 {
@@ -50,7 +50,7 @@ func TestMonitorRefreshRetrainsFromStream(t *testing.T) {
 
 	// The refreshed chain set is live: the monitor keeps predicting.
 	for _, r := range test[half:] {
-		preds = append(preds, mon.Feed(r)...)
+		preds = append(preds, feedOK(t, mon, r)...)
 	}
 	preds = append(preds, mon.AdvanceTo(log.End)...)
 	mon.Close()
@@ -76,11 +76,11 @@ func TestResumedMonitorRefreshMatchesUninterrupted(t *testing.T) {
 	ref := Train(train, apiStart, cut, DefaultTrainConfig()).NewMonitor(cut)
 	var want []Prediction
 	for _, r := range test[:half] {
-		want = append(want, ref.Feed(r)...)
+		want = append(want, feedOK(t, ref, r)...)
 	}
 	wantMid := ref.Refresh()
 	for _, r := range test[half:] {
-		want = append(want, ref.Feed(r)...)
+		want = append(want, feedOK(t, ref, r)...)
 	}
 	want = append(want, ref.AdvanceTo(log.End)...)
 	wantEnd := ref.Refresh()
@@ -100,7 +100,7 @@ func TestResumedMonitorRefreshMatchesUninterrupted(t *testing.T) {
 	mon := model.NewMonitor(cut)
 	var got []Prediction
 	for _, r := range test[:half] {
-		got = append(got, mon.Feed(r)...)
+		got = append(got, feedOK(t, mon, r)...)
 	}
 	gotMid := mon.Refresh()
 	wantMid.Duration, gotMid.Duration = 0, 0
@@ -125,7 +125,7 @@ func TestResumedMonitorRefreshMatchesUninterrupted(t *testing.T) {
 		t.Fatal("resume did not install the refreshed chains from the snapshot")
 	}
 	for _, r := range test[half:] {
-		got = append(got, resumed.Feed(r)...)
+		got = append(got, feedOK(t, resumed, r)...)
 	}
 	got = append(got, resumed.AdvanceTo(log.End)...)
 	gotEnd := resumed.Refresh()

@@ -53,6 +53,7 @@ const monitorFormatVersion = 1
 // double-emit their predictions.
 //
 //elsa:snapshotter encode
+//elsa:requires open
 func (mo *Monitor) Snapshot(w io.Writer) error {
 	st, err := mo.session.State()
 	if err != nil {

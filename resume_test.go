@@ -23,7 +23,7 @@ func TestResumedMonitorMatchesUninterrupted(t *testing.T) {
 	ref := Train(train, apiStart, cut, DefaultTrainConfig()).NewMonitor(cut)
 	var want []Prediction
 	for _, r := range test {
-		want = append(want, ref.Feed(r)...)
+		want = append(want, feedOK(t, ref, r)...)
 	}
 	want = append(want, ref.AdvanceTo(log.End)...)
 	ref.Close()
@@ -38,7 +38,7 @@ func TestResumedMonitorMatchesUninterrupted(t *testing.T) {
 	var got []Prediction
 	half := len(test) / 2
 	for _, r := range test[:half] {
-		got = append(got, mon.Feed(r)...)
+		got = append(got, feedOK(t, mon, r)...)
 	}
 	var modelBlob, snapBlob strings.Builder
 	if err := model.Save(&modelBlob); err != nil {
@@ -59,7 +59,7 @@ func TestResumedMonitorMatchesUninterrupted(t *testing.T) {
 		t.Fatalf("ResumeMonitor: %v", err)
 	}
 	for _, r := range test[half:] {
-		got = append(got, resumed.Feed(r)...)
+		got = append(got, feedOK(t, resumed, r)...)
 	}
 	got = append(got, resumed.AdvanceTo(log.End)...)
 	res := resumed.Close()
@@ -143,7 +143,11 @@ func TestMonitorCloseIdempotent(t *testing.T) {
 	if res1 != res2 {
 		t.Fatal("second Close returned a different result pointer")
 	}
-	if preds := mon.Feed(Record{Time: log.End, EventID: 0}); preds != nil {
+	preds, err := mon.Feed(Record{Time: log.End, EventID: 0})
+	if err != ErrClosed {
+		t.Errorf("Feed after Close: err = %v, want ErrClosed", err)
+	}
+	if preds != nil {
 		t.Error("closed monitor accepted a record")
 	}
 	if preds := mon.AdvanceTo(log.End.Add(time.Hour)); preds != nil {
